@@ -1,0 +1,55 @@
+// Design-decision ablation (DESIGN.md / Section 4.1 of the paper): the
+// paper chooses microbatch 8/16 for the image tasks because smaller
+// microbatches "cause issues for batch normalization", and cites
+// GroupNorm as the alternative. Here we sweep the microbatch size under
+// PipeMare with BatchNorm vs GroupNorm:
+//   - BatchNorm degrades as the microbatch shrinks (batch statistics
+//     collapse; M=1 is a hard failure mode),
+//   - GroupNorm tolerates M=1, which minimizes the pipeline delay
+//     tau_1 = (2P-1)/N and the activation memory simultaneously.
+//
+// Usage: ablation_norm_microbatch [--quick=1]
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  std::cout << "=== Ablation: normalization vs microbatch size (PipeMare) ===\n\n";
+  util::Table t({"Norm", "Microbatch M", "N = B/M", "tau_1", "Best acc", "Diverged"});
+  for (bool gn : {false, true}) {
+    data::ImageDatasetConfig d;
+    d.classes = 10;
+    d.train_size = 1024;
+    d.test_size = 256;
+    d.image_size = 12;
+    d.seed = 1;
+    nn::ResNetConfig m;
+    m.base_channels = 8;
+    m.blocks_per_group = {1, 1};
+    m.group_norm = gn;
+    core::ImageTask task(d, m, gn ? "synth-cifar10-gn" : "synth-cifar10-bn");
+    int stages = pipeline::max_stages(task.build_model(), false);
+    for (int micro : {16, 8, 2, 1}) {
+      core::TrainerConfig cfg = core::image_recipe(stages, quick ? 5 : 10);
+      cfg.microbatch_size = micro;
+      auto res = core::train(task, cfg);
+      double tau1 = static_cast<double>(2 * stages - 1) / (64 / micro);
+      t.add_row({gn ? "GroupNorm" : "BatchNorm", std::to_string(micro),
+                 std::to_string(64 / micro), util::fmt(tau1, 2),
+                 util::fmt(res.best_metric, 1), res.diverged ? "yes" : "no"});
+    }
+  }
+  std::cout << t.to_string() << '\n';
+  std::cout << "[paper section 4.1: microbatch kept >= 8/16 'as smaller microbatches\n"
+               " can cause issues for batch normalization'; GroupNorm (cited) lifts\n"
+               " that floor, enabling the minimal-delay M=1 regime]\n";
+  return 0;
+}

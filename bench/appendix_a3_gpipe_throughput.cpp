@@ -1,0 +1,40 @@
+// Reproduces Appendix A.3: GPipe's throughput relative to PipeMare under
+// equal activation-memory and compute budgets, as a function of the
+// microbatch-size ratio alpha = M_GP / M_PM.
+//
+// Paper: the optimum is ~0.30 (0.29 with recompute); this constant is what
+// the paper (and this repo) uses for every GPipe time-to-accuracy figure.
+#include <cmath>
+#include <iostream>
+
+#include "src/hwmodel/gpipe_throughput.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  (void)cli;
+
+  std::cout << "=== Appendix A.3: GPipe relative throughput vs microbatch ratio ===\n\n";
+  util::Table t({"alpha = M_GP/M_PM", "l_fwd+l_bkwd", "T(alpha)", "case",
+                 "T(alpha), recompute"});
+  for (double a : {0.25, 0.5, 0.75, 1.0, 1.2247, 1.5, 2.0, 2.1213, 3.0, 4.0, 6.0, 10.0}) {
+    const char* which = a <= 1.5 ? "2 (underutilized)"
+                        : a < 3.0 ? "3 (bwd saturated)"
+                                  : "1 (saturated)";
+    t.add_row({util::fmt(a, 4), util::fmt(hwmodel::gpipe_latency_factor(a, false), 3),
+               util::fmt(hwmodel::gpipe_relative_throughput(a, false), 4), which,
+               util::fmt(hwmodel::gpipe_relative_throughput(a, true), 4)});
+  }
+  std::cout << t.to_string() << '\n';
+
+  double best_a = 0.0, best_ar = 0.0;
+  double best = hwmodel::gpipe_max_relative_throughput(false, &best_a);
+  double best_rec = hwmodel::gpipe_max_relative_throughput(true, &best_ar);
+  std::cout << "max T = " << util::fmt(best, 4) << " at alpha = " << util::fmt(best_a, 3)
+            << "   (paper: ~0.30)\n";
+  std::cout << "max T with recompute = " << util::fmt(best_rec, 4) << " at alpha = "
+            << util::fmt(best_ar, 3) << "   (paper: ~0.29)\n";
+  return 0;
+}

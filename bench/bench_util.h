@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared printing helpers for the paper-reproduction bench binaries.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace pipemare::benchutil {
+
+/// Prints a Table 2 / Table 3-style block of method rows.
+inline void print_rows(const std::string& title, const std::string& metric,
+                       const std::vector<core::MethodRow>& rows) {
+  std::cout << title << '\n';
+  util::Table t({"Method", "Best " + metric, "Target", "Speedup", "Epochs to tgt",
+                 "Throughput", "W+Opt mem"});
+  for (const auto& r : rows) {
+    t.add_row({r.label, util::fmt(r.best_metric, 1), util::fmt(r.target_metric, 1),
+               util::fmt_x(r.speedup_vs_gpipe),
+               r.epochs_to_target < 0 ? "-" : std::to_string(r.epochs_to_target),
+               util::fmt_x(r.throughput), util::fmt_x(r.memory_factor, 2)});
+  }
+  std::cout << t.to_string() << '\n';
+}
+
+/// Prints per-epoch metric curves side by side (figure-series output).
+inline void print_curves(const std::string& title,
+                         const std::vector<core::MethodRow>& rows, int stride = 2) {
+  std::cout << title << '\n';
+  std::vector<std::string> header = {"epoch"};
+  std::size_t max_len = 0;
+  for (const auto& r : rows) {
+    header.push_back(r.label);
+    max_len = std::max(max_len, r.result.curve.size());
+  }
+  util::Table t(std::move(header));
+  for (std::size_t e = 0; e < max_len; e += static_cast<std::size_t>(stride)) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const auto& r : rows) {
+      row.push_back(e < r.result.curve.size()
+                        ? util::fmt(r.result.curve[e].metric, 1)
+                        : (r.result.diverged ? "div" : "-"));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_string() << '\n';
+}
+
+}  // namespace pipemare::benchutil

@@ -1,0 +1,58 @@
+// Reproduces Figure 12: sensitivity of the final model quality to the T1
+// annealing horizon K (number of annealing steps), on both tasks.
+//
+// Paper reference: the ResNet prefers a small number of annealing epochs
+// while the Transformer prefers a large one; a badly chosen K costs final
+// quality. Also includes the unclamped-tau ablation (DESIGN.md decision 4:
+// we clamp tau >= 1 so T1 never *increases* a stage's LR).
+//
+// Usage: fig12_annealing_sensitivity [--quick=1]
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  std::cout << "=== Figure 12: sensitivity to T1 annealing steps K ===\n\n";
+
+  {
+    auto task = core::make_cifar10_analog();
+    int stages = pipeline::max_stages(task->build_model(), false);
+    util::Table t({"K (steps)", "Best acc", "Diverged"});
+    int spe = task->train_size() / 64;  // steps per epoch
+    for (int k_epochs : {1, 5, 20, 40}) {
+      core::TrainerConfig cfg = core::image_recipe(stages, quick ? 6 : 12);
+      cfg.t1_annealing_steps = static_cast<std::int64_t>(k_epochs) * spe;
+      auto res = core::train(*task, cfg);
+      t.add_row({std::to_string(k_epochs * spe), util::fmt(res.best_metric, 1),
+                 res.diverged ? "yes" : "no"});
+    }
+    std::cout << "-- " << task->name()
+              << "  [paper: small K preferred for ResNet]\n"
+              << t.to_string() << '\n';
+  }
+
+  {
+    auto task = core::make_iwslt_analog();
+    int stages = pipeline::max_stages(task->build_model(), false);
+    util::Table t({"K (steps)", "Best BLEU", "Diverged"});
+    for (int k : {30, 150, 300, 600}) {
+      core::TrainerConfig cfg = core::translation_recipe(stages, quick ? 16 : 30);
+      cfg.t1_annealing_steps = k;
+      auto res = core::train(*task, cfg);
+      t.add_row({std::to_string(k), util::fmt(res.best_metric, 1),
+                 res.diverged ? "yes" : "no"});
+    }
+    std::cout << "-- " << task->name()
+              << "  [paper: large K preferred for Transformer]\n"
+              << t.to_string();
+  }
+  return 0;
+}

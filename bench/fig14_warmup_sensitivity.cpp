@@ -1,0 +1,48 @@
+// Reproduces Figure 14: sensitivity to the number of T3 synchronous warmup
+// epochs on the translation task, including the time-to-accuracy tradeoff
+// (warmup epochs run at GPipe's 0.3X budget throughput).
+//
+// Paper reference: some warmup converges in fewer epochs, but too many
+// warmup epochs erode the throughput advantage; an intermediate count
+// gives the best time-to-accuracy.
+//
+// Usage: fig14_warmup_sensitivity [--quick=1]
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/hwmodel/characteristics.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  auto task = core::make_iwslt_analog();
+  int stages = pipeline::max_stages(task->build_model(), false);
+  int epochs = quick ? 16 : 32;
+
+  std::cout << "=== Figure 14: sensitivity to synchronous warmup epochs ("
+            << task->name() << ") ===\n\n";
+  util::Table t({"Warmup epochs", "Best BLEU", "Epochs to best", "Amort. tput",
+                 "Time-to-best"});
+  for (int warmup : {0, 1, 2, 4, 8}) {
+    core::TrainerConfig cfg = core::translation_recipe(stages, epochs);
+    cfg.warmup_epochs = warmup;
+    auto res = core::train(*task, cfg);
+    double tput = hwmodel::amortized_throughput(
+        warmup, std::max<int>(1, static_cast<int>(res.curve.size())));
+    double ttb = res.best_epoch > 0 ? res.best_epoch / tput
+                                    : std::numeric_limits<double>::infinity();
+    t.add_row({std::to_string(warmup), util::fmt(res.best_metric, 1),
+               res.best_epoch > 0 ? std::to_string(res.best_epoch) : "-",
+               util::fmt_x(tput), std::isfinite(ttb) ? util::fmt(ttb, 1) : "inf"});
+  }
+  std::cout << t.to_string() << '\n';
+  std::cout << "[paper: best time-to-accuracy at an intermediate warmup count; "
+               "extra warmup costs throughput]\n";
+  return 0;
+}

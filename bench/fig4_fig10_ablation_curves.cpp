@@ -1,0 +1,62 @@
+// Reproduces Figures 4 and 10: metric-vs-epoch curves when incrementally
+// combining the PipeMare techniques (Sync baseline vs T1, T1+T2,
+// T1+T2+T3), at two pipeline granularities:
+//   Figure 10: one stage per weight unit (the Section 4 setting),
+//   Figure 4:  2x that, splitting each weight and bias into separate
+//              stages (the stress test; 214/186 stages in the paper).
+//
+// Paper reference: at the fine granularity, T1 alone converges but lags,
+// T2 closes most of the image-task gap, and T3 is needed for the
+// Transformer to match sync.
+//
+// Usage: fig4_fig10_ablation_curves [--quick=1] [--split-bias=1]
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+  bool quick = cli.get_bool("quick", false);
+
+  for (bool split_bias : {false, true}) {
+    std::cout << (split_bias ? "=== Figure 4 regime: 2x stages (weight/bias split) ===\n\n"
+                             : "=== Figure 10 regime: 1x stages (one per weight) ===\n\n");
+
+    {
+      auto task = core::make_cifar10_analog();
+      int stages = pipeline::max_stages(task->build_model(), split_bias);
+      core::TrainerConfig cfg = core::image_recipe(stages, quick ? 6 : 12);
+      cfg.engine.split_bias = split_bias;
+      std::vector<core::AblationSpec> specs = {
+          {"T1", true, false, 0},
+          {"T1+T2", true, true, 0},
+          {"T1+T2+T3", true, true, 2},
+      };
+      auto rows = core::ablation_study(*task, cfg, specs, 1.0);
+      benchutil::print_curves("-- " + task->name() + " (" + std::to_string(stages) +
+                                  " stages), test accuracy vs epoch:",
+                              rows);
+    }
+    if (!quick || !split_bias) {
+      auto task = core::make_iwslt_analog();
+      int stages = pipeline::max_stages(task->build_model(), split_bias);
+      core::TrainerConfig cfg = core::translation_recipe(stages, quick ? 16 : 32);
+      cfg.engine.split_bias = split_bias;
+      std::vector<core::AblationSpec> specs = {
+          {"T1", true, false, 0},
+          {"T1+T2", true, true, 0},
+          {"T1+T2+T3", true, true, cfg.warmup_epochs},
+      };
+      auto rows = core::ablation_study(*task, cfg, specs, 5.0);
+      benchutil::print_curves("-- " + task->name() + " (" + std::to_string(stages) +
+                                  " stages), BLEU vs epoch:",
+                              rows, 4);
+    }
+  }
+  return 0;
+}

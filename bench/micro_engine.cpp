@@ -1,0 +1,100 @@
+// Microbenchmarks for the compute substrate and the pipeline engine:
+// matmul/conv kernels, schedule arithmetic, weight-version assembly, and a
+// full engine training step. google-benchmark targets (not paper tables).
+#include <benchmark/benchmark.h>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/heads.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/nn/resnet.h"
+#include "src/pipeline/engine.h"
+#include "src/tensor/conv.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace pipemare;
+
+void BM_Matmul(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  tensor::Tensor a({n, n}), b({n, n});
+  for (std::int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.normal());
+  for (std::int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2d conv(8, 8, 3, 1, 1);
+  std::vector<float> w(static_cast<std::size_t>(conv.param_count()));
+  conv.init_params(w, rng);
+  nn::Flow in;
+  in.x = tensor::Tensor({8, 8, 16, 16});
+  for (std::int64_t i = 0; i < in.x.size(); ++i) in.x[i] = static_cast<float>(rng.normal());
+  nn::Cache cache;
+  for (auto _ : state) {
+    auto out = conv.forward(in, w, cache);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_ScheduleStaleness(benchmark::State& state) {
+  pipeline::Schedule sched(107, 8);
+  for (auto _ : state) {
+    long long sum = 0;
+    for (int i = 0; i < 107; ++i) {
+      for (int n = 0; n < 8; ++n) sum += sched.fwd_staleness(i, n);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ScheduleStaleness);
+
+void BM_EngineMinibatchStep(benchmark::State& state) {
+  nn::ResNetConfig mc;
+  mc.base_channels = 8;
+  mc.blocks_per_group = {1, 1};
+  nn::Model model = nn::make_resnet(mc);
+  pipeline::EngineConfig ec;
+  ec.method = pipeline::Method::PipeMare;
+  ec.num_stages = 8;
+  ec.num_microbatches = 4;
+  ec.discrepancy_correction = true;
+  pipeline::PipelineEngine engine(model, ec, 1);
+  nn::ClassificationXent head;
+  util::Rng rng(3);
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+  for (int m = 0; m < 4; ++m) {
+    nn::Flow f;
+    f.x = tensor::Tensor({4, 3, 12, 12});
+    for (std::int64_t i = 0; i < f.x.size(); ++i) f.x[i] = static_cast<float>(rng.normal());
+    tensor::Tensor t({4});
+    for (int j = 0; j < 4; ++j) t[j] = static_cast<float>(rng.randint(10));
+    inputs.push_back(std::move(f));
+    targets.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    auto res = engine.forward_backward(inputs, targets, head);
+    benchmark::DoNotOptimize(res);
+    for (std::size_t i = 0; i < engine.weights().size(); ++i) {
+      engine.weights()[i] -= 1e-4F * engine.gradients()[i];
+    }
+    engine.commit_update();
+  }
+}
+BENCHMARK(BM_EngineMinibatchStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Microbenchmarks for the stability-theory toolkit (root finding, winding
+// stability test, quadratic-model simulation). These are google-benchmark
+// targets, not paper reproductions.
+#include <benchmark/benchmark.h>
+
+#include "src/theory/char_polys.h"
+#include "src/theory/quadratic_sim.h"
+#include "src/theory/stability.h"
+
+namespace {
+
+using namespace pipemare::theory;
+
+void BM_DurandKernerRoots(benchmark::State& state) {
+  int tau = static_cast<int>(state.range(0));
+  Polynomial p = char_poly_basic(tau, 0.01, 1.0);
+  for (auto _ : state) {
+    auto rs = p.roots();
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_DurandKernerRoots)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_WindingStability(benchmark::State& state) {
+  int tau = static_cast<int>(state.range(0));
+  Polynomial p = char_poly_basic(tau, 0.01, 1.0);
+  for (auto _ : state) {
+    bool s = p.is_stable();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_WindingStability)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_QuadraticSim(benchmark::State& state) {
+  QuadraticSimConfig cfg;
+  cfg.tau_fwd = 10;
+  cfg.tau_bkwd = 6;
+  cfg.delta = 3.0;
+  cfg.t2_correction = true;
+  for (auto _ : state) {
+    auto res = run_quadratic_sim(cfg, 1000);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_QuadraticSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Quickstart: train the synthetic CIFAR10 analog with PipeMare (all three
+// techniques) at the finest pipeline granularity and compare against
+// GPipe-style synchronous execution.
+//
+// Usage: example_quickstart [--epochs=8] [--seed=1]
+#include <chrono>
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/core/trainer.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+
+  auto task = core::make_cifar10_analog(cli.get_int("seed", 1));
+  nn::Model probe = task->build_model();
+  int stages = pipeline::max_stages(probe, /*split_bias=*/false);
+  std::cout << "Task: " << task->name() << "  |  model params: " << probe.param_count()
+            << "  |  pipeline stages: " << stages << " (one per weight unit)\n\n";
+
+  core::TrainerConfig cfg = core::image_recipe(stages, cli.get_int("epochs", 8));
+  cfg.seed = cli.get_int("seed", 1);
+
+  util::Table table({"Method", "Best acc (%)", "Epochs", "Diverged", "Wall (s)"});
+  for (auto method : {pipeline::Method::Sync, pipeline::Method::PipeMare}) {
+    core::TrainerConfig run_cfg = cfg;
+    run_cfg.engine.method = method;
+    if (method == pipeline::Method::Sync) {
+      run_cfg.t1 = false;
+      run_cfg.engine.discrepancy_correction = false;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    core::TrainResult result = core::train(*task, run_cfg);
+    auto secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    table.add_row({pipeline::method_name(method), util::fmt(result.best_metric, 1),
+                   std::to_string(result.curve.size()),
+                   result.diverged ? "yes" : "no", util::fmt(secs, 1)});
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "PipeMare trains asynchronously (no pipeline bubbles, no weight\n"
+               "stashing) and should closely match the synchronous accuracy.\n";
+  return 0;
+}

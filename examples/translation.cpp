@@ -1,0 +1,68 @@
+// Domain example: asynchronous pipeline-parallel training of an
+// encoder-decoder Transformer on the synthetic translation task (the
+// paper's IWSLT14 analog), with all three PipeMare techniques, followed by
+// beam-search decoding and corpus BLEU.
+//
+// Usage: example_translation [--epochs=10] [--seed=4] [--beam=5]
+#include <chrono>
+#include <iostream>
+
+#include "src/core/experiments.h"
+#include "src/core/task.h"
+#include "src/core/trainer.h"
+#include "src/data/bleu.h"
+#include "src/nn/transformer.h"
+#include "src/pipeline/partition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pipemare;
+  util::Cli cli(argc, argv);
+
+  auto task = core::make_iwslt_analog(cli.get_int("seed", 4));
+  nn::Model probe = task->build_model();
+  int stages = pipeline::max_stages(probe, false);
+  std::cout << "Task: " << task->name() << "  |  params: " << probe.param_count()
+            << "  |  stages: " << stages << "\n\n";
+
+  core::TrainerConfig cfg = core::translation_recipe(stages, cli.get_int("epochs", 10));
+  cfg.seed = cli.get_int("seed", 4);
+
+  cfg.microbatch_size = cli.get_int("micro", cfg.microbatch_size);
+  cfg.lr = cli.get_double("lr", cfg.lr);
+  cfg.t1 = cli.get_bool("t1", cfg.t1);
+  cfg.engine.discrepancy_correction = cli.get_bool("t2", cfg.engine.discrepancy_correction);
+  cfg.warmup_epochs = cli.get_int("warmup", cfg.warmup_epochs);
+  bool print_curve = cli.get_bool("curve", false);
+
+  util::Table table({"Method", "Best BLEU", "Epochs", "Diverged", "Wall (s)"});
+  for (auto method : {pipeline::Method::Sync, pipeline::Method::PipeMare}) {
+    core::TrainerConfig run_cfg = cfg;
+    run_cfg.engine.method = method;
+    if (method == pipeline::Method::Sync) {
+      run_cfg.t1 = false;
+      run_cfg.engine.discrepancy_correction = false;
+      run_cfg.warmup_epochs = 0;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    core::TrainResult result = core::train(*task, run_cfg);
+    auto secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    table.add_row({pipeline::method_name(method), util::fmt(result.best_metric, 1),
+                   std::to_string(result.curve.size()),
+                   result.diverged ? "yes" : "no", util::fmt(secs, 1)});
+    if (print_curve) {
+      for (const auto& rec : result.curve) {
+        std::cout << pipeline::method_name(method) << " epoch " << rec.epoch
+                  << "  loss " << util::fmt(rec.train_loss, 4) << "  BLEU "
+                  << util::fmt(rec.metric, 2) << "  |w| "
+                  << util::fmt(rec.param_norm, 1) << "  lr "
+                  << util::fmt(rec.base_lr, 5) << '\n';
+      }
+    }
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "BLEU is computed with beam-search (width 5) decodes against the\n"
+               "synthetic references (token-reversal + vocabulary mapping).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/core/delayed_sgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace pipemare::core {
+
+DelayedSgdResult run_delayed_sgd(const Task& task, const DelayedSgdConfig& cfg) {
+  nn::Model model = task.build_model();
+  util::Rng rng(cfg.seed);
+  std::vector<float> live(static_cast<std::size_t>(model.param_count()));
+  model.init_params(live, rng);
+
+  int max_tau = std::max(cfg.tau_fwd, cfg.tau_bkwd);
+  int depth = max_tau + 1;
+  std::vector<std::vector<float>> history(static_cast<std::size_t>(depth), live);
+
+  DelayedSgdResult result;
+  std::vector<float> grad(live.size());
+  for (int t = 0; t < cfg.iterations; ++t) {
+    std::vector<int> idx(static_cast<std::size_t>(cfg.minibatch_size));
+    for (auto& i : idx) i = rng.randint(task.train_size());
+    auto mb = task.minibatch(idx, cfg.minibatch_size);
+
+    const auto& u_fwd =
+        history[static_cast<std::size_t>(std::max(0, t - cfg.tau_fwd) % depth)];
+    const auto& u_bkwd =
+        history[static_cast<std::size_t>(std::max(0, t - cfg.tau_bkwd) % depth)];
+    std::fill(grad.begin(), grad.end(), 0.0F);
+    auto caches = model.make_caches();
+    nn::Flow input = mb.inputs[0];
+    input.training = true;
+    nn::Flow out = model.forward(std::move(input), u_fwd, caches);
+    auto lr = task.loss().forward_backward(out.x, mb.targets[0]);
+    nn::Flow dflow;
+    dflow.x = lr.doutput;
+    model.backward(std::move(dflow), u_bkwd, caches, grad);
+
+    bool finite = std::isfinite(lr.loss);
+    for (std::size_t i = 0; i < live.size() && finite; ++i) {
+      finite = std::isfinite(grad[i]);
+    }
+    if (!finite || lr.loss > cfg.divergence_loss) {
+      result.diverged = true;
+      result.final_loss = cfg.divergence_loss;
+      return result;
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i] -= static_cast<float>(cfg.alpha) * grad[i];
+    }
+    history[static_cast<std::size_t>((t + 1) % depth)] = live;
+  }
+  result.final_loss = -task.evaluate(model, live);  // evaluate returns -loss
+  if (!std::isfinite(result.final_loss) || result.final_loss > cfg.divergence_loss) {
+    result.diverged = true;
+    result.final_loss = cfg.divergence_loss;
+  }
+  return result;
+}
+
+}  // namespace pipemare::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/task.h"
+
+namespace pipemare::core {
+
+/// Plain fixed-delay SGD (no pipeline structure): every weight shares the
+/// same forward/backward delays,
+///   w_{t+1} = w_t - alpha * grad f_t(w_{t - tau_fwd}, w_{t - tau_bkwd}).
+/// This is the model of Section 3's theory, run on a *real* objective.
+/// Figure 3(b) uses it with tau_fwd = tau_bkwd on linear regression.
+struct DelayedSgdConfig {
+  double alpha = 0.01;
+  int tau_fwd = 0;
+  int tau_bkwd = 0;
+  int iterations = 10000;
+  int minibatch_size = 16;
+  std::uint64_t seed = 1;
+  double divergence_loss = 1e8;
+};
+
+struct DelayedSgdResult {
+  double final_loss = 0.0;  ///< full-dataset loss after the last iteration
+  bool diverged = false;
+};
+
+DelayedSgdResult run_delayed_sgd(const Task& task, const DelayedSgdConfig& cfg);
+
+}  // namespace pipemare::core

@@ -1,0 +1,157 @@
+#include "src/core/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/hwmodel/characteristics.h"
+
+namespace pipemare::core {
+
+using pipeline::Method;
+
+void finalize_rows(std::vector<MethodRow>& rows, double target_gap, int gpipe_index) {
+  if (rows.empty()) return;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& r : rows) best = std::max(best, r.best_metric);
+  double target = best - target_gap;
+  if (gpipe_index < 0) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].label == "GPipe") gpipe_index = static_cast<int>(i);
+    }
+    if (gpipe_index < 0) gpipe_index = 0;
+  }
+  for (auto& r : rows) {
+    r.target_metric = target;
+    r.epochs_to_target = r.result.epochs_to_target(target);
+    r.time_to_target = hwmodel::time_to_target(r.epochs_to_target, r.throughput);
+  }
+  double ref = rows[static_cast<std::size_t>(gpipe_index)].time_to_target;
+  for (auto& r : rows) {
+    r.speedup_vs_gpipe = std::isfinite(r.time_to_target) && r.time_to_target > 0.0
+                             ? ref / r.time_to_target
+                             : std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+namespace {
+
+int optimizer_state_copies(const TrainerConfig& cfg) {
+  return cfg.optimizer == TrainerConfig::Opt::SgdMomentum ? 1 : 2;
+}
+
+MethodRow run_variant(const Task& task, TrainerConfig cfg, std::string label) {
+  MethodRow row;
+  row.label = std::move(label);
+  row.result = train(task, cfg);
+  row.best_metric = row.result.best_metric;
+  int n = cfg.num_microbatches();
+  bool t2 = cfg.engine.method == Method::PipeMare && cfg.engine.discrepancy_correction;
+  row.memory_factor = hwmodel::memory_factor_vs_gpipe(
+      cfg.engine.method, cfg.engine.num_stages, n, optimizer_state_copies(cfg), t2);
+  double base_tp = hwmodel::normalized_throughput_budget(cfg.engine.method);
+  if (cfg.engine.method == Method::PipeMare && cfg.warmup_epochs > 0) {
+    int epochs = std::max<int>(1, static_cast<int>(row.result.curve.size()));
+    row.throughput = hwmodel::amortized_throughput(cfg.warmup_epochs, epochs);
+  } else {
+    row.throughput = base_tp;
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<MethodRow> compare_methods(const Task& task, const TrainerConfig& base,
+                                       double target_gap) {
+  std::vector<MethodRow> rows;
+
+  TrainerConfig gpipe = base;
+  gpipe.engine.method = Method::Sync;
+  gpipe.engine.discrepancy_correction = false;
+  gpipe.t1 = false;
+  gpipe.warmup_epochs = 0;
+  rows.push_back(run_variant(task, gpipe, "GPipe"));
+
+  TrainerConfig pipedream = gpipe;
+  pipedream.engine.method = Method::PipeDream;
+  rows.push_back(run_variant(task, pipedream, "PipeDream"));
+
+  TrainerConfig pipemare = base;
+  pipemare.engine.method = Method::PipeMare;
+  rows.push_back(run_variant(task, pipemare, "PipeMare"));
+
+  finalize_rows(rows, target_gap, 0);
+  return rows;
+}
+
+std::vector<MethodRow> ablation_study(const Task& task, const TrainerConfig& base,
+                                      const std::vector<AblationSpec>& specs,
+                                      double target_gap) {
+  std::vector<MethodRow> rows;
+  // Reference GPipe run supplies the speedup denominator.
+  TrainerConfig gpipe = base;
+  gpipe.engine.method = Method::Sync;
+  gpipe.engine.discrepancy_correction = false;
+  gpipe.t1 = false;
+  gpipe.warmup_epochs = 0;
+  rows.push_back(run_variant(task, gpipe, "GPipe"));
+  for (const auto& spec : specs) {
+    TrainerConfig cfg = base;
+    cfg.engine.method = Method::PipeMare;
+    cfg.t1 = spec.t1;
+    cfg.engine.discrepancy_correction = spec.t2;
+    cfg.warmup_epochs = spec.warmup_epochs;
+    rows.push_back(run_variant(task, cfg, spec.label));
+  }
+  finalize_rows(rows, target_gap, 0);
+  return rows;
+}
+
+TrainerConfig image_recipe(int stages, int epochs) {
+  TrainerConfig cfg;
+  cfg.engine.num_stages = stages;
+  cfg.epochs = epochs;
+  cfg.minibatch_size = 64;
+  cfg.microbatch_size = 8;
+  cfg.optimizer = TrainerConfig::Opt::SgdMomentum;
+  cfg.momentum = 0.9;
+  cfg.weight_decay = 5e-4;
+  cfg.schedule = TrainerConfig::Sched::StepDecay;
+  cfg.lr = 0.05;
+  cfg.drop_factor = 0.1;
+  cfg.drop_every_epochs = std::max(2, epochs * 2 / 5);
+  // K = one quarter of the first LR phase (the paper's ResNet rule).
+  cfg.t1 = true;
+  cfg.t1_annealing_steps = 0;  // filled below from steps-per-epoch at run time
+  cfg.engine.discrepancy_correction = true;
+  cfg.engine.decay_d = 0.5;  // the paper's tuned CIFAR10 value
+  cfg.warmup_epochs = 0;     // warmup not needed for image tasks (Section 4.3)
+  return cfg;
+}
+
+TrainerConfig translation_recipe(int stages, int epochs) {
+  TrainerConfig cfg;
+  cfg.engine.num_stages = stages;
+  cfg.epochs = epochs;
+  cfg.minibatch_size = 32;
+  // The paper's rule: the smallest feasible microbatch minimizes both
+  // activation memory and the delay tau = (2(P-i)+1)/N.
+  cfg.microbatch_size = 1;
+  cfg.optimizer = TrainerConfig::Opt::AdamW;
+  cfg.adam_beta1 = 0.9;
+  cfg.adam_beta2 = 0.98;
+  cfg.weight_decay = 1e-4;
+  cfg.grad_clip = 25.0;
+  cfg.schedule = TrainerConfig::Sched::InverseSqrt;
+  cfg.lr = 4e-3;
+  cfg.sched_warmup_steps = 60;
+  // K = 5x the linear warmup steps (the paper's Transformer rule).
+  cfg.t1 = true;
+  cfg.t1_annealing_steps = 5 * cfg.sched_warmup_steps;
+  cfg.engine.discrepancy_correction = true;
+  cfg.engine.decay_d = 0.1;  // the paper's tuned IWSLT value
+  cfg.warmup_epochs = 2;     // scaled-down analog of the paper's 10
+  return cfg;
+}
+
+}  // namespace pipemare::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/trainer.h"
+
+namespace pipemare::core {
+
+/// One row of a Table 2 / Table 3-style comparison.
+struct MethodRow {
+  std::string label;
+  double best_metric = 0.0;
+  double target_metric = 0.0;
+  int epochs_to_target = -1;         ///< -1: target not reached
+  double throughput = 1.0;           ///< normalized, warmup-amortized
+  double time_to_target = 0.0;       ///< epochs / throughput (inf if unreached)
+  double speedup_vs_gpipe = 0.0;     ///< GPipe time / this time
+  double memory_factor = 1.0;        ///< weight+optimizer memory vs GPipe
+  TrainResult result;
+};
+
+/// Runs GPipe / PipeDream / PipeMare on a task with shared hyperparameters
+/// and produces Table 2-style rows. The target metric is the best metric
+/// across methods minus `target_gap` (the paper's protocol: 1.0% accuracy
+/// or 0.4 BLEU).
+///
+/// PipeMare runs with the T1/T2/T3 settings already present in `base`
+/// (t1, engine.discrepancy_correction, warmup_epochs); the baselines run
+/// with those features off, as in the paper.
+std::vector<MethodRow> compare_methods(const Task& task, const TrainerConfig& base,
+                                       double target_gap);
+
+/// One ablation variant: a label plus feature switches.
+struct AblationSpec {
+  std::string label;
+  bool t1 = false;
+  bool t2 = false;
+  int warmup_epochs = 0;
+};
+
+/// Runs PipeMare ablation variants (Table 3 / Figures 4 and 10). The
+/// target metric is best-across-variants minus `target_gap`.
+std::vector<MethodRow> ablation_study(const Task& task, const TrainerConfig& base,
+                                      const std::vector<AblationSpec>& specs,
+                                      double target_gap);
+
+/// Fills the target/epochs/throughput/speedup columns of rows whose
+/// `result` and `memory_factor`/`throughput` inputs are already set.
+/// `gpipe_index` selects the reference row for speedups (-1: first row
+/// labeled "GPipe").
+void finalize_rows(std::vector<MethodRow>& rows, double target_gap, int gpipe_index = -1);
+
+/// Default TrainerConfig presets matching each task analog's recipe
+/// (Tables 6 and 7 scaled to the synthetic workloads).
+TrainerConfig image_recipe(int stages, int epochs = 18);
+TrainerConfig translation_recipe(int stages, int epochs = 32);
+
+}  // namespace pipemare::core

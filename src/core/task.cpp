@@ -1,0 +1,190 @@
+#include "src/core/task.h"
+
+#include "src/data/bleu.h"
+#include "src/nn/linear.h"
+
+namespace pipemare::core {
+
+// ---------------------------------------------------------------------------
+// ImageTask
+// ---------------------------------------------------------------------------
+
+ImageTask::ImageTask(data::ImageDatasetConfig data_cfg, nn::ResNetConfig model_cfg,
+                     std::string name)
+    : dataset_(data_cfg), model_cfg_(std::move(model_cfg)), name_(std::move(name)) {
+  model_cfg_.in_channels = data_cfg.channels;
+  model_cfg_.num_classes = data_cfg.classes;
+}
+
+nn::Model ImageTask::build_model() const { return nn::make_resnet(model_cfg_); }
+
+data::MicroBatches ImageTask::minibatch(const std::vector<int>& indices,
+                                        int micro_size) const {
+  return dataset_.train_minibatch(indices, micro_size);
+}
+
+double ImageTask::evaluate(const nn::Model& model, std::span<const float> params) const {
+  auto batches = dataset_.test_batch(64);
+  double correct = 0.0, count = 0.0;
+  for (std::size_t b = 0; b < batches.inputs.size(); ++b) {
+    auto caches = model.make_caches();
+    nn::Flow out = model.forward(batches.inputs[b], params, caches);
+    auto res = loss_.forward_backward(out.x, batches.targets[b]);
+    correct += res.correct;
+    count += res.count;
+  }
+  return count == 0.0 ? 0.0 : 100.0 * correct / count;
+}
+
+// ---------------------------------------------------------------------------
+// TranslationTask
+// ---------------------------------------------------------------------------
+
+TranslationTask::TranslationTask(data::TranslationConfig data_cfg,
+                                 nn::TransformerConfig model_cfg, std::string name,
+                                 int eval_sentences, int beam_width)
+    : dataset_(data_cfg),
+      model_cfg_(model_cfg),
+      loss_(0.1, data::TranslationConfig::kPad),
+      name_(std::move(name)),
+      eval_sentences_(eval_sentences),
+      beam_width_(beam_width) {
+  model_cfg_.vocab = data_cfg.vocab;
+  // Room for BOS + sequence + EOS.
+  model_cfg_.max_len = std::max(model_cfg_.max_len, data_cfg.seq_len + 4);
+}
+
+nn::Model TranslationTask::build_model() const { return nn::make_transformer(model_cfg_); }
+
+data::MicroBatches TranslationTask::minibatch(const std::vector<int>& indices,
+                                              int micro_size) const {
+  return dataset_.train_minibatch(indices, micro_size);
+}
+
+double TranslationTask::evaluate(const nn::Model& model,
+                                 std::span<const float> params) const {
+  auto test = dataset_.test_set(eval_sentences_);
+  int max_steps = dataset_.config().seq_len + 2;
+  auto hyps =
+      beam_width_ > 1
+          ? nn::beam_decode(model, params, test.sources, data::TranslationConfig::kBos,
+                            data::TranslationConfig::kEos, max_steps, beam_width_)
+          : nn::greedy_decode(model, params, test.sources,
+                              data::TranslationConfig::kBos,
+                              data::TranslationConfig::kEos, max_steps);
+  return data::corpus_bleu(hyps, test.references);
+}
+
+double TranslationTask::evaluate_beam(const nn::Model& model,
+                                      std::span<const float> params,
+                                      int beam_width) const {
+  auto test = dataset_.test_set(eval_sentences_);
+  int max_steps = dataset_.config().seq_len + 2;
+  auto hyps = nn::beam_decode(model, params, test.sources, data::TranslationConfig::kBos,
+                              data::TranslationConfig::kEos, max_steps, beam_width);
+  return data::corpus_bleu(hyps, test.references);
+}
+
+// ---------------------------------------------------------------------------
+// RegressionTask
+// ---------------------------------------------------------------------------
+
+RegressionTask::RegressionTask(data::RegressionConfig cfg) : dataset_(cfg) {}
+
+nn::Model RegressionTask::build_model() const {
+  nn::Model m;
+  m.add(std::make_unique<nn::Linear>(dataset_.config().features, 1));
+  return m;
+}
+
+data::MicroBatches RegressionTask::minibatch(const std::vector<int>& indices,
+                                             int micro_size) const {
+  return dataset_.minibatch(indices, micro_size);
+}
+
+double RegressionTask::evaluate(const nn::Model& model,
+                                std::span<const float> params) const {
+  std::vector<int> all(static_cast<std::size_t>(dataset_.size()));
+  for (int i = 0; i < dataset_.size(); ++i) all[static_cast<std::size_t>(i)] = i;
+  auto mb = dataset_.minibatch(all, dataset_.size());
+  auto caches = model.make_caches();
+  nn::Flow out = model.forward(mb.inputs[0], params, caches);
+  auto res = loss_.forward_backward(out.x.reshaped({dataset_.size()}), mb.targets[0]);
+  return -res.loss;
+}
+
+// ---------------------------------------------------------------------------
+// Paper-workload analogs
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ImageTask> make_cifar10_analog(std::uint64_t seed) {
+  data::ImageDatasetConfig d;
+  d.classes = 10;
+  d.train_size = 1024;
+  d.test_size = 256;
+  d.image_size = 12;
+  d.seed = seed;
+  nn::ResNetConfig m;
+  m.base_channels = 8;
+  m.blocks_per_group = {1, 1};
+  return std::make_unique<ImageTask>(d, m, "synth-cifar10");
+}
+
+std::unique_ptr<ImageTask> make_imagenet_analog(std::uint64_t seed) {
+  data::ImageDatasetConfig d;
+  d.classes = 20;
+  d.train_size = 1024;
+  d.test_size = 256;
+  d.image_size = 14;
+  d.noise_std = 0.7;
+  d.seed = seed;
+  nn::ResNetConfig m;
+  m.base_channels = 8;
+  m.blocks_per_group = {1, 1, 1};
+  return std::make_unique<ImageTask>(d, m, "synth-imagenet");
+}
+
+std::unique_ptr<ImageTask> make_deep_resnet_analog(std::uint64_t seed) {
+  data::ImageDatasetConfig d;
+  d.classes = 10;
+  d.train_size = 1024;
+  d.test_size = 256;
+  d.image_size = 12;
+  d.seed = seed;
+  nn::ResNetConfig m = nn::ResNetConfig::deep();
+  return std::make_unique<ImageTask>(d, m, "synth-cifar10-deep");
+}
+
+std::unique_ptr<TranslationTask> make_iwslt_analog(std::uint64_t seed) {
+  data::TranslationConfig d;
+  d.vocab = 24;
+  d.seq_len = 8;
+  d.train_size = 768;
+  d.test_size = 96;
+  d.seed = seed;
+  nn::TransformerConfig m;
+  m.d_model = 32;
+  m.heads = 4;
+  m.enc_layers = 2;
+  m.dec_layers = 2;
+  m.ffn_hidden = 64;
+  return std::make_unique<TranslationTask>(d, m, "synth-iwslt14", /*eval=*/48);
+}
+
+std::unique_ptr<TranslationTask> make_wmt_analog(std::uint64_t seed) {
+  data::TranslationConfig d;
+  d.vocab = 32;
+  d.seq_len = 10;
+  d.train_size = 768;
+  d.test_size = 96;
+  d.seed = seed;
+  nn::TransformerConfig m;
+  m.d_model = 32;
+  m.heads = 4;
+  m.enc_layers = 2;
+  m.dec_layers = 2;
+  m.ffn_hidden = 64;
+  return std::make_unique<TranslationTask>(d, m, "synth-wmt17", /*eval=*/48);
+}
+
+}  // namespace pipemare::core

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/data/image_data.h"
+#include "src/data/regression_data.h"
+#include "src/data/translation_data.h"
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/nn/resnet.h"
+#include "src/nn/transformer.h"
+
+namespace pipemare::core {
+
+/// A benchmark task: dataset + model recipe + loss + quality metric.
+/// The four paper workloads map to:
+///   CIFAR10   -> ImageTask(cifar10_analog())
+///   ImageNet  -> ImageTask(imagenet_analog())
+///   IWSLT14   -> TranslationTask(iwslt_analog())
+///   WMT17     -> TranslationTask(wmt_analog())
+/// (synthetic stand-ins; see DESIGN.md section 4).
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string metric_name() const = 0;
+
+  /// Fresh untrained model for this task.
+  virtual nn::Model build_model() const = 0;
+
+  virtual const nn::LossHead& loss() const = 0;
+
+  virtual int train_size() const = 0;
+
+  /// Minibatch of training examples at `indices`, split every `micro_size`.
+  virtual data::MicroBatches minibatch(const std::vector<int>& indices,
+                                       int micro_size) const = 0;
+
+  /// Test-set quality metric of the given parameters (accuracy %, BLEU, or
+  /// negative loss), higher is better.
+  virtual double evaluate(const nn::Model& model, std::span<const float> params) const = 0;
+};
+
+/// Image classification with the ResNet-style CNN.
+class ImageTask : public Task {
+ public:
+  ImageTask(data::ImageDatasetConfig data_cfg, nn::ResNetConfig model_cfg,
+            std::string name);
+
+  std::string name() const override { return name_; }
+  std::string metric_name() const override { return "test accuracy (%)"; }
+  nn::Model build_model() const override;
+  const nn::LossHead& loss() const override { return loss_; }
+  int train_size() const override { return dataset_.train_size(); }
+  data::MicroBatches minibatch(const std::vector<int>& indices,
+                               int micro_size) const override;
+  double evaluate(const nn::Model& model, std::span<const float> params) const override;
+
+  const data::SynthImageDataset& dataset() const { return dataset_; }
+
+ private:
+  data::SynthImageDataset dataset_;
+  nn::ResNetConfig model_cfg_;
+  nn::ClassificationXent loss_;
+  std::string name_;
+};
+
+/// Sequence-to-sequence translation with the encoder-decoder Transformer.
+/// Quality metric: corpus BLEU of beam-search decodes against references.
+class TranslationTask : public Task {
+ public:
+  /// `beam_width` <= 1 evaluates with batched greedy decoding (fast; used
+  /// for per-epoch curves), > 1 with beam search (the paper's beam-5
+  /// protocol; on the synthetic task the two agree once the model trains —
+  /// see tests). `evaluate_beam` always uses beam search regardless.
+  TranslationTask(data::TranslationConfig data_cfg, nn::TransformerConfig model_cfg,
+                  std::string name, int eval_sentences = 64, int beam_width = 1);
+
+  /// Beam-search BLEU (width 5 by default), the paper's final metric.
+  double evaluate_beam(const nn::Model& model, std::span<const float> params,
+                       int beam_width = 5) const;
+
+  std::string name() const override { return name_; }
+  std::string metric_name() const override { return "BLEU"; }
+  nn::Model build_model() const override;
+  const nn::LossHead& loss() const override { return loss_; }
+  int train_size() const override { return dataset_.train_size(); }
+  data::MicroBatches minibatch(const std::vector<int>& indices,
+                               int micro_size) const override;
+  double evaluate(const nn::Model& model, std::span<const float> params) const override;
+
+  const data::SynthTranslationDataset& dataset() const { return dataset_; }
+
+ private:
+  data::SynthTranslationDataset dataset_;
+  nn::TransformerConfig model_cfg_;
+  nn::SequenceXent loss_;
+  std::string name_;
+  int eval_sentences_;
+  int beam_width_;
+};
+
+/// Linear regression (the Figure 3(b) workload).
+class RegressionTask : public Task {
+ public:
+  explicit RegressionTask(data::RegressionConfig cfg);
+
+  std::string name() const override { return "linear-regression"; }
+  std::string metric_name() const override { return "-train loss"; }
+  nn::Model build_model() const override;
+  const nn::LossHead& loss() const override { return loss_; }
+  int train_size() const override { return dataset_.size(); }
+  data::MicroBatches minibatch(const std::vector<int>& indices,
+                               int micro_size) const override;
+  double evaluate(const nn::Model& model, std::span<const float> params) const override;
+
+  const data::SynthRegressionDataset& dataset() const { return dataset_; }
+
+ private:
+  data::SynthRegressionDataset dataset_;
+  nn::MseLoss loss_;
+};
+
+/// The four paper-workload analogs with tuned default shapes (sized so
+/// that a full bench suite runs in minutes; --quick shrinks them further).
+std::unique_ptr<ImageTask> make_cifar10_analog(std::uint64_t seed = 1);
+std::unique_ptr<ImageTask> make_imagenet_analog(std::uint64_t seed = 2);
+std::unique_ptr<ImageTask> make_deep_resnet_analog(std::uint64_t seed = 3);  ///< Fig 11
+std::unique_ptr<TranslationTask> make_iwslt_analog(std::uint64_t seed = 4);
+std::unique_ptr<TranslationTask> make_wmt_analog(std::uint64_t seed = 5);
+
+}  // namespace pipemare::core

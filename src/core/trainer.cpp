@@ -1,0 +1,17 @@
+#include "src/core/trainer.h"
+
+#include <stdexcept>
+
+namespace pipemare::core {
+
+TrainResult train(const Task& task, TrainerConfig cfg) {
+  if (cfg.minibatch_size % cfg.microbatch_size != 0) {
+    throw std::invalid_argument("train: minibatch must be a multiple of microbatch");
+  }
+  cfg.engine.num_microbatches = cfg.num_microbatches();
+  nn::Model model = task.build_model();
+  pipeline::PipelineEngine engine(model, cfg.engine, cfg.seed);
+  return train_loop(task, engine, cfg);
+}
+
+}  // namespace pipemare::core

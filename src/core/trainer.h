@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/optim/optimizer.h"
+#include "src/optim/schedule.h"
+#include "src/optim/t1_reschedule.h"
+#include "src/pipeline/engine.h"
+#include "src/util/stats.h"
+
+namespace pipemare::core {
+
+/// Full training configuration: engine (method / stages / T2 / recompute),
+/// optimizer, base LR schedule, T1 annealing and T3 warmup.
+struct TrainerConfig {
+  pipeline::EngineConfig engine;
+
+  int epochs = 20;
+  int minibatch_size = 64;
+  int microbatch_size = 8;  ///< N = minibatch_size / microbatch_size
+
+  enum class Opt { SgdMomentum, AdamW };
+  Opt optimizer = Opt::SgdMomentum;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.98;
+  double adam_eps = 1e-9;
+  double grad_clip = 0.0;  ///< 0 disables clipping
+
+  enum class Sched { Constant, StepDecay, InverseSqrt };
+  Sched schedule = Sched::StepDecay;
+  double lr = 0.05;
+  double drop_factor = 0.1;
+  int drop_every_epochs = 10;
+  int sched_warmup_steps = 200;  ///< linear warmup length for InverseSqrt
+
+  /// Technique 1: rescale per-stage LR by tau^{-p_k}; K = annealing steps.
+  bool t1 = false;
+  std::int64_t t1_annealing_steps = 0;
+
+  /// Technique 3: synchronous (GPipe-style) epochs before going async.
+  int warmup_epochs = 0;
+
+  std::uint64_t seed = 1;
+  double divergence_loss = 1e3;  ///< train loss above this declares divergence
+
+  int num_microbatches() const { return minibatch_size / microbatch_size; }
+};
+
+struct EpochRecord {
+  int epoch = 0;           ///< 1-based
+  double train_loss = 0.0;
+  double metric = 0.0;     ///< task quality metric after this epoch
+  double param_norm = 0.0; ///< ||w||_2, the Figure 7 divergence probe
+  double base_lr = 0.0;
+};
+
+struct TrainResult {
+  std::string method;
+  std::vector<EpochRecord> curve;
+  double best_metric = -1e300;
+  int best_epoch = -1;  ///< 1-based
+  bool diverged = false;
+
+  /// First epoch (1-based) whose metric reaches `target`; -1 if never.
+  int epochs_to_target(double target) const {
+    for (const auto& r : curve) {
+      if (r.metric >= target) return r.epoch;
+    }
+    return -1;
+  }
+};
+
+/// Core training loop, templated over the execution engine so the
+/// pipeline engine (fixed schedule delays) and the Hogwild engine
+/// (stochastic delays, Appendix E) share identical training logic.
+///
+/// Engine concept: forward_backward, weights, gradients, commit_update,
+/// lr_segments, stage_tau_fwd, set_method, method, model.
+template <class Engine>
+TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cfg) {
+  TrainResult result;
+  result.method = pipeline::method_name(cfg.engine.method);
+
+  std::unique_ptr<optim::Optimizer> opt;
+  if (cfg.optimizer == TrainerConfig::Opt::SgdMomentum) {
+    opt = std::make_unique<optim::SgdMomentum>(cfg.momentum, cfg.weight_decay);
+  } else {
+    // Decoupled weight decay (the fairseq AdamW recipe).
+    opt = std::make_unique<optim::AdamW>(cfg.adam_beta1, cfg.adam_beta2, cfg.adam_eps,
+                                         cfg.weight_decay);
+  }
+
+  int steps_per_epoch = std::max(1, task.train_size() / cfg.minibatch_size);
+  std::unique_ptr<optim::LrSchedule> sched;
+  switch (cfg.schedule) {
+    case TrainerConfig::Sched::Constant:
+      sched = std::make_unique<optim::ConstantLr>(cfg.lr);
+      break;
+    case TrainerConfig::Sched::StepDecay:
+      sched = std::make_unique<optim::StepDecay>(
+          cfg.lr, cfg.drop_factor,
+          static_cast<std::int64_t>(cfg.drop_every_epochs) * steps_per_epoch);
+      break;
+    case TrainerConfig::Sched::InverseSqrt:
+      sched = std::make_unique<optim::InverseSqrtWarmup>(cfg.lr, cfg.sched_warmup_steps);
+      break;
+  }
+
+  // T3: begin synchronously, switch to the configured (async) method later.
+  pipeline::Method final_method = cfg.engine.method;
+  if (cfg.warmup_epochs > 0 && final_method == pipeline::Method::PipeMare) {
+    engine.set_method(pipeline::Method::Sync);
+  }
+
+  // Default annealing horizon K when unspecified, following the paper's
+  // rules of thumb: a quarter of the first fixed-LR phase (step decay), or
+  // 5x the linear warmup (inverse-sqrt schedule).
+  std::int64_t annealing_steps = cfg.t1_annealing_steps;
+  if (cfg.t1 && annealing_steps <= 0) {
+    annealing_steps = cfg.schedule == TrainerConfig::Sched::InverseSqrt
+                          ? 5 * cfg.sched_warmup_steps
+                          : std::max<std::int64_t>(
+                                1, static_cast<std::int64_t>(cfg.drop_every_epochs) *
+                                       steps_per_epoch / 4);
+  }
+  optim::T1Rescheduler t1(engine.stage_tau_fwd(), cfg.t1 ? annealing_steps : 0);
+
+  util::Rng shuffle_rng(cfg.seed ^ 0x5bd1e995ULL);
+  std::vector<int> order(static_cast<std::size_t>(task.train_size()));
+  for (int i = 0; i < task.train_size(); ++i) order[static_cast<std::size_t>(i)] = i;
+
+  std::int64_t step = 0;
+  std::int64_t async_step = 0;  // T1 annealing counts from the async switch
+  for (int epoch = 1; epoch <= cfg.epochs; ++epoch) {
+    if (cfg.warmup_epochs > 0 && epoch == cfg.warmup_epochs + 1 &&
+        final_method == pipeline::Method::PipeMare) {
+      engine.set_method(final_method);
+    }
+    bool async_phase = engine.method() != pipeline::Method::Sync;
+
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int epoch_batches = 0;
+    for (int start = 0; start + cfg.minibatch_size <= task.train_size();
+         start += cfg.minibatch_size) {
+      std::vector<int> idx(order.begin() + start,
+                           order.begin() + start + cfg.minibatch_size);
+      auto mb = task.minibatch(idx, cfg.microbatch_size);
+      auto res = engine.forward_backward(mb.inputs, mb.targets, task.loss());
+      if (!res.finite || res.loss > cfg.divergence_loss) {
+        result.diverged = true;
+        break;
+      }
+      epoch_loss += res.loss;
+      ++epoch_batches;
+
+      if (cfg.grad_clip > 0.0) {
+        optim::clip_grad_norm(engine.gradients(), cfg.grad_clip);
+      }
+      double base_lr = sched->lr(step);
+      std::vector<double> scales;
+      if (cfg.t1 && async_phase) {
+        scales = t1.scales(async_step);
+      }
+      auto segments = engine.lr_segments(base_lr, scales);
+      opt->step(engine.weights(), engine.gradients(), segments);
+      engine.commit_update();
+      ++step;
+      if (async_phase) ++async_step;
+    }
+    if (result.diverged) break;
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = epoch_batches > 0 ? epoch_loss / epoch_batches : 0.0;
+    rec.metric = task.evaluate(engine.model(), engine.weights());
+    rec.param_norm = util::l2_norm(engine.weights());
+    rec.base_lr = sched->lr(step);
+    if (rec.metric > result.best_metric) {
+      result.best_metric = rec.metric;
+      result.best_epoch = epoch;
+    }
+    result.curve.push_back(rec);
+  }
+  if (result.curve.empty()) result.best_metric = 0.0;
+  return result;
+}
+
+/// Convenience wrapper: builds the model and pipeline engine, then runs
+/// the loop. The returned result's curve covers `cfg.epochs` epochs unless
+/// training diverged.
+TrainResult train(const Task& task, TrainerConfig cfg);
+
+}  // namespace pipemare::core

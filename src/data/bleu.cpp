@@ -1,0 +1,85 @@
+#include "src/data/bleu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace pipemare::data {
+
+namespace {
+
+using NGram = std::vector<int>;
+
+std::map<NGram, int> ngram_counts(const std::vector<int>& tokens, int n) {
+  std::map<NGram, int> counts;
+  if (static_cast<int>(tokens.size()) < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    NGram g(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+            tokens.begin() + static_cast<std::ptrdiff_t>(i) + n);
+    ++counts[g];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double corpus_bleu(const std::vector<std::vector<int>>& hypotheses,
+                   const std::vector<std::vector<int>>& references, int max_n) {
+  if (hypotheses.size() != references.size()) {
+    throw std::invalid_argument("corpus_bleu: size mismatch");
+  }
+  if (hypotheses.empty()) return 0.0;
+  std::size_t hyp_len = 0, ref_len = 0;
+  std::vector<std::int64_t> matched(static_cast<std::size_t>(max_n), 0);
+  std::vector<std::int64_t> total(static_cast<std::size_t>(max_n), 0);
+  for (std::size_t s = 0; s < hypotheses.size(); ++s) {
+    hyp_len += hypotheses[s].size();
+    ref_len += references[s].size();
+    for (int n = 1; n <= max_n; ++n) {
+      auto hyp_counts = ngram_counts(hypotheses[s], n);
+      auto ref_counts = ngram_counts(references[s], n);
+      for (const auto& [gram, count] : hyp_counts) {
+        auto it = ref_counts.find(gram);
+        int clip = it == ref_counts.end() ? 0 : std::min(count, it->second);
+        matched[static_cast<std::size_t>(n - 1)] += clip;
+        total[static_cast<std::size_t>(n - 1)] += count;
+      }
+    }
+  }
+  double log_precision = 0.0;
+  for (int n = 0; n < max_n; ++n) {
+    if (total[static_cast<std::size_t>(n)] == 0 ||
+        matched[static_cast<std::size_t>(n)] == 0) {
+      return 0.0;
+    }
+    log_precision += std::log(static_cast<double>(matched[static_cast<std::size_t>(n)]) /
+                              static_cast<double>(total[static_cast<std::size_t>(n)]));
+  }
+  log_precision /= max_n;
+  double bp = 1.0;
+  if (hyp_len < ref_len && hyp_len > 0) {
+    bp = std::exp(1.0 - static_cast<double>(ref_len) / static_cast<double>(hyp_len));
+  }
+  if (hyp_len == 0) return 0.0;
+  return 100.0 * bp * std::exp(log_precision);
+}
+
+double sequence_accuracy(const std::vector<std::vector<int>>& hypotheses,
+                         const std::vector<std::vector<int>>& references) {
+  if (hypotheses.size() != references.size()) {
+    throw std::invalid_argument("sequence_accuracy: size mismatch");
+  }
+  double correct = 0.0, count = 0.0;
+  for (std::size_t s = 0; s < hypotheses.size(); ++s) {
+    std::size_t len = std::max(hypotheses[s].size(), references[s].size());
+    std::size_t common = std::min(hypotheses[s].size(), references[s].size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (hypotheses[s][i] == references[s][i]) correct += 1.0;
+    }
+    count += static_cast<double>(len);
+  }
+  return count == 0.0 ? 0.0 : correct / count;
+}
+
+}  // namespace pipemare::data

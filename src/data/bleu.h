@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+namespace pipemare::data {
+
+/// Corpus-level BLEU (Papineni et al.): geometric mean of clipped n-gram
+/// precisions for n = 1..max_n, times the brevity penalty, scaled to
+/// [0, 100]. This is the metric the paper reports for IWSLT14/WMT17
+/// (beam width 5 at decode time).
+///
+/// Returns 0 when any n-gram precision is zero (standard, unsmoothed
+/// corpus BLEU).
+double corpus_bleu(const std::vector<std::vector<int>>& hypotheses,
+                   const std::vector<std::vector<int>>& references, int max_n = 4);
+
+/// Sentence-level token accuracy (fraction of positions matching the
+/// reference, truncated to the shorter sequence, penalizing length
+/// mismatch) — the quick teacher-forcing-free metric used in smoke tests.
+double sequence_accuracy(const std::vector<std::vector<int>>& hypotheses,
+                         const std::vector<std::vector<int>>& references);
+
+}  // namespace pipemare::data

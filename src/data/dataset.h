@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "src/nn/flow.h"
+
+namespace pipemare::data {
+
+/// One minibatch split into the N microbatches the pipeline engine
+/// consumes (Section 2.1: "each pipeline stage processes M samples at a
+/// time ... N = B/M microbatches per minibatch").
+struct MicroBatches {
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+};
+
+}  // namespace pipemare::data

@@ -1,0 +1,128 @@
+#include "src/data/image_data.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pipemare::data {
+
+using tensor::Tensor;
+
+SynthImageDataset::SynthImageDataset(const ImageDatasetConfig& cfg) : cfg_(cfg) {
+  util::Rng rng(cfg.seed);
+  int c = cfg.channels, hw = cfg.image_size;
+  templates_.assign(static_cast<std::size_t>(cfg.classes) * c * hw * hw, 0.0F);
+  // Each class template: 3 random low-frequency sinusoids per channel plus
+  // a class/channel bias; values kept O(1).
+  for (int k = 0; k < cfg.classes; ++k) {
+    for (int ch = 0; ch < c; ++ch) {
+      double bias = rng.uniform(-0.5, 0.5);
+      double fx[3], fy[3], phase[3], amp[3];
+      for (int w = 0; w < 3; ++w) {
+        fx[w] = rng.randint(3) + 1;
+        fy[w] = rng.randint(3) + 1;
+        phase[w] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        amp[w] = rng.uniform(0.3, 0.8);
+      }
+      for (int y = 0; y < hw; ++y) {
+        for (int x = 0; x < hw; ++x) {
+          double v = bias;
+          for (int w = 0; w < 3; ++w) {
+            v += amp[w] * std::sin(2.0 * std::numbers::pi *
+                                       (fx[w] * x + fy[w] * y) / hw +
+                                   phase[w]);
+          }
+          templates_[((static_cast<std::size_t>(k) * c + ch) * hw + y) * hw + x] =
+              static_cast<float>(v);
+        }
+      }
+    }
+  }
+  train_labels_.resize(static_cast<std::size_t>(cfg.train_size));
+  test_labels_.resize(static_cast<std::size_t>(cfg.test_size));
+  train_noise_seed_.resize(static_cast<std::size_t>(cfg.train_size));
+  test_noise_seed_.resize(static_cast<std::size_t>(cfg.test_size));
+  for (int i = 0; i < cfg.train_size; ++i) {
+    train_labels_[static_cast<std::size_t>(i)] = rng.randint(cfg.classes);
+    train_noise_seed_[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  }
+  for (int i = 0; i < cfg.test_size; ++i) {
+    test_labels_[static_cast<std::size_t>(i)] = rng.randint(cfg.classes);
+    test_noise_seed_[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  }
+}
+
+void SynthImageDataset::fill_sample(bool train, int index, float* pixels,
+                                    float* label) const {
+  int c = cfg_.channels, hw = cfg_.image_size;
+  int y_label = train ? train_labels_.at(static_cast<std::size_t>(index))
+                      : test_labels_.at(static_cast<std::size_t>(index));
+  std::uint64_t seed = train ? train_noise_seed_[static_cast<std::size_t>(index)]
+                             : test_noise_seed_[static_cast<std::size_t>(index)];
+  util::Rng rng(seed);
+  int shift = cfg_.max_shift;
+  int dy = shift > 0 ? rng.randint(2 * shift + 1) - shift : 0;
+  int dx = shift > 0 ? rng.randint(2 * shift + 1) - shift : 0;
+  const float* tpl =
+      templates_.data() + static_cast<std::size_t>(y_label) * c * hw * hw;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        int sy = ((y + dy) % hw + hw) % hw;
+        int sx = ((x + dx) % hw + hw) % hw;
+        float v = tpl[(static_cast<std::size_t>(ch) * hw + sy) * hw + sx];
+        v += static_cast<float>(rng.normal(0.0, cfg_.noise_std));
+        pixels[(static_cast<std::size_t>(ch) * hw + y) * hw + x] = v;
+      }
+    }
+  }
+  *label = static_cast<float>(y_label);
+}
+
+MicroBatches SynthImageDataset::train_minibatch(const std::vector<int>& indices,
+                                                int micro_size) const {
+  if (micro_size <= 0 || indices.empty() ||
+      indices.size() % static_cast<std::size_t>(micro_size) != 0) {
+    throw std::invalid_argument("train_minibatch: minibatch must split evenly");
+  }
+  int c = cfg_.channels, hw = cfg_.image_size;
+  auto n_micro = static_cast<int>(indices.size()) / micro_size;
+  MicroBatches out;
+  for (int m = 0; m < n_micro; ++m) {
+    nn::Flow flow;
+    flow.x = Tensor({micro_size, c, hw, hw});
+    Tensor labels({micro_size});
+    for (int j = 0; j < micro_size; ++j) {
+      int idx = indices[static_cast<std::size_t>(m * micro_size + j)];
+      fill_sample(true, idx, flow.x.data() + static_cast<std::size_t>(j) * c * hw * hw,
+                  labels.data() + j);
+    }
+    out.inputs.push_back(std::move(flow));
+    out.targets.push_back(std::move(labels));
+  }
+  return out;
+}
+
+MicroBatches SynthImageDataset::test_batch(int batch_size) const {
+  int c = cfg_.channels, hw = cfg_.image_size;
+  int total = cfg_.test_size;
+  MicroBatches out;
+  for (int start = 0; start < total; start += batch_size) {
+    int b = std::min(batch_size, total - start);
+    nn::Flow flow;
+    flow.x = Tensor({b, c, hw, hw});
+    Tensor labels({b});
+    for (int j = 0; j < b; ++j) {
+      fill_sample(false, start + j,
+                  flow.x.data() + static_cast<std::size_t>(j) * c * hw * hw,
+                  labels.data() + j);
+    }
+    out.inputs.push_back(std::move(flow));
+    out.targets.push_back(std::move(labels));
+  }
+  return out;
+}
+
+}  // namespace pipemare::data

@@ -1,0 +1,80 @@
+#include "src/data/regression_data.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace pipemare::data {
+
+using tensor::Tensor;
+
+SynthRegressionDataset::SynthRegressionDataset(const RegressionConfig& cfg) : cfg_(cfg) {
+  util::Rng rng(cfg.seed);
+  int d = cfg.features, n = cfg.size;
+  std::vector<double> scales(static_cast<std::size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    double frac = d == 1 ? 0.0 : static_cast<double>(j) / (d - 1);
+    scales[static_cast<std::size_t>(j)] = std::pow(10.0, -cfg.scale_decades * frac);
+  }
+  std::vector<double> w_true(static_cast<std::size_t>(d));
+  for (auto& w : w_true) w = rng.normal();
+  x_.resize(static_cast<std::size_t>(n) * d);
+  y_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int j = 0; j < d; ++j) {
+      double v = rng.normal() * scales[static_cast<std::size_t>(j)];
+      x_[static_cast<std::size_t>(i) * d + j] = static_cast<float>(v);
+      dot += v * w_true[static_cast<std::size_t>(j)];
+    }
+    y_[static_cast<std::size_t>(i)] = static_cast<float>(dot + rng.normal(0.0, cfg.noise_std));
+  }
+  // Power iteration on H = (1/n) X^T X.
+  std::vector<double> v(static_cast<std::size_t>(d), 1.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> hv(static_cast<std::size_t>(d), 0.0);
+    for (int i = 0; i < n; ++i) {
+      double xi_v = 0.0;
+      for (int j = 0; j < d; ++j) xi_v += x_[static_cast<std::size_t>(i) * d + j] * v[static_cast<std::size_t>(j)];
+      for (int j = 0; j < d; ++j) hv[static_cast<std::size_t>(j)] += x_[static_cast<std::size_t>(i) * d + j] * xi_v;
+    }
+    double norm = 0.0;
+    for (int j = 0; j < d; ++j) {
+      hv[static_cast<std::size_t>(j)] /= n;
+      norm += hv[static_cast<std::size_t>(j)] * hv[static_cast<std::size_t>(j)];
+    }
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    for (int j = 0; j < d; ++j) v[static_cast<std::size_t>(j)] = hv[static_cast<std::size_t>(j)] / norm;
+    lambda_max_ = norm;
+  }
+}
+
+MicroBatches SynthRegressionDataset::minibatch(const std::vector<int>& indices,
+                                               int micro_size) const {
+  if (micro_size <= 0 || indices.empty() ||
+      indices.size() % static_cast<std::size_t>(micro_size) != 0) {
+    throw std::invalid_argument("regression minibatch: must split evenly");
+  }
+  int d = cfg_.features;
+  auto n_micro = static_cast<int>(indices.size()) / micro_size;
+  MicroBatches out;
+  for (int m = 0; m < n_micro; ++m) {
+    nn::Flow flow;
+    flow.x = Tensor({micro_size, d});
+    Tensor target({micro_size});
+    for (int j = 0; j < micro_size; ++j) {
+      int idx = indices[static_cast<std::size_t>(m * micro_size + j)];
+      for (int f = 0; f < d; ++f) {
+        flow.x.at(j, f) = x_[static_cast<std::size_t>(idx) * d + f];
+      }
+      target[j] = y_[static_cast<std::size_t>(idx)];
+    }
+    out.inputs.push_back(std::move(flow));
+    out.targets.push_back(std::move(target));
+  }
+  return out;
+}
+
+}  // namespace pipemare::data

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+namespace pipemare::data {
+
+/// Synthetic stand-in for the LIBSVM `cpusmall` dataset of Figure 3(b): a
+/// 12-feature linear-regression problem with heterogeneous feature scales
+/// (log-spaced), giving the objective a wide curvature spread like the
+/// real dataset. The largest Hessian eigenvalue is exposed so the Lemma 1
+/// stability curve can be overlaid exactly as the paper does.
+struct RegressionConfig {
+  int features = 12;
+  int size = 1024;
+  double noise_std = 0.1;
+  double scale_decades = 1.0;  ///< feature scales span 10^0 .. 10^-decades
+  std::uint64_t seed = 7;
+};
+
+class SynthRegressionDataset {
+ public:
+  explicit SynthRegressionDataset(const RegressionConfig& cfg);
+
+  const RegressionConfig& config() const { return cfg_; }
+  int size() const { return cfg_.size; }
+
+  /// Minibatch of rows at `indices`, split into microbatches. Flow.x is
+  /// [M, features], targets [M].
+  MicroBatches minibatch(const std::vector<int>& indices, int micro_size) const;
+
+  /// Largest eigenvalue of the empirical Hessian (1/n) X^T X, computed by
+  /// power iteration — the lambda of the Lemma 1 overlay in Figure 3(b).
+  double lambda_max() const { return lambda_max_; }
+
+ private:
+  RegressionConfig cfg_;
+  std::vector<float> x_;  ///< [size, features]
+  std::vector<float> y_;
+  double lambda_max_ = 0.0;
+};
+
+}  // namespace pipemare::data

@@ -1,0 +1,122 @@
+#include "src/data/translation_data.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipemare::data {
+
+using tensor::Tensor;
+
+SynthTranslationDataset::SynthTranslationDataset(const TranslationConfig& cfg) : cfg_(cfg) {
+  if (cfg.vocab <= TranslationConfig::kFirstContent + 1) {
+    throw std::invalid_argument("translation: vocab too small");
+  }
+  util::Rng rng(cfg.seed);
+  int content = cfg.vocab - TranslationConfig::kFirstContent;
+  std::vector<int> perm(static_cast<std::size_t>(content));
+  for (int i = 0; i < content; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+  permutation_ = std::move(perm);
+  train_seeds_.resize(static_cast<std::size_t>(cfg.train_size));
+  test_seeds_.resize(static_cast<std::size_t>(cfg.test_size));
+  for (auto& s : train_seeds_) {
+    s = (static_cast<std::uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  }
+  for (auto& s : test_seeds_) {
+    s = (static_cast<std::uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  }
+}
+
+std::vector<int> SynthTranslationDataset::sample_source(bool train, int index) const {
+  std::uint64_t seed = train ? train_seeds_.at(static_cast<std::size_t>(index))
+                             : test_seeds_.at(static_cast<std::size_t>(index));
+  util::Rng rng(seed);
+  int content = cfg_.vocab - TranslationConfig::kFirstContent;
+  std::vector<int> src(static_cast<std::size_t>(cfg_.seq_len));
+  for (auto& t : src) t = TranslationConfig::kFirstContent + rng.randint(content);
+  return src;
+}
+
+std::vector<int> SynthTranslationDataset::reference(const std::vector<int>& src) const {
+  std::vector<int> out(src.rbegin(), src.rend());
+  for (auto& t : out) {
+    int content_idx = t - TranslationConfig::kFirstContent;
+    t = TranslationConfig::kFirstContent +
+        permutation_.at(static_cast<std::size_t>(content_idx));
+  }
+  return out;
+}
+
+MicroBatches SynthTranslationDataset::train_minibatch(const std::vector<int>& indices,
+                                                      int micro_size) const {
+  if (micro_size <= 0 || indices.empty() ||
+      indices.size() % static_cast<std::size_t>(micro_size) != 0) {
+    throw std::invalid_argument("train_minibatch: minibatch must split evenly");
+  }
+  int s = cfg_.seq_len;
+  auto n_micro = static_cast<int>(indices.size()) / micro_size;
+  MicroBatches out;
+  for (int m = 0; m < n_micro; ++m) {
+    nn::Flow flow;
+    flow.x = Tensor({micro_size, s});
+    flow.aux = Tensor({micro_size, s + 1});
+    Tensor target({micro_size, s + 1});
+    for (int j = 0; j < micro_size; ++j) {
+      int idx = indices[static_cast<std::size_t>(m * micro_size + j)];
+      std::vector<int> src = sample_source(true, idx);
+      std::vector<int> ref = reference(src);
+      for (int t = 0; t < s; ++t) flow.x.at(j, t) = static_cast<float>(src[static_cast<std::size_t>(t)]);
+      flow.aux.at(j, 0) = TranslationConfig::kBos;
+      for (int t = 0; t < s; ++t) {
+        flow.aux.at(j, t + 1) = static_cast<float>(ref[static_cast<std::size_t>(t)]);
+        target.at(j, t) = static_cast<float>(ref[static_cast<std::size_t>(t)]);
+      }
+      target.at(j, s) = TranslationConfig::kEos;
+    }
+    out.inputs.push_back(std::move(flow));
+    out.targets.push_back(std::move(target));
+  }
+  return out;
+}
+
+SynthTranslationDataset::TestSet SynthTranslationDataset::test_set(int limit) const {
+  int n = limit < 0 ? cfg_.test_size : std::min(limit, cfg_.test_size);
+  TestSet set;
+  set.sources = Tensor({n, cfg_.seq_len});
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> src = sample_source(false, i);
+    for (int t = 0; t < cfg_.seq_len; ++t) {
+      set.sources.at(i, t) = static_cast<float>(src[static_cast<std::size_t>(t)]);
+    }
+    set.references.push_back(reference(src));
+  }
+  return set;
+}
+
+MicroBatches SynthTranslationDataset::test_batch(int batch_size) const {
+  int s = cfg_.seq_len;
+  MicroBatches out;
+  for (int start = 0; start < cfg_.test_size; start += batch_size) {
+    int b = std::min(batch_size, cfg_.test_size - start);
+    nn::Flow flow;
+    flow.x = Tensor({b, s});
+    flow.aux = Tensor({b, s + 1});
+    Tensor target({b, s + 1});
+    for (int j = 0; j < b; ++j) {
+      std::vector<int> src = sample_source(false, start + j);
+      std::vector<int> ref = reference(src);
+      for (int t = 0; t < s; ++t) flow.x.at(j, t) = static_cast<float>(src[static_cast<std::size_t>(t)]);
+      flow.aux.at(j, 0) = TranslationConfig::kBos;
+      for (int t = 0; t < s; ++t) {
+        flow.aux.at(j, t + 1) = static_cast<float>(ref[static_cast<std::size_t>(t)]);
+        target.at(j, t) = static_cast<float>(ref[static_cast<std::size_t>(t)]);
+      }
+      target.at(j, s) = TranslationConfig::kEos;
+    }
+    out.inputs.push_back(std::move(flow));
+    out.targets.push_back(std::move(target));
+  }
+  return out;
+}
+
+}  // namespace pipemare::data

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace pipemare::data {
+
+/// Synthetic stand-in for IWSLT14 / WMT17 translation (documented
+/// substitution): the source is a random token sequence and the reference
+/// translation is the *reversed* sequence mapped through a fixed random
+/// vocabulary permutation. The task requires genuine sequence-to-sequence
+/// modeling (position reversal + token mapping) while being learnable by a
+/// small encoder-decoder Transformer within a few epochs.
+///
+/// Token conventions: 0 = PAD (unused; sequences are fixed-length),
+/// 1 = BOS, 2 = EOS, content tokens in [3, vocab).
+struct TranslationConfig {
+  int vocab = 32;
+  int seq_len = 8;
+  int train_size = 1024;
+  int test_size = 128;
+  std::uint64_t seed = 99;
+
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kFirstContent = 3;
+};
+
+class SynthTranslationDataset {
+ public:
+  explicit SynthTranslationDataset(const TranslationConfig& cfg);
+
+  const TranslationConfig& config() const { return cfg_; }
+  int train_size() const { return cfg_.train_size; }
+  int test_size() const { return cfg_.test_size; }
+
+  /// Reference translation of a source sequence (mapped reversal, no
+  /// BOS/EOS).
+  std::vector<int> reference(const std::vector<int>& src) const;
+
+  /// Minibatch for training: Flow.x = src [B,S]; Flow.aux = BOS-shifted
+  /// target input [B,S+1]; target tensor = reference + EOS [B,S+1].
+  MicroBatches train_minibatch(const std::vector<int>& indices, int micro_size) const;
+
+  /// Test sources [B, S] and their references, for decode + BLEU.
+  struct TestSet {
+    tensor::Tensor sources;                    ///< [test_size, S]
+    std::vector<std::vector<int>> references;  ///< content tokens only
+  };
+  TestSet test_set(int limit = -1) const;
+
+  /// Token-accuracy evaluation batch (teacher-forced), same layout as
+  /// train_minibatch.
+  MicroBatches test_batch(int batch_size) const;
+
+ private:
+  std::vector<int> sample_source(bool train, int index) const;
+
+  TranslationConfig cfg_;
+  std::vector<int> permutation_;  ///< content-token mapping
+  std::vector<std::uint64_t> train_seeds_;
+  std::vector<std::uint64_t> test_seeds_;
+};
+
+}  // namespace pipemare::data

@@ -1,0 +1,111 @@
+#include "src/hogwild/hogwild.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::hogwild {
+
+HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed)
+    : model_(model),
+      cfg_(cfg),
+      partition_(pipeline::make_partition(model, cfg.num_stages, cfg.split_bias)),
+      delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (cfg_.mean_delay.empty()) {
+    // Default profile: the pipeline's stage-dependent expectations
+    // (2(P-i)+1)/N, as used in the paper's Appendix E experiments.
+    mean_delay_.resize(static_cast<std::size_t>(cfg_.num_stages));
+    for (int s = 0; s < cfg_.num_stages; ++s) {
+      mean_delay_[static_cast<std::size_t>(s)] =
+          static_cast<double>(2 * (cfg_.num_stages - 1 - s) + 1) /
+          static_cast<double>(std::max(1, cfg_.num_microbatches));
+    }
+  } else {
+    if (static_cast<int>(cfg_.mean_delay.size()) != cfg_.num_stages) {
+      throw std::invalid_argument("HogwildEngine: mean_delay size mismatch");
+    }
+    mean_delay_ = cfg_.mean_delay;
+  }
+  live_.assign(static_cast<std::size_t>(model.param_count()), 0.0F);
+  util::Rng init_rng(seed);
+  model_.init_params(live_, init_rng);
+  grads_.assign(live_.size(), 0.0F);
+  history_depth_ = static_cast<int>(std::ceil(cfg_.max_delay)) + 2;
+  history_.assign(static_cast<std::size_t>(history_depth_), {});
+  history_[0] = live_;
+}
+
+HogwildEngine::StepResult HogwildEngine::forward_backward(
+    const std::vector<nn::Flow>& micro_inputs,
+    const std::vector<tensor::Tensor>& micro_targets, const nn::LossHead& head) {
+  auto n = static_cast<int>(micro_inputs.size());
+  if (n == 0 || micro_targets.size() != micro_inputs.size()) {
+    throw std::invalid_argument("HogwildEngine: bad microbatch vectors");
+  }
+  std::fill(grads_.begin(), grads_.end(), 0.0F);
+  StepResult result;
+
+  // Sample one delay per stage per optimizer step; both the forward and
+  // backward passes of a stage read the same delayed version (eq. 17).
+  std::vector<float> w(live_.size());
+  if (method_ == pipeline::Method::Sync) {
+    std::copy(live_.begin(), live_.end(), w.begin());
+  } else {
+    for (int u = 0; u < partition_.num_units(); ++u) {
+      const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
+      int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
+      double mean = mean_delay_[static_cast<std::size_t>(stage)];
+      auto delay = static_cast<std::int64_t>(
+          std::llround(delay_rng_.truncated_exponential(mean, cfg_.max_delay)));
+      std::int64_t v = std::max<std::int64_t>(0, step_ - delay);
+      const auto& src = history_[static_cast<std::size_t>(v % history_depth_)];
+      std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
+                w.begin() + unit.offset);
+    }
+  }
+
+  auto caches = model_.make_caches();
+  for (int micro = 0; micro < n; ++micro) {
+    nn::Flow input = micro_inputs[static_cast<std::size_t>(micro)];
+    input.training = true;
+    nn::Flow out = model_.forward(std::move(input), w, caches);
+    auto lr = head.forward_backward(out.x, micro_targets[static_cast<std::size_t>(micro)]);
+    if (!std::isfinite(lr.loss)) {
+      result.finite = false;
+      result.loss = lr.loss;
+      return result;
+    }
+    result.loss += lr.loss / n;
+    result.correct += lr.correct;
+    result.count += lr.count;
+    nn::Flow dflow;
+    dflow.x = lr.doutput;
+    (void)model_.backward(std::move(dflow), w, caches, grads_);
+  }
+  auto inv_n = 1.0F / static_cast<float>(n);
+  for (float& g : grads_) {
+    g *= inv_n;
+    if (!std::isfinite(g)) result.finite = false;
+  }
+  return result;
+}
+
+void HogwildEngine::commit_update() {
+  ++step_;
+  history_[static_cast<std::size_t>(step_ % history_depth_)] = live_;
+}
+
+std::vector<optim::LrSegment> HogwildEngine::lr_segments(
+    double base_lr, std::span<const double> scales) const {
+  std::vector<optim::LrSegment> segs;
+  std::int64_t offset = 0;
+  for (int s = 0; s < cfg_.num_stages; ++s) {
+    std::int64_t size = partition_.stage_param_count[static_cast<std::size_t>(s)];
+    double scale = scales.empty() ? 1.0 : scales[static_cast<std::size_t>(s)];
+    segs.push_back({offset, size, base_lr * scale});
+    offset += size;
+  }
+  return segs;
+}
+
+}  // namespace pipemare::hogwild

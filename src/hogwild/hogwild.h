@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/optim/optimizer.h"
+#include "src/pipeline/engine.h"
+#include "src/pipeline/partition.h"
+#include "src/util/rng.h"
+
+namespace pipemare::hogwild {
+
+/// Hogwild!-style stochastic asynchrony (Appendix E): each stage's
+/// gradient is computed entirely on a *randomly* delayed weight version,
+///   w_{i,t+1} = w_{i,t} - alpha [grad f_{t - tau_i}(w_{t - tau_i})]_i,
+/// with tau_i drawn per step from a truncated exponential distribution
+/// (the maximum-entropy delay model of Mitliagkas et al.). Stages have
+/// different delay expectations, mirroring the pipeline's stage-dependent
+/// delay profile.
+struct HogwildConfig {
+  int num_stages = 1;
+  int num_microbatches = 1;
+  bool split_bias = false;
+  double max_delay = 16.0;              ///< truncation bound
+  std::vector<double> mean_delay;       ///< per-stage expectation; empty =>
+                                        ///< PipeMare-profile (2(P-i)+1)/N
+};
+
+/// Drop-in execution engine with the same surface the core::train_loop
+/// template expects, so Hogwild training reuses the full T1 trainer.
+class HogwildEngine {
+ public:
+  HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed);
+
+  using StepResult = pipeline::PipelineEngine::StepResult;
+
+  StepResult forward_backward(const std::vector<nn::Flow>& micro_inputs,
+                              const std::vector<tensor::Tensor>& micro_targets,
+                              const nn::LossHead& head);
+
+  std::span<float> weights() { return live_; }
+  std::span<const float> weights() const { return live_; }
+  std::span<float> gradients() { return grads_; }
+  void commit_update();
+
+  /// Sync disables the random delays (used for T3 warmup comparisons).
+  void set_method(pipeline::Method m) { method_ = m; }
+  pipeline::Method method() const { return method_; }
+
+  const nn::Model& model() const { return model_; }
+  const pipeline::Partition& partition() const { return partition_; }
+
+  /// Per-stage delay expectations (what T1 divides by).
+  std::vector<double> stage_tau_fwd() const { return mean_delay_; }
+
+  std::vector<optim::LrSegment> lr_segments(double base_lr,
+                                            std::span<const double> scales) const;
+
+ private:
+  const nn::Model& model_;
+  HogwildConfig cfg_;
+  pipeline::Partition partition_;
+  pipeline::Method method_ = pipeline::Method::PipeMare;
+  std::vector<double> mean_delay_;
+
+  std::int64_t step_ = 0;
+  int history_depth_ = 1;
+  std::vector<std::vector<float>> history_;
+  std::vector<float> live_;
+  std::vector<float> grads_;
+  util::Rng delay_rng_;
+};
+
+}  // namespace pipemare::hogwild

@@ -1,0 +1,96 @@
+#include "src/hwmodel/activation_memory.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pipemare::hwmodel {
+
+std::vector<std::int64_t> pipemare_activation_counts(int stages) {
+  if (stages < 1) throw std::invalid_argument("activation counts: stages >= 1");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    counts[static_cast<std::size_t>(i)] = 2 * (stages - 1 - i) + 1;
+  }
+  return counts;
+}
+
+std::vector<std::int64_t> pipemare_recompute_counts(int stages, int segment_size) {
+  if (segment_size < 1) throw std::invalid_argument("recompute counts: S >= 1");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    int offset = i % segment_size;
+    if (offset == 0) {
+      // Segment start: checkpoints for every in-flight microbatch.
+      counts[static_cast<std::size_t>(i)] = 2 * (stages - 1 - i) + 1;
+    } else {
+      // In-segment stage: recompute starts 2(S-1-offset) ticks before its
+      // backward; it holds that many recomputed activations plus its own.
+      int seg_len = std::min(segment_size, stages - (i - offset));
+      counts[static_cast<std::size_t>(i)] = 2 * (seg_len - 1 - offset) + 1;
+    }
+  }
+  return counts;
+}
+
+std::int64_t total_activations(const std::vector<std::int64_t>& counts) {
+  std::int64_t sum = 0;
+  for (std::int64_t c : counts) sum += c;
+  return sum;
+}
+
+int optimal_segment_size(int stages) {
+  int best_s = 1;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int s = 1; s <= stages; ++s) {
+    std::int64_t total = total_activations(pipemare_recompute_counts(stages, s));
+    if (total < best) {
+      best = total;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+std::int64_t gpipe_total_activations(int stages, int microbatches) {
+  return static_cast<std::int64_t>(stages) * microbatches;
+}
+
+std::int64_t gpipe_recompute_total(int stages, int microbatches, int segment_size) {
+  if (segment_size < 1) throw std::invalid_argument("gpipe recompute: S >= 1");
+  std::int64_t total = 0;
+  for (int i = 0; i < stages; ++i) {
+    int offset = i % segment_size;
+    if (offset == 0) {
+      total += microbatches;  // flush boundary: N checkpoints
+    } else {
+      int seg_len = std::min(segment_size, stages - (i - offset));
+      total += 2 * (seg_len - 1 - offset) + 1;
+    }
+  }
+  return total;
+}
+
+int gpipe_optimal_segment_size(int stages, int microbatches) {
+  int best_s = 1;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int s = 1; s <= stages; ++s) {
+    std::int64_t total = gpipe_recompute_total(stages, microbatches, s);
+    if (total < best) {
+      best = total;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+double table5_ratio(int stages) { return 1.0 / std::sqrt(static_cast<double>(stages)); }
+
+double counted_recompute_ratio(int stages) {
+  int s = optimal_segment_size(stages);
+  double rec = static_cast<double>(total_activations(pipemare_recompute_counts(stages, s)));
+  double base = static_cast<double>(total_activations(pipemare_activation_counts(stages)));
+  return rec / base;
+}
+
+}  // namespace pipemare::hwmodel

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pipemare::hwmodel {
+
+/// Activation-memory models of Appendix A.1-A.2, in units of one
+/// microbatch activation M per layer. Counts assume the fine-grained
+/// setting P = L (one layer per stage), the regime the appendix analyzes.
+
+/// PipeMare/PipeDream without recompute: stage i (0-indexed) holds
+/// 2(P-1-i)+1 in-flight microbatch activations; total = P^2 (eq. 9).
+std::vector<std::int64_t> pipemare_activation_counts(int stages);
+
+/// PipeMare Recompute with segments of size S (Appendix A.2 / Figure 6):
+/// the first stage of each segment keeps its full in-flight checkpoint
+/// window 2(P-1-i)+1; stage j >= 1 within a segment only needs the
+/// 2(S-1-j)+1 recompute buffers. Total ~ P(P/S + S), minimized at S~sqrt(P).
+std::vector<std::int64_t> pipemare_recompute_counts(int stages, int segment_size);
+
+std::int64_t total_activations(const std::vector<std::int64_t>& counts);
+
+/// Segment size minimizing the recompute total (numerically; ~sqrt(P)).
+int optimal_segment_size(int stages);
+
+/// GPipe totals: N activations per stage without recompute (O(MNL)); with
+/// recompute, segment starts keep N checkpoints and the rest keep their
+/// recompute buffers: total ~ P(N/S + S), minimized at S~sqrt(N) (eq. 11).
+std::int64_t gpipe_total_activations(int stages, int microbatches);
+std::int64_t gpipe_recompute_total(int stages, int microbatches, int segment_size);
+int gpipe_optimal_segment_size(int stages, int microbatches);
+
+/// The paper's closed-form big-O ratio used in Table 5:
+/// recompute/no-recompute memory = P^{3/2} / P^2 = 1/sqrt(P)
+/// (0.097X at P=107, 0.104X at 93, 0.105X at 91).
+double table5_ratio(int stages);
+
+/// Exact ratio from our counted buffers at the optimal segment size.
+double counted_recompute_ratio(int stages);
+
+}  // namespace pipemare::hwmodel

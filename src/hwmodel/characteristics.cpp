@@ -1,0 +1,83 @@
+#include "src/hwmodel/characteristics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pipemare::hwmodel {
+
+using pipeline::Method;
+
+namespace {
+double table1_tau(int stages, int microbatches, int stage_1indexed) {
+  if (stage_1indexed < 1 || stage_1indexed > stages) {
+    throw std::invalid_argument("table1_tau: stage out of range");
+  }
+  return static_cast<double>(2 * (stages - stage_1indexed) + 1) /
+         static_cast<double>(microbatches);
+}
+}  // namespace
+
+double tau_fwd(Method m, int stages, int microbatches, int stage_1indexed) {
+  if (m == Method::Sync) return 0.0;
+  return table1_tau(stages, microbatches, stage_1indexed);
+}
+
+double tau_bkwd(Method m, int stages, int microbatches, int stage_1indexed) {
+  if (m == Method::PipeDream) return table1_tau(stages, microbatches, stage_1indexed);
+  return 0.0;
+}
+
+double normalized_throughput_simple(Method m, int stages, int microbatches) {
+  if (m == Method::Sync) {
+    return static_cast<double>(microbatches) /
+           static_cast<double>(microbatches + stages - 1);
+  }
+  return 1.0;
+}
+
+double normalized_throughput_budget(Method m) { return m == Method::Sync ? 0.3 : 1.0; }
+
+double weight_memory_copies(Method m, int stages, int microbatches) {
+  if (m == Method::PipeDream) {
+    return 1.0 + static_cast<double>(stages) / static_cast<double>(microbatches);
+  }
+  return 1.0;
+}
+
+MemoryBreakdown weight_opt_memory(Method m, int stages, int microbatches,
+                                  int optimizer_state_copies, bool t2) {
+  MemoryBreakdown mem;
+  mem.optimizer_state = optimizer_state_copies;
+  if (m == Method::PipeDream) {
+    mem.stash = static_cast<double>(stages) / static_cast<double>(microbatches);
+  }
+  if (m == Method::PipeMare && t2) mem.t2_delta = 1.0;
+  return mem;
+}
+
+double memory_factor_vs_gpipe(Method m, int stages, int microbatches,
+                              int optimizer_state_copies, bool t2) {
+  MemoryBreakdown base = weight_opt_memory(Method::Sync, stages, microbatches,
+                                           optimizer_state_copies, false);
+  MemoryBreakdown mem = weight_opt_memory(m, stages, microbatches,
+                                          optimizer_state_copies, t2);
+  return mem.total() / base.total();
+}
+
+double time_to_target(double epochs_to_target, double throughput) {
+  if (epochs_to_target < 0.0 || throughput <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return epochs_to_target / throughput;
+}
+
+double amortized_throughput(int warmup_epochs, int total_epochs, double sync_throughput) {
+  if (total_epochs <= 0) throw std::invalid_argument("amortized_throughput: epochs > 0");
+  int warm = std::min(warmup_epochs, total_epochs);
+  double cost = static_cast<double>(warm) / sync_throughput +
+                static_cast<double>(total_epochs - warm);
+  return static_cast<double>(total_epochs) / cost;
+}
+
+}  // namespace pipemare::hwmodel

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+
+#include "src/pipeline/engine.h"
+
+namespace pipemare::hwmodel {
+
+/// Analytic characterization of the three pipeline-parallel training
+/// methods (Table 1 of the paper) plus the weight+optimizer memory
+/// accounting used in Tables 2 and 3. All quantities are in units of one
+/// weight copy W unless stated otherwise.
+
+/// Table 1, tau_fwd for 1-indexed stage i: (2(P-i)+1)/N for PipeDream and
+/// PipeMare, 0 for GPipe.
+double tau_fwd(pipeline::Method m, int stages, int microbatches, int stage_1indexed);
+
+/// Table 1, tau_bkwd: equals tau_fwd for PipeDream, 0 otherwise.
+double tau_bkwd(pipeline::Method m, int stages, int microbatches, int stage_1indexed);
+
+/// Table 1, normalized throughput: 1.0 for PipeDream/PipeMare,
+/// N/(N+P-1) for GPipe (fill/drain bubbles).
+double normalized_throughput_simple(pipeline::Method m, int stages, int microbatches);
+
+/// Appendix A.3: GPipe's best achievable throughput relative to PipeMare
+/// under *equal activation-memory and compute budgets* is ~0.30 regardless
+/// of P. The paper uses this constant for its time-to-accuracy estimates;
+/// so do we. PipeDream/PipeMare: 1.0.
+double normalized_throughput_budget(pipeline::Method m);
+
+/// Table 1, weights memory in units of W: 1 for GPipe/PipeMare,
+/// 1 + P/N for PipeDream (live copy + stashed copies summed over stages).
+double weight_memory_copies(pipeline::Method m, int stages, int microbatches);
+
+/// Weight + optimizer memory accounting (the Table 2/3 column).
+struct MemoryBreakdown {
+  double weights = 1.0;
+  double gradients = 1.0;
+  double optimizer_state = 0.0;  ///< momentum: 1; Adam: 2
+  double stash = 0.0;            ///< PipeDream stashed copies: P/N
+  double t2_delta = 0.0;         ///< Technique 2 velocity buffer: 1
+
+  double total() const { return weights + gradients + optimizer_state + stash + t2_delta; }
+};
+
+/// `optimizer_state_copies`: SgdMomentum -> 1, AdamW -> 2 (use
+/// Optimizer::state_copies()). `t2` adds the delta buffer.
+MemoryBreakdown weight_opt_memory(pipeline::Method m, int stages, int microbatches,
+                                  int optimizer_state_copies, bool t2);
+
+/// Memory factor relative to the GPipe baseline with the same optimizer
+/// (the "1.33X / 1.25X / 2.70X" numbers of Table 2).
+double memory_factor_vs_gpipe(pipeline::Method m, int stages, int microbatches,
+                              int optimizer_state_copies, bool t2);
+
+/// Time-to-accuracy estimate: epochs divided by throughput (the paper's
+/// estimator, Section 4.1). Returns +inf when the target was not reached
+/// (epochs_to_target < 0).
+double time_to_target(double epochs_to_target, double throughput);
+
+/// Technique 3 amortized throughput: `warmup` synchronous epochs run at
+/// the GPipe budget throughput, the rest at full speed
+/// (Table 2's PipeMare 0.6X/0.9X entries).
+double amortized_throughput(int warmup_epochs, int total_epochs,
+                            double sync_throughput = 0.3);
+
+}  // namespace pipemare::hwmodel

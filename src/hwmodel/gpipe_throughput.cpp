@@ -1,0 +1,35 @@
+#include "src/hwmodel/gpipe_throughput.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipemare::hwmodel {
+
+double gpipe_latency_factor(double alpha, bool recompute) {
+  if (alpha <= 0.0) throw std::invalid_argument("gpipe latency: alpha > 0 required");
+  double fwd_saturation = recompute ? 4.0 : 3.0;
+  double bwd_saturation = recompute ? 4.0 / 3.0 : 1.5;
+  double l_fwd = std::max(alpha / fwd_saturation, 1.0);
+  double l_bwd = std::max(alpha / bwd_saturation, 1.0);
+  return l_fwd + l_bwd;
+}
+
+double gpipe_relative_throughput(double alpha, bool recompute) {
+  return alpha / (gpipe_latency_factor(alpha, recompute) * (1.0 + alpha));
+}
+
+double gpipe_max_relative_throughput(bool recompute, double* best_alpha) {
+  double best_a = 1.0;
+  double best_t = 0.0;
+  for (double a = 0.05; a <= 20.0; a += 0.001) {
+    double t = gpipe_relative_throughput(a, recompute);
+    if (t > best_t) {
+      best_t = t;
+      best_a = a;
+    }
+  }
+  if (best_alpha != nullptr) *best_alpha = best_a;
+  return best_t;
+}
+
+}  // namespace pipemare::hwmodel

@@ -1,0 +1,70 @@
+#include "src/nn/activations.h"
+
+#include "src/tensor/conv.h"
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Flow ReLU::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  (void)w;
+  cache.saved = {in.x};
+  Flow out = in;
+  out.x = tensor::relu(in.x);
+  return out;
+}
+
+Flow ReLU::backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                    std::span<float> grad) const {
+  (void)w_bkwd, (void)grad;
+  Flow din = dout;
+  din.x = tensor::relu_backward(dout.x, cache.saved.at(0));
+  return din;
+}
+
+Flow MaxPool2x2::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  (void)w;
+  Tensor indices;
+  Flow out = in;
+  out.x = tensor::maxpool2x2(in.x, indices);
+  Tensor shape({4}, {static_cast<float>(in.x.dim(0)), static_cast<float>(in.x.dim(1)),
+                     static_cast<float>(in.x.dim(2)), static_cast<float>(in.x.dim(3))});
+  cache.saved = {indices, shape};
+  return out;
+}
+
+Flow MaxPool2x2::backward(const Flow& dout, std::span<const float> w_bkwd,
+                          const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd, (void)grad;
+  const Tensor& indices = cache.saved.at(0);
+  const Tensor& shape = cache.saved.at(1);
+  std::vector<int> in_shape = {static_cast<int>(shape.at(0)), static_cast<int>(shape.at(1)),
+                               static_cast<int>(shape.at(2)), static_cast<int>(shape.at(3))};
+  Flow din = dout;
+  din.x = tensor::maxpool2x2_backward(dout.x, indices, in_shape);
+  return din;
+}
+
+Flow GlobalAvgPool::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  (void)w;
+  Tensor shape({4}, {static_cast<float>(in.x.dim(0)), static_cast<float>(in.x.dim(1)),
+                     static_cast<float>(in.x.dim(2)), static_cast<float>(in.x.dim(3))});
+  cache.saved = {shape};
+  Flow out = in;
+  out.x = tensor::global_avg_pool(in.x);
+  return out;
+}
+
+Flow GlobalAvgPool::backward(const Flow& dout, std::span<const float> w_bkwd,
+                             const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd, (void)grad;
+  const Tensor& shape = cache.saved.at(0);
+  std::vector<int> in_shape = {static_cast<int>(shape.at(0)), static_cast<int>(shape.at(1)),
+                               static_cast<int>(shape.at(2)), static_cast<int>(shape.at(3))};
+  Flow din = dout;
+  din.x = tensor::global_avg_pool_backward(dout.x, in_shape);
+  return din;
+}
+
+}  // namespace pipemare::nn

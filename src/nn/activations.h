@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Elementwise rectified linear unit (parameter-free).
+class ReLU : public Module {
+ public:
+  std::string name() const override { return "ReLU"; }
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+};
+
+/// 2x2 stride-2 max pooling over BCHW tensors (parameter-free).
+class MaxPool2x2 : public Module {
+ public:
+  std::string name() const override { return "MaxPool2x2"; }
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+};
+
+/// Global average pooling BCHW -> [B, C] (parameter-free). Used as the
+/// penultimate layer of the ResNet-style classifier.
+class GlobalAvgPool : public Module {
+ public:
+  std::string name() const override { return "GlobalAvgPool"; }
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+};
+
+}  // namespace pipemare::nn

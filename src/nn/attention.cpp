@@ -1,0 +1,214 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Projects rows[n, D] with one of the four packed [D,D]+[D] projections.
+Tensor project(const Tensor& rows, std::span<const float> w, int d, int which) {
+  std::size_t unit = static_cast<std::size_t>(d) * d + d;
+  auto base = w.subspan(unit * static_cast<std::size_t>(which));
+  Tensor weight({d, d}, std::vector<float>(base.begin(),
+                                           base.begin() + static_cast<std::ptrdiff_t>(d) * d));
+  Tensor y = tensor::matmul_nt(rows, weight);
+  tensor::add_row_inplace(y, base.subspan(static_cast<std::size_t>(d) * d,
+                                          static_cast<std::size_t>(d)));
+  return y;
+}
+
+/// Backward of `project`: accumulates dW/db into grad and returns d(rows)
+/// computed with the supplied (possibly different) backward weights.
+Tensor project_backward(const Tensor& drows_out, const Tensor& rows_in,
+                        std::span<const float> w_bkwd, std::span<float> grad, int d,
+                        int which) {
+  std::size_t unit = static_cast<std::size_t>(d) * d + d;
+  auto gbase = grad.subspan(unit * static_cast<std::size_t>(which));
+  Tensor dw = tensor::matmul_tn(drows_out, rows_in);  // [D, D]
+  for (std::int64_t i = 0; i < dw.size(); ++i) gbase[static_cast<std::size_t>(i)] += dw[i];
+  tensor::col_sum_accumulate(
+      drows_out, gbase.subspan(static_cast<std::size_t>(d) * d, static_cast<std::size_t>(d)));
+  auto wbase = w_bkwd.subspan(unit * static_cast<std::size_t>(which));
+  Tensor weight({d, d}, std::vector<float>(wbase.begin(),
+                                           wbase.begin() + static_cast<std::ptrdiff_t>(d) * d));
+  return tensor::matmul(drows_out, weight);
+}
+
+/// Extracts head h of row-major [B*S, D] into [S, Dh] for batch b.
+Tensor head_slice(const Tensor& rows, int b, int s, int dh, int h) {
+  Tensor out({s, dh});
+  for (int i = 0; i < s; ++i)
+    for (int j = 0; j < dh; ++j) out.at(i, j) = rows.at(b * s + i, h * dh + j);
+  return out;
+}
+
+void head_accumulate(Tensor& rows, const Tensor& slice, int b, int s, int dh, int h) {
+  for (int i = 0; i < s; ++i)
+    for (int j = 0; j < dh; ++j) rows.at(b * s + i, h * dh + j) += slice.at(i, j);
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(int d_model, int num_heads, Kind kind)
+    : d_model_(d_model), heads_(num_heads), kind_(kind) {
+  if (d_model <= 0 || num_heads <= 0 || d_model % num_heads != 0) {
+    throw std::invalid_argument("MultiHeadAttention: d_model divisible by heads required");
+  }
+}
+
+std::string MultiHeadAttention::name() const {
+  switch (kind_) {
+    case Kind::SelfAttention: return "SelfAttention";
+    case Kind::CausalSelfAttention: return "CausalSelfAttention";
+    case Kind::CrossAttention: return "CrossAttention";
+  }
+  return "MultiHeadAttention";
+}
+
+std::int64_t MultiHeadAttention::param_count() const {
+  return 4 * (static_cast<std::int64_t>(d_model_) * d_model_ + d_model_);
+}
+
+std::vector<std::int64_t> MultiHeadAttention::param_unit_sizes(bool split_bias) const {
+  std::int64_t mat = static_cast<std::int64_t>(d_model_) * d_model_;
+  if (!split_bias) return {mat + d_model_, mat + d_model_, mat + d_model_, mat + d_model_};
+  return {mat, d_model_, mat, d_model_, mat, d_model_, mat, d_model_};
+}
+
+void MultiHeadAttention::init_params(std::span<float> w, util::Rng& rng) const {
+  std::size_t unit = static_cast<std::size_t>(d_model_) * d_model_ + d_model_;
+  for (int p = 0; p < 4; ++p) {
+    auto base = w.subspan(unit * static_cast<std::size_t>(p), unit);
+    xavier_uniform(base.subspan(0, static_cast<std::size_t>(d_model_) * d_model_), d_model_,
+                   d_model_, rng);
+    constant_init(base.subspan(static_cast<std::size_t>(d_model_) * d_model_), 0.0F);
+  }
+}
+
+Flow MultiHeadAttention::forward(const Flow& in, std::span<const float> w,
+                                 Cache& cache) const {
+  const Tensor& x = in.x;
+  if (x.rank() != 3 || x.dim(2) != d_model_) {
+    throw std::invalid_argument("MultiHeadAttention: [B,S,D] input required");
+  }
+  int b = x.dim(0), s = x.dim(1);
+  bool cross = kind_ == Kind::CrossAttention;
+  const Tensor& kv_src = cross ? in.ctx : in.x;
+  if (cross && (kv_src.rank() != 3 || kv_src.dim(2) != d_model_)) {
+    throw std::invalid_argument("CrossAttention: encoder memory missing from ctx");
+  }
+  int sk = cross ? kv_src.dim(1) : s;
+  int dh = d_model_ / heads_;
+  float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(dh));
+
+  Tensor x_rows = x.reshaped({b * s, d_model_});
+  Tensor z_rows = kv_src.reshaped({b * sk, d_model_});
+  Tensor q = project(x_rows, w, d_model_, 0);
+  Tensor k = project(z_rows, w, d_model_, 1);
+  Tensor v = project(z_rows, w, d_model_, 2);
+
+  Tensor probs({b, heads_, s, sk});
+  Tensor att({b * s, d_model_});
+  for (int bi = 0; bi < b; ++bi) {
+    for (int h = 0; h < heads_; ++h) {
+      Tensor qh = head_slice(q, bi, s, dh, h);
+      Tensor kh = head_slice(k, bi, sk, dh, h);
+      Tensor vh = head_slice(v, bi, sk, dh, h);
+      Tensor scores = tensor::matmul_nt(qh, kh);  // [s, sk]
+      for (int i = 0; i < s; ++i) {
+        for (int j = 0; j < sk; ++j) {
+          scores.at(i, j) *= inv_sqrt;
+          if (kind_ == Kind::CausalSelfAttention && j > i) scores.at(i, j) = -1e9F;
+        }
+      }
+      Tensor p = tensor::softmax_rows(scores);
+      for (int i = 0; i < s; ++i)
+        for (int j = 0; j < sk; ++j) probs.at(bi, h, i, j) = p.at(i, j);
+      Tensor oh = tensor::matmul(p, vh);  // [s, dh]
+      head_accumulate(att, oh, bi, s, dh, h);
+    }
+  }
+  Tensor y = project(att, w, d_model_, 3);
+  cache.saved = {x_rows, z_rows, q, k, v, probs, att};
+  Flow out = in;
+  out.x = y.reshaped({b, s, d_model_});
+  return out;
+}
+
+Flow MultiHeadAttention::backward(const Flow& dout, std::span<const float> w_bkwd,
+                                  const Cache& cache, std::span<float> grad) const {
+  const Tensor& x_rows = cache.saved.at(0);
+  const Tensor& z_rows = cache.saved.at(1);
+  const Tensor& q = cache.saved.at(2);
+  const Tensor& k = cache.saved.at(3);
+  const Tensor& v = cache.saved.at(4);
+  const Tensor& probs = cache.saved.at(5);
+  const Tensor& att = cache.saved.at(6);
+
+  int b = probs.dim(0), s = probs.dim(2), sk = probs.dim(3);
+  int dh = d_model_ / heads_;
+  float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(dh));
+  bool cross = kind_ == Kind::CrossAttention;
+
+  Tensor dy_rows = dout.x.reshaped({b * s, d_model_});
+  Tensor datt = project_backward(dy_rows, att, w_bkwd, grad, d_model_, 3);
+
+  Tensor dq({b * s, d_model_});
+  Tensor dk({b * sk, d_model_});
+  Tensor dv({b * sk, d_model_});
+  for (int bi = 0; bi < b; ++bi) {
+    for (int h = 0; h < heads_; ++h) {
+      Tensor doh = head_slice(datt, bi, s, dh, h);
+      Tensor qh = head_slice(q, bi, s, dh, h);
+      Tensor kh = head_slice(k, bi, sk, dh, h);
+      Tensor vh = head_slice(v, bi, sk, dh, h);
+      Tensor p({s, sk});
+      for (int i = 0; i < s; ++i)
+        for (int j = 0; j < sk; ++j) p.at(i, j) = probs.at(bi, h, i, j);
+      Tensor dp = tensor::matmul_nt(doh, vh);  // [s, sk]
+      Tensor dvh = tensor::matmul_tn(p, doh);  // [sk, dh]
+      // Softmax backward per row: ds = p * (dp - sum_j dp*p).
+      Tensor ds({s, sk});
+      for (int i = 0; i < s; ++i) {
+        float dot = 0.0F;
+        for (int j = 0; j < sk; ++j) dot += dp.at(i, j) * p.at(i, j);
+        for (int j = 0; j < sk; ++j) {
+          ds.at(i, j) = p.at(i, j) * (dp.at(i, j) - dot) * inv_sqrt;
+        }
+      }
+      Tensor dqh = tensor::matmul(ds, kh);     // [s, dh]
+      Tensor dkh = tensor::matmul_tn(ds, qh);  // [sk, dh]
+      head_accumulate(dq, dqh, bi, s, dh, h);
+      head_accumulate(dk, dkh, bi, sk, dh, h);
+      head_accumulate(dv, dvh, bi, sk, dh, h);
+    }
+  }
+
+  Tensor dx_rows = project_backward(dq, x_rows, w_bkwd, grad, d_model_, 0);
+  Tensor dz_rows = project_backward(dk, z_rows, w_bkwd, grad, d_model_, 1);
+  tensor::add_inplace(dz_rows, project_backward(dv, z_rows, w_bkwd, grad, d_model_, 2));
+
+  Flow din = dout;
+  if (cross) {
+    din.x = dx_rows.reshaped({b, s, d_model_});
+    Tensor dctx = dz_rows.reshaped({b, sk, d_model_});
+    if (dout.ctx.empty()) {
+      din.ctx = std::move(dctx);
+    } else {
+      din.ctx = tensor::add(dout.ctx, dctx);
+    }
+  } else {
+    tensor::add_inplace(dx_rows, dz_rows);
+    din.x = dx_rows.reshaped({b, s, d_model_});
+  }
+  return din;
+}
+
+}  // namespace pipemare::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Multi-head scaled dot-product attention.
+///
+/// Variants:
+///  - SelfAttention: queries/keys/values from `x` (encoder).
+///  - CausalSelfAttention: same, with the upper-triangular mask (decoder).
+///  - CrossAttention: queries from `x`, keys/values from `ctx` (the encoder
+///    memory placed there by `DecoderBridge`); its backward pass
+///    accumulates gradient into the `ctx` channel of the Flow.
+///
+/// Parameter layout (matching `Linear`): Wq[D,D],bq[D], Wk,bk, Wv,bv,
+/// Wo,bo. Each projection (weight+bias) is one weight unit, so a single
+/// attention module contributes four pipeline-partitionable units.
+class MultiHeadAttention : public Module {
+ public:
+  enum class Kind { SelfAttention, CausalSelfAttention, CrossAttention };
+
+  MultiHeadAttention(int d_model, int num_heads, Kind kind);
+
+  std::string name() const override;
+  std::int64_t param_count() const override;
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int d_model_;
+  int heads_;
+  Kind kind_;
+};
+
+}  // namespace pipemare::nn

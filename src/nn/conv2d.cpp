@@ -1,0 +1,113 @@
+#include "src/nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding)
+    : spec_{.in_channels = in_channels,
+            .out_channels = out_channels,
+            .kernel = kernel,
+            .stride = stride,
+            .padding = padding} {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || padding < 0) {
+    throw std::invalid_argument("Conv2d: invalid geometry");
+  }
+}
+
+std::int64_t Conv2d::param_count() const {
+  std::int64_t k2 = static_cast<std::int64_t>(spec_.kernel) * spec_.kernel;
+  return static_cast<std::int64_t>(spec_.out_channels) * spec_.in_channels * k2 +
+         spec_.out_channels;
+}
+
+std::vector<std::int64_t> Conv2d::param_unit_sizes(bool split_bias) const {
+  if (!split_bias) return {param_count()};
+  return {param_count() - spec_.out_channels, spec_.out_channels};
+}
+
+void Conv2d::init_params(std::span<float> w, util::Rng& rng) const {
+  int fan_in = spec_.in_channels * spec_.kernel * spec_.kernel;
+  auto weight = w.subspan(0, static_cast<std::size_t>(param_count() - spec_.out_channels));
+  kaiming_normal(weight, fan_in, rng);
+  constant_init(w.subspan(weight.size()), 0.0F);
+}
+
+namespace {
+
+/// [B*OH*OW, OC] row-per-position layout -> BCHW.
+Tensor rows_to_bchw(const Tensor& rows, int b, int oc, int oh, int ow) {
+  Tensor out({b, oc, oh, ow});
+  for (int bi = 0; bi < b; ++bi)
+    for (int oy = 0; oy < oh; ++oy)
+      for (int ox = 0; ox < ow; ++ox) {
+        int r = (bi * oh + oy) * ow + ox;
+        for (int c = 0; c < oc; ++c) out.at(bi, c, oy, ox) = rows.at(r, c);
+      }
+  return out;
+}
+
+/// BCHW -> [B*OH*OW, OC] row-per-position layout.
+Tensor bchw_to_rows(const Tensor& x) {
+  int b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor rows({b * h * w, c});
+  for (int bi = 0; bi < b; ++bi)
+    for (int iy = 0; iy < h; ++iy)
+      for (int ix = 0; ix < w; ++ix) {
+        int r = (bi * h + iy) * w + ix;
+        for (int ci = 0; ci < c; ++ci) rows.at(r, ci) = x.at(bi, ci, iy, ix);
+      }
+  return rows;
+}
+
+}  // namespace
+
+Flow Conv2d::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  const Tensor& x = in.x;
+  if (x.rank() != 4) throw std::invalid_argument("Conv2d: BCHW input required");
+  int b = x.dim(0), h = x.dim(2), wd = x.dim(3);
+  int oh = spec_.out_dim(h), ow = spec_.out_dim(wd);
+  std::int64_t wsize = param_count() - spec_.out_channels;
+  Tensor cols = tensor::im2col(x, spec_);  // [B*OH*OW, C*K*K]
+  Tensor weight({spec_.out_channels, static_cast<int>(wsize) / spec_.out_channels},
+                std::vector<float>(w.begin(), w.begin() + wsize));
+  Tensor rows = tensor::matmul_nt(cols, weight);  // [B*OH*OW, OC]
+  tensor::add_row_inplace(rows, w.subspan(static_cast<std::size_t>(wsize),
+                                          static_cast<std::size_t>(spec_.out_channels)));
+  cache.saved = {cols, Tensor({4}, {static_cast<float>(b), static_cast<float>(h),
+                                    static_cast<float>(wd), 0.0F})};
+  Flow out = in;
+  out.x = rows_to_bchw(rows, b, spec_.out_channels, oh, ow);
+  return out;
+}
+
+Flow Conv2d::backward(const Flow& dout, std::span<const float> w_bkwd,
+                      const Cache& cache, std::span<float> grad) const {
+  const Tensor& cols = cache.saved.at(0);
+  const Tensor& dims = cache.saved.at(1);
+  int b = static_cast<int>(dims.at(0));
+  int h = static_cast<int>(dims.at(1));
+  int wd = static_cast<int>(dims.at(2));
+  Tensor dy_rows = bchw_to_rows(dout.x);  // [B*OH*OW, OC]
+  std::int64_t wsize = param_count() - spec_.out_channels;
+  // Parameter gradients from cached forward columns.
+  Tensor dw = tensor::matmul_tn(dy_rows, cols);  // [OC, C*K*K]
+  for (std::int64_t i = 0; i < dw.size(); ++i) grad[static_cast<std::size_t>(i)] += dw[i];
+  tensor::col_sum_accumulate(
+      dy_rows, grad.subspan(static_cast<std::size_t>(wsize),
+                            static_cast<std::size_t>(spec_.out_channels)));
+  // Input gradient via the (possibly different) backward weights.
+  Tensor weight({spec_.out_channels, static_cast<int>(wsize) / spec_.out_channels},
+                std::vector<float>(w_bkwd.begin(), w_bkwd.begin() + wsize));
+  Tensor dcols = tensor::matmul(dy_rows, weight);  // [B*OH*OW, C*K*K]
+  Flow din = dout;
+  din.x = tensor::col2im(dcols, spec_, b, h, wd);
+  return din;
+}
+
+}  // namespace pipemare::nn

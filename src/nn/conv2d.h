@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/nn/module.h"
+#include "src/tensor/conv.h"
+
+namespace pipemare::nn {
+
+/// 2-D convolution on BCHW tensors implemented as im2col + matmul.
+///
+/// Parameter layout: W row-major [out_channels, in_channels * k * k],
+/// then b[out_channels].
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding);
+
+  std::string name() const override { return "Conv2d"; }
+  std::int64_t param_count() const override;
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+  const tensor::ConvSpec& spec() const { return spec_; }
+
+ private:
+  tensor::ConvSpec spec_;
+};
+
+}  // namespace pipemare::nn

@@ -1,0 +1,45 @@
+#include "src/nn/dropout.h"
+
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate in [0, 1) required");
+  }
+}
+
+Flow Dropout::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  (void)w;
+  Flow out = in;
+  if (!in.training || rate_ == 0.0) {
+    cache.saved = {};  // identity: empty cache marks the pass-through path
+    return out;
+  }
+  auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  Tensor mask(in.x.shape());
+  out.x = in.x;
+  for (std::int64_t i = 0; i < out.x.size(); ++i) {
+    bool keep = rng_.uniform() >= rate_;
+    mask[i] = keep ? keep_scale : 0.0F;
+    out.x[i] *= mask[i];
+  }
+  cache.saved = {std::move(mask)};
+  return out;
+}
+
+Flow Dropout::backward(const Flow& dout, std::span<const float> w_bkwd,
+                       const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd, (void)grad;
+  Flow din = dout;
+  if (cache.saved.empty()) return din;  // eval-mode identity
+  din.x = tensor::mul(dout.x, cache.saved.at(0));
+  return din;
+}
+
+}  // namespace pipemare::nn

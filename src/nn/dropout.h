@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Inverted dropout: during training (Flow::training), zeroes each
+/// activation with probability `rate` and scales survivors by 1/(1-rate);
+/// identity at evaluation. The paper's Transformer recipes use dropout
+/// 0.3 (IWSLT) / 0.1 (WMT), Table 7.
+///
+/// The mask is sampled from a module-owned deterministic stream (mutable;
+/// the engines are single-threaded) and cached for the backward pass, so
+/// backward applies exactly the forward mask even under asynchronous
+/// weight versions.
+class Dropout : public Module {
+ public:
+  explicit Dropout(double rate, std::uint64_t seed = 0xd50b0457ULL);
+
+  std::string name() const override { return "Dropout"; }
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  double rate_;
+  mutable util::Rng rng_;
+};
+
+}  // namespace pipemare::nn

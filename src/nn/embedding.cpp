@@ -1,0 +1,140 @@
+#include "src/nn/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/init.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Tensor sinusoidal_positions(int max_len, int d_model) {
+  Tensor pos({max_len, d_model});
+  for (int s = 0; s < max_len; ++s) {
+    for (int j = 0; j < d_model; j += 2) {
+      double angle = s / std::pow(10000.0, static_cast<double>(j) / d_model);
+      pos.at(s, j) = static_cast<float>(std::sin(angle));
+      if (j + 1 < d_model) pos.at(s, j + 1) = static_cast<float>(std::cos(angle));
+    }
+  }
+  return pos;
+}
+
+namespace {
+
+Tensor embed_tokens(const Tensor& ids, std::span<const float> table, int vocab,
+                    int d_model, int max_len) {
+  if (ids.rank() != 2) throw std::invalid_argument("embedding: [B,S] token ids required");
+  int b = ids.dim(0), s = ids.dim(1);
+  if (s > max_len) throw std::invalid_argument("embedding: sequence longer than max_len");
+  Tensor pos = sinusoidal_positions(s, d_model);
+  float scale = std::sqrt(static_cast<float>(d_model));
+  Tensor out({b, s, d_model});
+  for (int bi = 0; bi < b; ++bi) {
+    for (int si = 0; si < s; ++si) {
+      int tok = static_cast<int>(ids.at(bi, si));
+      if (tok < 0 || tok >= vocab) throw std::out_of_range("embedding: token id out of range");
+      for (int j = 0; j < d_model; ++j) {
+        out.at(bi, si, j) =
+            table[static_cast<std::size_t>(tok) * d_model + j] * scale + pos.at(si, j);
+      }
+    }
+  }
+  return out;
+}
+
+void embed_backward(const Tensor& dy, const Tensor& ids, std::span<float> grad,
+                    int d_model) {
+  int b = ids.dim(0), s = ids.dim(1);
+  float scale = std::sqrt(static_cast<float>(d_model));
+  for (int bi = 0; bi < b; ++bi) {
+    for (int si = 0; si < s; ++si) {
+      int tok = static_cast<int>(ids.at(bi, si));
+      for (int j = 0; j < d_model; ++j) {
+        grad[static_cast<std::size_t>(tok) * d_model + j] += dy.at(bi, si, j) * scale;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TokenEmbedding
+// ---------------------------------------------------------------------------
+
+TokenEmbedding::TokenEmbedding(int vocab, int d_model, int max_len)
+    : vocab_(vocab), d_model_(d_model), max_len_(max_len) {
+  if (vocab <= 0 || d_model <= 0 || max_len <= 0) {
+    throw std::invalid_argument("TokenEmbedding: positive dimensions required");
+  }
+}
+
+std::int64_t TokenEmbedding::param_count() const {
+  return static_cast<std::int64_t>(vocab_) * d_model_;
+}
+
+void TokenEmbedding::init_params(std::span<float> w, util::Rng& rng) const {
+  normal_init(w, 1.0 / std::sqrt(static_cast<double>(d_model_)), rng);
+}
+
+Flow TokenEmbedding::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  cache.saved = {in.x};  // token ids, needed for the scatter in backward
+  Flow out = in;
+  out.x = embed_tokens(in.x, w, vocab_, d_model_, max_len_);
+  return out;
+}
+
+Flow TokenEmbedding::backward(const Flow& dout, std::span<const float> w_bkwd,
+                              const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd;
+  const Tensor& ids = cache.saved.at(0);
+  embed_backward(dout.x, ids, grad, d_model_);
+  Flow din = dout;
+  din.x = Tensor();  // token ids carry no gradient
+  return din;
+}
+
+// ---------------------------------------------------------------------------
+// DecoderBridge
+// ---------------------------------------------------------------------------
+
+DecoderBridge::DecoderBridge(int vocab, int d_model, int max_len)
+    : vocab_(vocab), d_model_(d_model), max_len_(max_len) {
+  if (vocab <= 0 || d_model <= 0 || max_len <= 0) {
+    throw std::invalid_argument("DecoderBridge: positive dimensions required");
+  }
+}
+
+std::int64_t DecoderBridge::param_count() const {
+  return static_cast<std::int64_t>(vocab_) * d_model_;
+}
+
+void DecoderBridge::init_params(std::span<float> w, util::Rng& rng) const {
+  normal_init(w, 1.0 / std::sqrt(static_cast<double>(d_model_)), rng);
+}
+
+Flow DecoderBridge::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  if (in.aux.empty()) {
+    throw std::invalid_argument("DecoderBridge: decoder tokens missing from aux");
+  }
+  cache.saved = {in.aux};
+  Flow out;
+  out.ctx = in.x;  // encoder memory becomes the context
+  out.x = embed_tokens(in.aux, w, vocab_, d_model_, max_len_);
+  return out;
+}
+
+Flow DecoderBridge::backward(const Flow& dout, std::span<const float> w_bkwd,
+                             const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd;
+  const Tensor& ids = cache.saved.at(0);
+  embed_backward(dout.x, ids, grad, d_model_);
+  Flow din;
+  // The accumulated encoder-memory gradient flows back into the encoder.
+  din.x = dout.ctx;
+  return din;
+}
+
+}  // namespace pipemare::nn

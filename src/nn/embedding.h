@@ -1,0 +1,56 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Fixed sinusoidal positional encoding table [max_len, d_model]
+/// (Vaswani et al.). Shared by the embedding modules; carries no params.
+tensor::Tensor sinusoidal_positions(int max_len, int d_model);
+
+/// Token embedding: token ids (stored as floats in `x` with shape [B,S])
+/// are mapped to `E[token] * sqrt(D) + pos[s]`. Parameters: E[V, D].
+/// This is the encoder-side (source) embedding.
+class TokenEmbedding : public Module {
+ public:
+  TokenEmbedding(int vocab, int d_model, int max_len);
+
+  std::string name() const override { return "TokenEmbedding"; }
+  std::int64_t param_count() const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int vocab_;
+  int d_model_;
+  int max_len_;
+};
+
+/// Encoder/decoder bridge. Placed between the encoder stack and the
+/// decoder stack in the sequential module list, it:
+///  - moves the encoder output from `x` into `ctx` (the encoder memory all
+///    later cross-attention stages read), and
+///  - embeds the decoder input tokens riding in `aux` into the new `x`.
+/// Parameters: the target-side embedding E_dec[V, D].
+/// In the backward pass the accumulated `ctx` gradient becomes the
+/// gradient flowing back into the encoder stack.
+class DecoderBridge : public Module {
+ public:
+  DecoderBridge(int vocab, int d_model, int max_len);
+
+  std::string name() const override { return "DecoderBridge"; }
+  std::int64_t param_count() const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int vocab_;
+  int d_model_;
+  int max_len_;
+};
+
+}  // namespace pipemare::nn

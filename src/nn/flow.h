@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace pipemare::nn {
+
+/// The activation bundle that flows between pipeline stages.
+///
+/// `x` is the main activation. The auxiliary tensors let a *sequential*
+/// module list express the two non-sequential constructs our models need:
+///  - `skip`: the open residual shortcut inside a ResNet block or a
+///    Transformer sublayer (`ResidualOpen` fills it, `ResidualClose`
+///    consumes it). At most one shortcut is open at a time.
+///  - `ctx`:  the encoder memory after the encoder/decoder bridge; every
+///    decoder cross-attention stage reads it and, in the backward pass,
+///    accumulates gradient into the mirrored field.
+///  - `aux`:  raw decoder input tokens riding along until the bridge
+///    embeds them (integer ids stored as floats; carries no gradient).
+///
+/// The same struct represents gradients in the backward pass: `x` holds
+/// dL/dx, `ctx` holds dL/dctx, `skip` holds dL/dskip.
+struct Flow {
+  tensor::Tensor x;
+  tensor::Tensor ctx;
+  tensor::Tensor skip;
+  tensor::Tensor aux;
+
+  /// True during training forward passes (set by the execution engines);
+  /// stochastic-regularization modules (Dropout) are identity when false.
+  bool training = false;
+};
+
+}  // namespace pipemare::nn

@@ -1,0 +1,113 @@
+#include "src/nn/heads.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+#include "src/util/stats.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+LossResult ClassificationXent::forward_backward(const Tensor& output,
+                                                const Tensor& target) const {
+  if (output.rank() != 2) throw std::invalid_argument("ClassificationXent: [B,K] required");
+  int b = output.dim(0), k = output.dim(1);
+  if (target.size() != b) throw std::invalid_argument("ClassificationXent: target size");
+  Tensor logp = tensor::log_softmax_rows(output);
+  LossResult res;
+  res.doutput = Tensor({b, k});
+  double inv_b = 1.0 / b;
+  for (int i = 0; i < b; ++i) {
+    int y = static_cast<int>(target[i]);
+    if (y < 0 || y >= k) throw std::out_of_range("ClassificationXent: label out of range");
+    res.loss -= logp.at(i, y) * inv_b;
+    int pred = 0;
+    float best = logp.at(i, 0);
+    for (int j = 1; j < k; ++j) {
+      if (logp.at(i, j) > best) {
+        best = logp.at(i, j);
+        pred = j;
+      }
+    }
+    if (pred == y) res.correct += 1.0;
+    for (int j = 0; j < k; ++j) {
+      float p = std::exp(logp.at(i, j));
+      res.doutput.at(i, j) = static_cast<float>((p - (j == y ? 1.0F : 0.0F)) * inv_b);
+    }
+  }
+  res.count = b;
+  return res;
+}
+
+SequenceXent::SequenceXent(double label_smoothing, int pad_id)
+    : smoothing_(label_smoothing), pad_id_(pad_id) {
+  if (label_smoothing < 0.0 || label_smoothing >= 1.0) {
+    throw std::invalid_argument("SequenceXent: smoothing in [0,1) required");
+  }
+}
+
+LossResult SequenceXent::forward_backward(const Tensor& output, const Tensor& target) const {
+  if (output.rank() != 3) throw std::invalid_argument("SequenceXent: [B,S,V] required");
+  int b = output.dim(0), s = output.dim(1), v = output.dim(2);
+  if (target.size() != static_cast<std::int64_t>(b) * s) {
+    throw std::invalid_argument("SequenceXent: target size mismatch");
+  }
+  Tensor logits2d = output.reshaped({b * s, v});
+  Tensor logp = tensor::log_softmax_rows(logits2d);
+  LossResult res;
+  res.doutput = Tensor(output.shape());
+  Tensor dflat = res.doutput.reshaped({b * s, v});
+  int active = 0;
+  for (int r = 0; r < b * s; ++r) {
+    int y = static_cast<int>(target[r]);
+    if (y == pad_id_) continue;
+    ++active;
+  }
+  if (active == 0) return res;
+  double inv_n = 1.0 / active;
+  // Smoothed target: (1 - eps) on the gold token plus eps/V spread uniformly.
+  double on_gold = 1.0 - smoothing_;
+  double uniform = smoothing_ / v;
+  for (int r = 0; r < b * s; ++r) {
+    int y = static_cast<int>(target[r]);
+    if (y == pad_id_) continue;
+    if (y < 0 || y >= v) throw std::out_of_range("SequenceXent: token out of range");
+    int pred = 0;
+    float best = logp.at(r, 0);
+    double row_loss = 0.0;
+    for (int j = 0; j < v; ++j) {
+      double t = uniform + (j == y ? on_gold : 0.0);
+      row_loss -= t * logp.at(r, j);
+      if (logp.at(r, j) > best) {
+        best = logp.at(r, j);
+        pred = j;
+      }
+      float p = std::exp(logp.at(r, j));
+      dflat.at(r, j) = static_cast<float>((p - t) * inv_n);
+    }
+    res.loss += row_loss * inv_n;
+    if (pred == y) res.correct += 1.0;
+  }
+  res.count = active;
+  res.doutput = dflat.reshaped({b, s, v});
+  return res;
+}
+
+LossResult MseLoss::forward_backward(const Tensor& output, const Tensor& target) const {
+  if (output.size() != target.size()) throw std::invalid_argument("MseLoss: size mismatch");
+  auto n = static_cast<double>(output.size());
+  LossResult res;
+  res.doutput = Tensor(output.shape());
+  for (std::int64_t i = 0; i < output.size(); ++i) {
+    double d = static_cast<double>(output[i]) - target[i];
+    res.loss += 0.5 * d * d / n;
+    res.doutput[i] = static_cast<float>(d / n);
+  }
+  res.correct = -res.loss;
+  res.count = n;
+  return res;
+}
+
+}  // namespace pipemare::nn

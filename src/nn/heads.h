@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "src/tensor/tensor.h"
+
+namespace pipemare::nn {
+
+/// Loss + initial gradient + quality metric for one (micro)batch.
+struct LossResult {
+  double loss = 0.0;           ///< mean loss over the (micro)batch
+  tensor::Tensor doutput;      ///< gradient w.r.t. the model output
+  double correct = 0.0;        ///< #correct predictions (task-defined)
+  double count = 0.0;          ///< #predictions scored
+};
+
+/// Task-specific loss head applied after the last module. Kept outside the
+/// module list because it consumes labels, which never flow through the
+/// pipeline.
+class LossHead {
+ public:
+  virtual ~LossHead() = default;
+  virtual LossResult forward_backward(const tensor::Tensor& output,
+                                      const tensor::Tensor& target) const = 0;
+};
+
+/// Softmax cross-entropy for classification. Output [B, K]; target [B]
+/// class ids (as floats). Metric: top-1 correctness.
+class ClassificationXent : public LossHead {
+ public:
+  LossResult forward_backward(const tensor::Tensor& output,
+                              const tensor::Tensor& target) const override;
+};
+
+/// Per-position label-smoothed cross-entropy for sequence generation.
+/// Output [B, S, V]; target [B, S] token ids. Positions whose target id is
+/// `pad_id` (if >= 0) are ignored. Metric: token-level accuracy.
+class SequenceXent : public LossHead {
+ public:
+  explicit SequenceXent(double label_smoothing = 0.1, int pad_id = -1);
+  LossResult forward_backward(const tensor::Tensor& output,
+                              const tensor::Tensor& target) const override;
+
+ private:
+  double smoothing_;
+  int pad_id_;
+};
+
+/// Mean squared error, 0.5 * mean (o - y)^2, for the linear-regression
+/// workload of Figure 3(b). Metric: negative loss.
+class MseLoss : public LossHead {
+ public:
+  LossResult forward_backward(const tensor::Tensor& output,
+                              const tensor::Tensor& target) const override;
+};
+
+}  // namespace pipemare::nn

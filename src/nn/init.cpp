@@ -1,0 +1,25 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace pipemare::nn {
+
+void kaiming_normal(std::span<float> w, int fan_in, util::Rng& rng) {
+  double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, std));
+}
+
+void xavier_uniform(std::span<float> w, int fan_in, int fan_out, util::Rng& rng) {
+  double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void normal_init(std::span<float> w, double stddev, util::Rng& rng) {
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void constant_init(std::span<float> w, float value) {
+  for (auto& v : w) v = value;
+}
+
+}  // namespace pipemare::nn

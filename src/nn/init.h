@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "src/util/rng.h"
+
+namespace pipemare::nn {
+
+/// He (Kaiming) normal initialization: N(0, sqrt(2 / fan_in)).
+void kaiming_normal(std::span<float> w, int fan_in, util::Rng& rng);
+
+/// Xavier (Glorot) uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(std::span<float> w, int fan_in, int fan_out, util::Rng& rng);
+
+/// Plain normal initialization with the given standard deviation.
+void normal_init(std::span<float> w, double stddev, util::Rng& rng);
+
+/// Fill with a constant (used for biases and norm parameters).
+void constant_init(std::span<float> w, float value);
+
+}  // namespace pipemare::nn

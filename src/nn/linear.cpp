@@ -1,0 +1,80 @@
+#include "src/nn/linear.h"
+
+#include <stdexcept>
+
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(int in_features, int out_features, bool relu_init)
+    : in_(in_features), out_(out_features), relu_init_(relu_init) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: positive dimensions required");
+  }
+}
+
+std::int64_t Linear::param_count() const {
+  return static_cast<std::int64_t>(in_) * out_ + out_;
+}
+
+std::vector<std::int64_t> Linear::param_unit_sizes(bool split_bias) const {
+  if (!split_bias) return {param_count()};
+  return {static_cast<std::int64_t>(in_) * out_, out_};
+}
+
+void Linear::init_params(std::span<float> w, util::Rng& rng) const {
+  auto weight = w.subspan(0, static_cast<std::size_t>(in_) * out_);
+  auto bias = w.subspan(static_cast<std::size_t>(in_) * out_);
+  if (relu_init_) {
+    kaiming_normal(weight, in_, rng);
+  } else {
+    xavier_uniform(weight, in_, out_, rng);
+  }
+  constant_init(bias, 0.0F);
+}
+
+namespace {
+Tensor as_rows(const Tensor& t, int features) {
+  auto n = static_cast<int>(t.size() / features);
+  return t.reshaped({n, features});
+}
+}  // namespace
+
+Flow Linear::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  Tensor x = as_rows(in.x, in_);
+  Tensor weight({out_, in_},
+                std::vector<float>(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(in_) * out_));
+  Tensor y = tensor::matmul_nt(x, weight);  // [n, out]
+  tensor::add_row_inplace(y, w.subspan(static_cast<std::size_t>(in_) * out_, out_));
+  cache.saved = {x};
+  Flow out = in;
+  std::vector<int> out_shape = in.x.shape();
+  out_shape.back() = out_;
+  out.x = y.reshaped(std::move(out_shape));
+  return out;
+}
+
+Flow Linear::backward(const Flow& dout, std::span<const float> w_bkwd,
+                      const Cache& cache, std::span<float> grad) const {
+  const Tensor& x = cache.saved.at(0);  // [n, in] from the forward pass
+  Tensor dy = as_rows(dout.x, out_);
+  // Parameter gradients use the *forward* activations (backprop semantics).
+  Tensor dw = tensor::matmul_tn(dy, x);  // [out, in]
+  for (std::int64_t i = 0; i < dw.size(); ++i) grad[static_cast<std::size_t>(i)] += dw[i];
+  tensor::col_sum_accumulate(dy, grad.subspan(static_cast<std::size_t>(in_) * out_, out_));
+  // Input gradient uses the *backward* weights (which may differ).
+  Tensor weight({out_, in_},
+                std::vector<float>(w_bkwd.begin(),
+                                   w_bkwd.begin() + static_cast<std::ptrdiff_t>(in_) * out_));
+  Tensor dx = tensor::matmul(dy, weight);  // [n, in]
+  Flow din = dout;
+  std::vector<int> in_shape = dout.x.shape();
+  in_shape.back() = in_;
+  din.x = dx.reshaped(std::move(in_shape));
+  return din;
+}
+
+}  // namespace pipemare::nn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Fully connected layer y = x W^T + b operating on the trailing dimension.
+///
+/// Accepts [N, in] or [B, S, in] inputs (higher ranks are flattened to
+/// rows). Parameter layout: W in row-major [out, in], then b[out].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, bool relu_init = false);
+
+  std::string name() const override { return "Linear"; }
+  std::int64_t param_count() const override;
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  bool relu_init_;  ///< use He init (layer followed by a ReLU) instead of Xavier
+};
+
+}  // namespace pipemare::nn

@@ -1,0 +1,84 @@
+#include "src/nn/model.h"
+
+#include <stdexcept>
+
+namespace pipemare::nn {
+
+int Model::add(ModulePtr module) {
+  offsets_.push_back(total_params_);
+  total_params_ += module->param_count();
+  modules_.push_back(std::move(module));
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+std::span<const float> Model::module_params(int i, std::span<const float> flat) const {
+  auto idx = static_cast<std::size_t>(i);
+  return flat.subspan(static_cast<std::size_t>(offsets_.at(idx)),
+                      static_cast<std::size_t>(modules_[idx]->param_count()));
+}
+
+std::span<float> Model::module_params(int i, std::span<float> flat) const {
+  auto idx = static_cast<std::size_t>(i);
+  return flat.subspan(static_cast<std::size_t>(offsets_.at(idx)),
+                      static_cast<std::size_t>(modules_[idx]->param_count()));
+}
+
+void Model::init_params(std::span<float> flat, util::Rng& rng) const {
+  if (static_cast<std::int64_t>(flat.size()) != total_params_) {
+    throw std::invalid_argument("Model::init_params: flat size mismatch");
+  }
+  for (int i = 0; i < num_modules(); ++i) {
+    if (modules_[static_cast<std::size_t>(i)]->param_count() == 0) continue;
+    auto view = module_params(i, flat);
+    modules_[static_cast<std::size_t>(i)]->init_params(view, rng);
+  }
+}
+
+std::vector<WeightUnit> Model::weight_units(bool split_bias) const {
+  std::vector<WeightUnit> units;
+  for (int i = 0; i < num_modules(); ++i) {
+    std::int64_t off = offsets_[static_cast<std::size_t>(i)];
+    for (std::int64_t sz : modules_[static_cast<std::size_t>(i)]->param_unit_sizes(split_bias)) {
+      units.push_back({i, off, sz});
+      off += sz;
+    }
+  }
+  return units;
+}
+
+Flow Model::forward_range(int first, int last, Flow in, std::span<const float> params,
+                          std::vector<Cache>& caches) const {
+  if (first < 0 || last > num_modules() || first > last) {
+    throw std::out_of_range("Model::forward_range: bad range");
+  }
+  for (int i = first; i < last; ++i) {
+    auto& cache = caches.at(static_cast<std::size_t>(i));
+    cache.clear();
+    in = modules_[static_cast<std::size_t>(i)]->forward(in, module_params(i, params), cache);
+  }
+  return in;
+}
+
+Flow Model::backward_range(int first, int last, Flow dout, std::span<const float> params,
+                           const std::vector<Cache>& caches, std::span<float> grad) const {
+  if (first < 0 || last > num_modules() || first > last) {
+    throw std::out_of_range("Model::backward_range: bad range");
+  }
+  for (int i = last - 1; i >= first; --i) {
+    dout = modules_[static_cast<std::size_t>(i)]->backward(
+        dout, module_params(i, params), caches.at(static_cast<std::size_t>(i)),
+        module_params(i, grad));
+  }
+  return dout;
+}
+
+Flow Model::forward(Flow in, std::span<const float> params, std::vector<Cache>& caches) const {
+  return forward_range(0, num_modules(), std::move(in), params, caches);
+}
+
+Flow Model::backward(Flow dout, std::span<const float> params,
+                     const std::vector<Cache>& caches, std::span<float> grad) const {
+  return backward_range(0, num_modules(), std::move(dout), params, caches, grad);
+}
+
+}  // namespace pipemare::nn

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// A weight unit: the granularity at which the paper assigns model weights
+/// to pipeline stages ("traverse model weights according to their
+/// topological order ... divide these model weights evenly into P stages").
+struct WeightUnit {
+  int module = 0;           ///< owning module index
+  std::int64_t offset = 0;  ///< offset into the flat parameter vector
+  std::int64_t size = 0;    ///< number of parameters in the unit
+};
+
+/// An ordered list of modules with a flat parameter layout.
+///
+/// The Model is deliberately *stateless about weights*: every forward /
+/// backward call receives the flat parameter vector to use, which is what
+/// allows the pipeline engine to feed different weight versions to the
+/// forward and backward passes of the same microbatch (the heart of the
+/// paper's asynchronous execution model).
+class Model {
+ public:
+  Model() = default;
+
+  /// Appends a module; returns its index.
+  int add(ModulePtr module);
+
+  int num_modules() const { return static_cast<int>(modules_.size()); }
+  const Module& module(int i) const { return *modules_.at(static_cast<std::size_t>(i)); }
+
+  /// Total flat parameter count.
+  std::int64_t param_count() const { return total_params_; }
+
+  /// Parameter slice belonging to module `i`.
+  std::span<const float> module_params(int i, std::span<const float> flat) const;
+  std::span<float> module_params(int i, std::span<float> flat) const;
+
+  /// Initializes every module's parameters in the flat vector.
+  void init_params(std::span<float> flat, util::Rng& rng) const;
+
+  /// Weight units in topological order. With `split_bias`, weight matrices
+  /// and biases become separate units (the paper's "2x stages" regime).
+  std::vector<WeightUnit> weight_units(bool split_bias) const;
+
+  /// Runs modules [first, last) forward. `caches` must have one Cache per
+  /// module in the model; only the range's entries are written.
+  Flow forward_range(int first, int last, Flow in, std::span<const float> params,
+                     std::vector<Cache>& caches) const;
+
+  /// Runs modules [first, last) backward (in reverse), accumulating
+  /// parameter gradients into `grad` (same layout as the flat params).
+  Flow backward_range(int first, int last, Flow dout, std::span<const float> params,
+                      const std::vector<Cache>& caches, std::span<float> grad) const;
+
+  /// Whole-model convenience wrappers.
+  Flow forward(Flow in, std::span<const float> params, std::vector<Cache>& caches) const;
+  Flow backward(Flow dout, std::span<const float> params,
+                const std::vector<Cache>& caches, std::span<float> grad) const;
+
+  /// Fresh cache vector sized for this model.
+  std::vector<Cache> make_caches() const { return std::vector<Cache>(modules_.size()); }
+
+ private:
+  std::vector<ModulePtr> modules_;
+  std::vector<std::int64_t> offsets_;  ///< per-module offset into flat params
+  std::int64_t total_params_ = 0;
+};
+
+}  // namespace pipemare::nn

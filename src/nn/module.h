@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/flow.h"
+#include "src/util/rng.h"
+
+namespace pipemare::nn {
+
+/// Per-microbatch activation cache a module fills during `forward` and
+/// consumes during `backward`. Modules own their slot conventions.
+struct Cache {
+  std::vector<tensor::Tensor> saved;
+  void clear() { saved.clear(); }
+};
+
+/// Base class for all layers.
+///
+/// The central design requirement comes from the paper's asynchronous
+/// model (Section 2.1): backpropagation may evaluate the backward pass
+/// with *different* weights than the forward pass used
+/// (`grad f_t(u_fwd, u_bkwd)`). Therefore:
+///  - `forward` receives a parameter view and records whatever activations
+///    backward needs into `cache`;
+///  - `backward` receives an *independent* parameter view `w_bkwd`
+///    (PipeDream passes the stashed forward weights, PipeMare passes the
+///    current — possibly T2-corrected — weights) plus the forward cache,
+///    and accumulates parameter gradients into `grad`.
+///
+/// Modules are stateless: all parameters live in externally owned flat
+/// vectors, which makes weight versioning, stashing and the T2 buffer
+/// trivial for the pipeline engine.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total number of parameters (0 for parameter-free layers).
+  virtual std::int64_t param_count() const { return 0; }
+
+  /// Sizes of the module's "weight units" — the granularity at which the
+  /// paper partitions models into pipeline stages ("treating the weight
+  /// and bias in the same layer as a single model weight"). With
+  /// `split_bias` the weight matrix and bias become separate units,
+  /// doubling the number of stages (the paper's 2x stress test).
+  virtual std::vector<std::int64_t> param_unit_sizes(bool split_bias) const {
+    (void)split_bias;
+    if (param_count() == 0) return {};
+    return {param_count()};
+  }
+
+  virtual void init_params(std::span<float> w, util::Rng& rng) const { (void)w, (void)rng; }
+
+  virtual Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const = 0;
+
+  virtual Flow backward(const Flow& dout, std::span<const float> w_bkwd,
+                        const Cache& cache, std::span<float> grad) const = 0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace pipemare::nn

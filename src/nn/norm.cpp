@@ -1,0 +1,310 @@
+#include "src/nn/norm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/nn/init.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d
+// ---------------------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int channels, double eps) : channels_(channels), eps_(eps) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels > 0 required");
+}
+
+std::vector<std::int64_t> BatchNorm2d::param_unit_sizes(bool split_bias) const {
+  if (!split_bias) return {param_count()};
+  return {channels_, channels_};
+}
+
+void BatchNorm2d::init_params(std::span<float> w, util::Rng& rng) const {
+  (void)rng;
+  constant_init(w.subspan(0, static_cast<std::size_t>(channels_)), 1.0F);
+  constant_init(w.subspan(static_cast<std::size_t>(channels_)), 0.0F);
+}
+
+Flow BatchNorm2d::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  const Tensor& x = in.x;
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: BCHW input with matching channels required");
+  }
+  int b = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  auto n = static_cast<float>(b * h * wd);
+  Tensor xhat(x.shape());
+  Tensor inv_std({c});
+  Tensor y(x.shape());
+  for (int ci = 0; ci < c; ++ci) {
+    double s = 0.0;
+    for (int bi = 0; bi < b; ++bi)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < wd; ++ix) s += x.at(bi, ci, iy, ix);
+    double mu = s / n;
+    double v = 0.0;
+    for (int bi = 0; bi < b; ++bi)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < wd; ++ix) {
+          double d = x.at(bi, ci, iy, ix) - mu;
+          v += d * d;
+        }
+    double istd = 1.0 / std::sqrt(v / n + eps_);
+    inv_std.at(ci) = static_cast<float>(istd);
+    float gamma = w[static_cast<std::size_t>(ci)];
+    float beta = w[static_cast<std::size_t>(channels_ + ci)];
+    for (int bi = 0; bi < b; ++bi)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < wd; ++ix) {
+          auto xh = static_cast<float>((x.at(bi, ci, iy, ix) - mu) * istd);
+          xhat.at(bi, ci, iy, ix) = xh;
+          y.at(bi, ci, iy, ix) = gamma * xh + beta;
+        }
+  }
+  cache.saved = {xhat, inv_std};
+  Flow out = in;
+  out.x = std::move(y);
+  return out;
+}
+
+Flow BatchNorm2d::backward(const Flow& dout, std::span<const float> w_bkwd,
+                           const Cache& cache, std::span<float> grad) const {
+  const Tensor& xhat = cache.saved.at(0);
+  const Tensor& inv_std = cache.saved.at(1);
+  const Tensor& dy = dout.x;
+  int b = dy.dim(0), c = dy.dim(1), h = dy.dim(2), wd = dy.dim(3);
+  auto n = static_cast<double>(b * h * wd);
+  Tensor dx(dy.shape());
+  for (int ci = 0; ci < c; ++ci) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int bi = 0; bi < b; ++bi)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < wd; ++ix) {
+          double g = dy.at(bi, ci, iy, ix);
+          sum_dy += g;
+          sum_dy_xhat += g * xhat.at(bi, ci, iy, ix);
+        }
+    grad[static_cast<std::size_t>(ci)] += static_cast<float>(sum_dy_xhat);
+    grad[static_cast<std::size_t>(channels_ + ci)] += static_cast<float>(sum_dy);
+    // Input gradient evaluated with the backward-pass gamma.
+    double gamma_b = w_bkwd[static_cast<std::size_t>(ci)];
+    double k = gamma_b * inv_std.at(ci);
+    double mean_dy = sum_dy / n;
+    double mean_dy_xhat = sum_dy_xhat / n;
+    for (int bi = 0; bi < b; ++bi)
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < wd; ++ix) {
+          double g = dy.at(bi, ci, iy, ix);
+          dx.at(bi, ci, iy, ix) = static_cast<float>(
+              k * (g - mean_dy - xhat.at(bi, ci, iy, ix) * mean_dy_xhat));
+        }
+  }
+  Flow din = dout;
+  din.x = std::move(dx);
+  return din;
+}
+
+// ---------------------------------------------------------------------------
+// GroupNorm2d
+// ---------------------------------------------------------------------------
+
+GroupNorm2d::GroupNorm2d(int channels, int groups, double eps)
+    : channels_(channels), groups_(groups), eps_(eps) {
+  if (channels <= 0 || groups <= 0 || channels % groups != 0) {
+    throw std::invalid_argument("GroupNorm2d: channels divisible by groups required");
+  }
+}
+
+std::vector<std::int64_t> GroupNorm2d::param_unit_sizes(bool split_bias) const {
+  if (!split_bias) return {param_count()};
+  return {channels_, channels_};
+}
+
+void GroupNorm2d::init_params(std::span<float> w, util::Rng& rng) const {
+  (void)rng;
+  constant_init(w.subspan(0, static_cast<std::size_t>(channels_)), 1.0F);
+  constant_init(w.subspan(static_cast<std::size_t>(channels_)), 0.0F);
+}
+
+Flow GroupNorm2d::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  const Tensor& x = in.x;
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("GroupNorm2d: BCHW input with matching channels required");
+  }
+  int b = x.dim(0), h = x.dim(2), wd = x.dim(3);
+  int cpg = channels_ / groups_;  // channels per group
+  auto n = static_cast<double>(cpg * h * wd);
+  Tensor xhat(x.shape());
+  Tensor inv_std({b, groups_});
+  Tensor y(x.shape());
+  for (int bi = 0; bi < b; ++bi) {
+    for (int g = 0; g < groups_; ++g) {
+      double s = 0.0;
+      for (int c = g * cpg; c < (g + 1) * cpg; ++c)
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < wd; ++ix) s += x.at(bi, c, iy, ix);
+      double mu = s / n;
+      double v = 0.0;
+      for (int c = g * cpg; c < (g + 1) * cpg; ++c)
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < wd; ++ix) {
+            double d = x.at(bi, c, iy, ix) - mu;
+            v += d * d;
+          }
+      double istd = 1.0 / std::sqrt(v / n + eps_);
+      inv_std.at(bi, g) = static_cast<float>(istd);
+      for (int c = g * cpg; c < (g + 1) * cpg; ++c) {
+        float gamma = w[static_cast<std::size_t>(c)];
+        float beta = w[static_cast<std::size_t>(channels_ + c)];
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < wd; ++ix) {
+            auto xh = static_cast<float>((x.at(bi, c, iy, ix) - mu) * istd);
+            xhat.at(bi, c, iy, ix) = xh;
+            y.at(bi, c, iy, ix) = gamma * xh + beta;
+          }
+      }
+    }
+  }
+  cache.saved = {xhat, inv_std};
+  Flow out = in;
+  out.x = std::move(y);
+  return out;
+}
+
+Flow GroupNorm2d::backward(const Flow& dout, std::span<const float> w_bkwd,
+                           const Cache& cache, std::span<float> grad) const {
+  const Tensor& xhat = cache.saved.at(0);
+  const Tensor& inv_std = cache.saved.at(1);
+  const Tensor& dy = dout.x;
+  int b = dy.dim(0), h = dy.dim(2), wd = dy.dim(3);
+  int cpg = channels_ / groups_;
+  auto n = static_cast<double>(cpg * h * wd);
+  Tensor dx(dy.shape());
+  for (int bi = 0; bi < b; ++bi) {
+    for (int g = 0; g < groups_; ++g) {
+      // g_elem = dy * gamma_bkwd; normalization backward needs its group
+      // means (against 1 and xhat).
+      double mean_g = 0.0, mean_g_xhat = 0.0;
+      for (int c = g * cpg; c < (g + 1) * cpg; ++c) {
+        double gamma_b = w_bkwd[static_cast<std::size_t>(c)];
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < wd; ++ix) {
+            double gv = dy.at(bi, c, iy, ix);
+            grad[static_cast<std::size_t>(c)] +=
+                static_cast<float>(gv * xhat.at(bi, c, iy, ix));
+            grad[static_cast<std::size_t>(channels_ + c)] += static_cast<float>(gv);
+            mean_g += gv * gamma_b;
+            mean_g_xhat += gv * gamma_b * xhat.at(bi, c, iy, ix);
+          }
+      }
+      mean_g /= n;
+      mean_g_xhat /= n;
+      double istd = inv_std.at(bi, g);
+      for (int c = g * cpg; c < (g + 1) * cpg; ++c) {
+        double gamma_b = w_bkwd[static_cast<std::size_t>(c)];
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < wd; ++ix) {
+            double gv = dy.at(bi, c, iy, ix) * gamma_b;
+            dx.at(bi, c, iy, ix) = static_cast<float>(
+                istd * (gv - mean_g - xhat.at(bi, c, iy, ix) * mean_g_xhat));
+          }
+      }
+    }
+  }
+  Flow din = dout;
+  din.x = std::move(dx);
+  return din;
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int features, double eps) : features_(features), eps_(eps) {
+  if (features <= 0) throw std::invalid_argument("LayerNorm: features > 0 required");
+}
+
+std::vector<std::int64_t> LayerNorm::param_unit_sizes(bool split_bias) const {
+  if (!split_bias) return {param_count()};
+  return {features_, features_};
+}
+
+void LayerNorm::init_params(std::span<float> w, util::Rng& rng) const {
+  (void)rng;
+  constant_init(w.subspan(0, static_cast<std::size_t>(features_)), 1.0F);
+  constant_init(w.subspan(static_cast<std::size_t>(features_)), 0.0F);
+}
+
+Flow LayerNorm::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  const Tensor& x = in.x;
+  if (x.dim(x.rank() - 1) != features_) {
+    throw std::invalid_argument("LayerNorm: trailing dimension mismatch");
+  }
+  auto rows = static_cast<int>(x.size() / features_);
+  Tensor xhat(x.shape());
+  Tensor inv_std({rows});
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* ph = xhat.data();
+  float* py = y.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = px + static_cast<std::size_t>(r) * features_;
+    double mu = 0.0;
+    for (int j = 0; j < features_; ++j) mu += xr[j];
+    mu /= features_;
+    double v = 0.0;
+    for (int j = 0; j < features_; ++j) v += (xr[j] - mu) * (xr[j] - mu);
+    double istd = 1.0 / std::sqrt(v / features_ + eps_);
+    inv_std.at(r) = static_cast<float>(istd);
+    for (int j = 0; j < features_; ++j) {
+      auto xh = static_cast<float>((xr[j] - mu) * istd);
+      ph[static_cast<std::size_t>(r) * features_ + j] = xh;
+      py[static_cast<std::size_t>(r) * features_ + j] =
+          w[static_cast<std::size_t>(j)] * xh + w[static_cast<std::size_t>(features_ + j)];
+    }
+  }
+  cache.saved = {xhat, inv_std};
+  Flow out = in;
+  out.x = std::move(y);
+  return out;
+}
+
+Flow LayerNorm::backward(const Flow& dout, std::span<const float> w_bkwd,
+                         const Cache& cache, std::span<float> grad) const {
+  const Tensor& xhat = cache.saved.at(0);
+  const Tensor& inv_std = cache.saved.at(1);
+  const Tensor& dy = dout.x;
+  auto rows = static_cast<int>(dy.size() / features_);
+  Tensor dx(dy.shape());
+  const float* pdy = dy.data();
+  const float* ph = xhat.data();
+  float* pdx = dx.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* dyr = pdy + static_cast<std::size_t>(r) * features_;
+    const float* xhr = ph + static_cast<std::size_t>(r) * features_;
+    // g = dy * gamma_bkwd elementwise; dgamma/dbeta use cached activations.
+    double mean_g = 0.0, mean_g_xhat = 0.0;
+    for (int j = 0; j < features_; ++j) {
+      grad[static_cast<std::size_t>(j)] += dyr[j] * xhr[j];
+      grad[static_cast<std::size_t>(features_ + j)] += dyr[j];
+      double g = static_cast<double>(dyr[j]) * w_bkwd[static_cast<std::size_t>(j)];
+      mean_g += g;
+      mean_g_xhat += g * xhr[j];
+    }
+    mean_g /= features_;
+    mean_g_xhat /= features_;
+    double istd = inv_std.at(r);
+    for (int j = 0; j < features_; ++j) {
+      double g = static_cast<double>(dyr[j]) * w_bkwd[static_cast<std::size_t>(j)];
+      pdx[static_cast<std::size_t>(r) * features_ + j] =
+          static_cast<float>(istd * (g - mean_g - xhr[j] * mean_g_xhat));
+    }
+  }
+  Flow din = dout;
+  din.x = std::move(dx);
+  return din;
+}
+
+}  // namespace pipemare::nn

@@ -1,0 +1,75 @@
+#pragma once
+
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Batch normalization over BCHW tensors (statistics per channel across
+/// batch and spatial dimensions). Parameter layout: gamma[C], beta[C].
+///
+/// Statistics are always computed from the current (micro)batch — the same
+/// behaviour the paper relies on when it picks microbatch sizes "as small
+/// as possible without causing issues for batch normalization". Evaluation
+/// also uses batch statistics (documented substitution: no running-stat
+/// state, because modules are stateless for weight versioning).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int channels, double eps = 1e-5);
+
+  std::string name() const override { return "BatchNorm2d"; }
+  std::int64_t param_count() const override { return 2LL * channels_; }
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int channels_;
+  double eps_;
+};
+
+/// Group normalization over BCHW tensors (Wu & He, cited by the paper as
+/// the remedy for batch-statistics degradation at small microbatches):
+/// statistics are computed per sample over channel groups, so the
+/// microbatch size can shrink to 1 — which minimizes both activation
+/// memory and the pipeline delay tau = (2(P-i)+1)/N.
+/// Parameter layout: gamma[C], beta[C].
+class GroupNorm2d : public Module {
+ public:
+  GroupNorm2d(int channels, int groups, double eps = 1e-5);
+
+  std::string name() const override { return "GroupNorm2d"; }
+  std::int64_t param_count() const override { return 2LL * channels_; }
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int channels_;
+  int groups_;
+  double eps_;
+};
+
+/// Layer normalization over the trailing dimension. Parameter layout:
+/// gamma[D], beta[D].
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int features, double eps = 1e-5);
+
+  std::string name() const override { return "LayerNorm"; }
+  std::int64_t param_count() const override { return 2LL * features_; }
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  int features_;
+  double eps_;
+};
+
+}  // namespace pipemare::nn

@@ -1,0 +1,81 @@
+#include "src/nn/residual.h"
+
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+Flow ResidualOpen::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  (void)w, (void)cache;
+  if (!in.skip.empty()) {
+    throw std::logic_error("ResidualOpen: a shortcut is already open");
+  }
+  Flow out = in;
+  out.skip = in.x;
+  return out;
+}
+
+Flow ResidualOpen::backward(const Flow& dout, std::span<const float> w_bkwd,
+                            const Cache& cache, std::span<float> grad) const {
+  (void)w_bkwd, (void)cache, (void)grad;
+  // The forward fan-out (x feeds both the main path and the shortcut)
+  // becomes a gradient sum in the backward pass.
+  Flow din = dout;
+  if (!dout.skip.empty()) {
+    din.x = tensor::add(dout.x, dout.skip);
+  }
+  din.skip = Tensor();
+  return din;
+}
+
+ResidualClose::ResidualClose() = default;
+
+ResidualClose::ResidualClose(int in_channels, int out_channels, int stride)
+    : projection_(std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0)) {}
+
+std::int64_t ResidualClose::param_count() const {
+  return projection_ ? projection_->param_count() : 0;
+}
+
+std::vector<std::int64_t> ResidualClose::param_unit_sizes(bool split_bias) const {
+  return projection_ ? projection_->param_unit_sizes(split_bias)
+                     : std::vector<std::int64_t>{};
+}
+
+void ResidualClose::init_params(std::span<float> w, util::Rng& rng) const {
+  if (projection_) projection_->init_params(w, rng);
+}
+
+Flow ResidualClose::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
+  if (in.skip.empty()) throw std::logic_error("ResidualClose: no open shortcut");
+  Flow out = in;
+  if (projection_) {
+    Flow skip_in;
+    skip_in.x = in.skip;
+    Flow projected = projection_->forward(skip_in, w, cache);
+    out.x = tensor::add(in.x, projected.x);
+  } else {
+    out.x = tensor::add(in.x, in.skip);
+  }
+  out.skip = Tensor();
+  return out;
+}
+
+Flow ResidualClose::backward(const Flow& dout, std::span<const float> w_bkwd,
+                             const Cache& cache, std::span<float> grad) const {
+  Flow din = dout;
+  if (projection_) {
+    Flow dproj;
+    dproj.x = dout.x;
+    Flow dskip = projection_->backward(dproj, w_bkwd, cache, grad);
+    din.skip = dskip.x;
+  } else {
+    din.skip = dout.x;
+  }
+  return din;
+}
+
+}  // namespace pipemare::nn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "src/nn/conv2d.h"
+#include "src/nn/module.h"
+
+namespace pipemare::nn {
+
+/// Opens a residual shortcut: copies the current activation into the
+/// `skip` channel of the Flow. Parameter-free. Exactly one shortcut may be
+/// open at a time; `ResidualClose` consumes it. Decomposing blocks this way
+/// keeps every weight unit its own module, which is what lets the stage
+/// partitioner cut *inside* residual blocks (the paper's fine-grained
+/// pipeline: one stage per model weight).
+class ResidualOpen : public Module {
+ public:
+  std::string name() const override { return "ResidualOpen"; }
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+};
+
+/// Closes a residual shortcut: adds the saved skip tensor into the main
+/// activation. When the main path changed shape (channel growth and/or
+/// stride), a 1x1 projection convolution is applied to the skip path and
+/// this module owns its parameters.
+class ResidualClose : public Module {
+ public:
+  /// Identity shortcut.
+  ResidualClose();
+
+  /// Projection shortcut: 1x1 conv with the given channel change / stride.
+  ResidualClose(int in_channels, int out_channels, int stride);
+
+  std::string name() const override { return "ResidualClose"; }
+  std::int64_t param_count() const override;
+  std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  void init_params(std::span<float> w, util::Rng& rng) const override;
+  Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
+  Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
+                std::span<float> grad) const override;
+
+ private:
+  std::unique_ptr<Conv2d> projection_;  ///< null for the identity shortcut
+};
+
+}  // namespace pipemare::nn

@@ -1,0 +1,57 @@
+#include "src/nn/resnet.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/nn/norm.h"
+#include "src/nn/residual.h"
+
+namespace pipemare::nn {
+
+ResNetConfig ResNetConfig::deep() {
+  ResNetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.blocks_per_group = {3, 4, 3};
+  return cfg;
+}
+
+namespace {
+ModulePtr make_norm(const ResNetConfig& cfg, int channels) {
+  if (cfg.group_norm) return std::make_unique<GroupNorm2d>(channels, cfg.gn_groups);
+  return std::make_unique<BatchNorm2d>(channels);
+}
+}  // namespace
+
+Model make_resnet(const ResNetConfig& cfg) {
+  Model model;
+  int channels = cfg.base_channels;
+  model.add(std::make_unique<Conv2d>(cfg.in_channels, channels, 3, 1, 1));
+  model.add(make_norm(cfg, channels));
+  model.add(std::make_unique<ReLU>());
+  for (std::size_t g = 0; g < cfg.blocks_per_group.size(); ++g) {
+    int out_channels = g == 0 ? channels : channels * 2;
+    for (int blk = 0; blk < cfg.blocks_per_group[g]; ++blk) {
+      bool downsample = g > 0 && blk == 0;
+      int stride = downsample ? 2 : 1;
+      int in_ch = blk == 0 ? channels : out_channels;
+      model.add(std::make_unique<ResidualOpen>());
+      model.add(std::make_unique<Conv2d>(in_ch, out_channels, 3, stride, 1));
+      model.add(make_norm(cfg, out_channels));
+      model.add(std::make_unique<ReLU>());
+      model.add(std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1));
+      model.add(make_norm(cfg, out_channels));
+      if (downsample || in_ch != out_channels) {
+        model.add(std::make_unique<ResidualClose>(in_ch, out_channels, stride));
+      } else {
+        model.add(std::make_unique<ResidualClose>());
+      }
+      model.add(std::make_unique<ReLU>());
+    }
+    channels = out_channels;
+  }
+  model.add(std::make_unique<GlobalAvgPool>());
+  model.add(std::make_unique<Linear>(channels, cfg.num_classes));
+  return model;
+}
+
+}  // namespace pipemare::nn

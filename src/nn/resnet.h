@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/nn/model.h"
+
+namespace pipemare::nn {
+
+/// Configuration of the CIFAR-style residual CNN used as the paper's
+/// ResNet50/ResNet152 analog. Groups double the channel count and halve
+/// the spatial resolution (stride-2 first block), exactly the classic
+/// layout, scaled to synthetic 16x16 images.
+struct ResNetConfig {
+  int in_channels = 3;
+  int base_channels = 8;
+  std::vector<int> blocks_per_group = {1, 1, 1};
+  int num_classes = 10;
+
+  /// Replace BatchNorm with GroupNorm (Wu & He), which the paper cites as
+  /// the remedy when microbatches get too small for batch statistics —
+  /// with GroupNorm the image tasks can run microbatch 1, minimizing the
+  /// pipeline delay (2(P-i)+1)/N. See bench/ablation_norm_microbatch.
+  bool group_norm = false;
+  int gn_groups = 2;
+
+  /// Deeper preset standing in for ResNet152 in Figure 11 (more blocks =>
+  /// more weight units => more pipeline stages at unit granularity).
+  static ResNetConfig deep();
+};
+
+/// Builds the sequential module list:
+/// stem conv/BN/ReLU; residual groups (each block decomposed into
+/// ResidualOpen, Conv, BN, ReLU, Conv, BN, ResidualClose, ReLU so the stage
+/// partitioner can cut inside blocks); global average pool; linear head.
+Model make_resnet(const ResNetConfig& cfg);
+
+}  // namespace pipemare::nn

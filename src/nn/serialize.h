@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pipemare::nn {
+
+/// Minimal binary checkpoint format for flat parameter vectors:
+/// magic "PMWT", a uint64 element count, then raw little-endian float32s.
+/// Lets users persist trained weights from the examples/benches and reload
+/// them for evaluation or fine-tuning.
+
+/// Writes a checkpoint; throws std::runtime_error on I/O failure.
+void save_weights(const std::string& path, std::span<const float> weights);
+
+/// Reads a checkpoint; throws std::runtime_error on I/O failure or a
+/// malformed file.
+std::vector<float> load_weights(const std::string& path);
+
+}  // namespace pipemare::nn

@@ -1,0 +1,207 @@
+#include "src/nn/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/nn/activations.h"
+#include "src/nn/attention.h"
+#include "src/nn/dropout.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/nn/norm.h"
+#include "src/nn/residual.h"
+#include "src/tensor/ops.h"
+
+namespace pipemare::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+void maybe_add_dropout(Model& model, const TransformerConfig& cfg) {
+  if (cfg.dropout > 0.0) {
+    // Seed each dropout instance differently but deterministically.
+    model.add(std::make_unique<Dropout>(
+        cfg.dropout, 0x9e3779b9ULL + static_cast<std::uint64_t>(model.num_modules())));
+  }
+}
+
+void add_ffn_sublayer(Model& model, const TransformerConfig& cfg) {
+  model.add(std::make_unique<ResidualOpen>());
+  model.add(std::make_unique<Linear>(cfg.d_model, cfg.ffn_hidden, /*relu_init=*/true));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Linear>(cfg.ffn_hidden, cfg.d_model));
+  maybe_add_dropout(model, cfg);
+  model.add(std::make_unique<ResidualClose>());
+  model.add(std::make_unique<LayerNorm>(cfg.d_model));
+}
+
+void add_attn_sublayer(Model& model, const TransformerConfig& cfg,
+                       MultiHeadAttention::Kind kind) {
+  model.add(std::make_unique<ResidualOpen>());
+  model.add(std::make_unique<MultiHeadAttention>(cfg.d_model, cfg.heads, kind));
+  maybe_add_dropout(model, cfg);
+  model.add(std::make_unique<ResidualClose>());
+  model.add(std::make_unique<LayerNorm>(cfg.d_model));
+}
+
+}  // namespace
+
+Model make_transformer(const TransformerConfig& cfg) {
+  Model model;
+  model.add(std::make_unique<TokenEmbedding>(cfg.vocab, cfg.d_model, cfg.max_len));
+  for (int l = 0; l < cfg.enc_layers; ++l) {
+    add_attn_sublayer(model, cfg, MultiHeadAttention::Kind::SelfAttention);
+    add_ffn_sublayer(model, cfg);
+  }
+  model.add(std::make_unique<DecoderBridge>(cfg.vocab, cfg.d_model, cfg.max_len));
+  for (int l = 0; l < cfg.dec_layers; ++l) {
+    add_attn_sublayer(model, cfg, MultiHeadAttention::Kind::CausalSelfAttention);
+    add_attn_sublayer(model, cfg, MultiHeadAttention::Kind::CrossAttention);
+    add_ffn_sublayer(model, cfg);
+  }
+  model.add(std::make_unique<Linear>(cfg.d_model, cfg.vocab));
+  return model;
+}
+
+namespace {
+
+/// Runs a full forward pass for the given src/tgt-in batch and returns the
+/// logits at the last target position, [B, V].
+Tensor last_position_logits(const Model& model, std::span<const float> params,
+                            const Tensor& src, const Tensor& tgt_in) {
+  Flow flow;
+  flow.x = src;
+  flow.aux = tgt_in;
+  auto caches = model.make_caches();
+  Flow out = model.forward(std::move(flow), params, caches);
+  int b = out.x.dim(0), s = out.x.dim(1), v = out.x.dim(2);
+  Tensor logits({b, v});
+  for (int bi = 0; bi < b; ++bi)
+    for (int j = 0; j < v; ++j) logits.at(bi, j) = out.x.at(bi, s - 1, j);
+  return logits;
+}
+
+std::vector<int> strip_eos(const std::vector<int>& toks, int eos) {
+  std::vector<int> out;
+  for (int t : toks) {
+    if (t == eos) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> greedy_decode(const Model& model,
+                                            std::span<const float> params,
+                                            const Tensor& src, int bos, int eos,
+                                            int max_steps) {
+  int b = src.dim(0);
+  std::vector<std::vector<int>> hyp(static_cast<std::size_t>(b), {bos});
+  std::vector<bool> done(static_cast<std::size_t>(b), false);
+  for (int step = 0; step < max_steps; ++step) {
+    int cur = static_cast<int>(hyp[0].size());
+    Tensor tgt_in({b, cur});
+    for (int bi = 0; bi < b; ++bi)
+      for (int t = 0; t < cur; ++t)
+        tgt_in.at(bi, t) = static_cast<float>(hyp[static_cast<std::size_t>(bi)][static_cast<std::size_t>(t)]);
+    Tensor logits = last_position_logits(model, params, src, tgt_in);
+    bool all_done = true;
+    for (int bi = 0; bi < b; ++bi) {
+      int best = 0;
+      for (int j = 1; j < logits.dim(1); ++j) {
+        if (logits.at(bi, j) > logits.at(bi, best)) best = j;
+      }
+      int tok = done[static_cast<std::size_t>(bi)] ? eos : best;
+      hyp[static_cast<std::size_t>(bi)].push_back(tok);
+      if (tok == eos) done[static_cast<std::size_t>(bi)] = true;
+      all_done = all_done && done[static_cast<std::size_t>(bi)];
+    }
+    if (all_done) break;
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(b));
+  for (auto& h : hyp) {
+    out.push_back(strip_eos({h.begin() + 1, h.end()}, eos));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> beam_decode(const Model& model,
+                                          std::span<const float> params,
+                                          const Tensor& src, int bos, int eos,
+                                          int max_steps, int beam_width,
+                                          double length_penalty) {
+  int b = src.dim(0), s = src.dim(1);
+  std::vector<std::vector<int>> results;
+  results.reserve(static_cast<std::size_t>(b));
+
+  struct Hypothesis {
+    std::vector<int> tokens;
+    double logp = 0.0;
+    bool done = false;
+    double score(double lp) const {
+      auto len = static_cast<double>(std::max<std::size_t>(tokens.size() - 1, 1));
+      return logp / std::pow(len, lp);
+    }
+  };
+
+  for (int bi = 0; bi < b; ++bi) {
+    std::vector<Hypothesis> beam = {{{bos}, 0.0, false}};
+    for (int step = 0; step < max_steps; ++step) {
+      // Collect live hypotheses (finished ones pass through unchanged).
+      std::vector<int> live;
+      for (int h = 0; h < static_cast<int>(beam.size()); ++h) {
+        if (!beam[static_cast<std::size_t>(h)].done) live.push_back(h);
+      }
+      if (live.empty()) break;
+      int cur = static_cast<int>(beam[static_cast<std::size_t>(live[0])].tokens.size());
+      int nb = static_cast<int>(live.size());
+      Tensor src_rep({nb, s});
+      Tensor tgt_in({nb, cur});
+      for (int r = 0; r < nb; ++r) {
+        const auto& hy = beam[static_cast<std::size_t>(live[static_cast<std::size_t>(r)])];
+        for (int j = 0; j < s; ++j) src_rep.at(r, j) = src.at(bi, j);
+        for (int t = 0; t < cur; ++t)
+          tgt_in.at(r, t) = static_cast<float>(hy.tokens[static_cast<std::size_t>(t)]);
+      }
+      Tensor logits = last_position_logits(model, params, src_rep, tgt_in);
+      Tensor logp = tensor::log_softmax_rows(logits);
+
+      std::vector<Hypothesis> candidates;
+      for (auto& hy : beam) {
+        if (hy.done) candidates.push_back(hy);
+      }
+      for (int r = 0; r < nb; ++r) {
+        const auto& hy = beam[static_cast<std::size_t>(live[static_cast<std::size_t>(r)])];
+        for (int j = 0; j < logp.dim(1); ++j) {
+          Hypothesis next = hy;
+          next.tokens.push_back(j);
+          next.logp += logp.at(r, j);
+          next.done = (j == eos);
+          candidates.push_back(std::move(next));
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](const Hypothesis& a, const Hypothesis& c) {
+                  return a.score(length_penalty) > c.score(length_penalty);
+                });
+      candidates.resize(std::min<std::size_t>(candidates.size(),
+                                              static_cast<std::size_t>(beam_width)));
+      beam = std::move(candidates);
+      bool all_done = true;
+      for (const auto& hy : beam) all_done = all_done && hy.done;
+      if (all_done) break;
+    }
+    const auto& best = *std::max_element(
+        beam.begin(), beam.end(), [&](const Hypothesis& a, const Hypothesis& c) {
+          return a.score(length_penalty) < c.score(length_penalty);
+        });
+    results.push_back(strip_eos({best.tokens.begin() + 1, best.tokens.end()}, eos));
+  }
+  return results;
+}
+
+}  // namespace pipemare::nn

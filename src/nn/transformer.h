@@ -1,0 +1,44 @@
+#pragma once
+
+#include "src/nn/model.h"
+
+namespace pipemare::nn {
+
+/// Configuration of the encoder-decoder Transformer (the paper's 12-layer
+/// IWSLT/WMT model scaled to the synthetic translation task).
+struct TransformerConfig {
+  int vocab = 32;
+  int d_model = 32;
+  int heads = 4;
+  int enc_layers = 2;
+  int dec_layers = 2;
+  int ffn_hidden = 64;
+  int max_len = 32;
+  /// Sublayer-output dropout, applied before each residual add
+  /// (the fairseq recipe the paper inherits uses 0.3 / 0.1; 0 disables).
+  double dropout = 0.0;
+};
+
+/// Builds the sequential module list:
+/// TokenEmbedding; enc_layers x [self-attn sublayer, FFN sublayer];
+/// DecoderBridge; dec_layers x [causal self-attn, cross-attn, FFN];
+/// final vocabulary projection. Sublayers use post-LN residuals
+/// (x = LN(x + sublayer(x))), matching the fairseq IWSLT recipe.
+Model make_transformer(const TransformerConfig& cfg);
+
+/// Greedy autoregressive decoding. `src` is [B, S] token ids; returns B
+/// decoded sequences (without BOS, cut at EOS or `max_steps`).
+std::vector<std::vector<int>> greedy_decode(const Model& model,
+                                            std::span<const float> params,
+                                            const tensor::Tensor& src, int bos, int eos,
+                                            int max_steps);
+
+/// Beam-search decoding with length-normalized log-probabilities (the
+/// paper evaluates BLEU with beam width 5).
+std::vector<std::vector<int>> beam_decode(const Model& model,
+                                          std::span<const float> params,
+                                          const tensor::Tensor& src, int bos, int eos,
+                                          int max_steps, int beam_width = 5,
+                                          double length_penalty = 1.0);
+
+}  // namespace pipemare::nn

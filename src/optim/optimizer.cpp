@@ -1,0 +1,90 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::optim {
+
+namespace {
+void check_sizes(std::span<float> params, std::span<const float> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("optimizer: params/grads size mismatch");
+  }
+}
+}  // namespace
+
+SgdMomentum::SgdMomentum(double momentum, double weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {}
+
+void SgdMomentum::step(std::span<float> params, std::span<const float> grads,
+                       std::span<const LrSegment> lr) {
+  check_sizes(params, grads);
+  if (momentum_ > 0.0 && velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), 0.0F);
+  }
+  for (const LrSegment& seg : lr) {
+    auto lo = static_cast<std::size_t>(seg.offset);
+    auto hi = lo + static_cast<std::size_t>(seg.size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double g = grads[i] + weight_decay_ * params[i];
+      if (momentum_ > 0.0) {
+        double v = momentum_ * velocity_[i] + g;
+        velocity_[i] = static_cast<float>(v);
+        g = v;
+      }
+      params[i] -= static_cast<float>(seg.lr * g);
+    }
+  }
+}
+
+void SgdMomentum::reset() { velocity_.clear(); }
+
+AdamW::AdamW(double beta1, double beta2, double eps, double weight_decay)
+    : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void AdamW::step(std::span<float> params, std::span<const float> grads,
+                 std::span<const LrSegment> lr) {
+  check_sizes(params, grads);
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0F);
+    v_.assign(params.size(), 0.0F);
+    t_ = 0;
+  }
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (const LrSegment& seg : lr) {
+    auto lo = static_cast<std::size_t>(seg.offset);
+    auto hi = lo + static_cast<std::size_t>(seg.size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double g = grads[i];
+      double m = beta1_ * m_[i] + (1.0 - beta1_) * g;
+      double v = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+      m_[i] = static_cast<float>(m);
+      v_[i] = static_cast<float>(v);
+      double mhat = m / bc1;
+      double vhat = v / bc2;
+      params[i] -= static_cast<float>(
+          seg.lr * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * params[i]));
+    }
+  }
+}
+
+void AdamW::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+double clip_grad_norm(std::span<float> grads, double max_norm) {
+  double sq = 0.0;
+  for (float g : grads) sq += static_cast<double>(g) * g;
+  double norm = std::sqrt(sq);
+  if (max_norm > 0.0 && norm > max_norm) {
+    auto scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (float& g : grads) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace pipemare::optim

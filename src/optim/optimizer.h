@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pipemare::optim {
+
+/// A contiguous parameter range sharing one learning rate. Technique 1
+/// assigns each pipeline stage its own step size, so optimizers take a
+/// list of these instead of a single scalar.
+struct LrSegment {
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+  double lr = 0.0;
+};
+
+/// Flat-vector optimizer interface.
+///
+/// State buffers (momentum, Adam moments) are owned by the optimizer and
+/// sized on first use. `state_copies()` reports how many weight-sized
+/// buffers the optimizer keeps — the quantity the paper's
+/// "weight + optimizer memory" column counts (weights + gradient buffer +
+/// optimizer state; +1 more for the T2 velocity buffer).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update in place given gradients and per-segment LRs.
+  /// Segments must tile [0, params.size()).
+  virtual void step(std::span<float> params, std::span<const float> grads,
+                    std::span<const LrSegment> lr) = 0;
+
+  /// Number of weight-sized state buffers (excluding weights and grads).
+  virtual int state_copies() const = 0;
+
+  virtual void reset() = 0;
+};
+
+/// SGD with (PyTorch-convention) heavy-ball momentum and L2 regularization:
+/// g' = g + wd * w;  v = mu * v + g';  w -= lr * v.
+class SgdMomentum : public Optimizer {
+ public:
+  explicit SgdMomentum(double momentum = 0.9, double weight_decay = 0.0);
+
+  void step(std::span<float> params, std::span<const float> grads,
+            std::span<const LrSegment> lr) override;
+  int state_copies() const override { return momentum_ > 0.0 ? 1 : 0; }
+  void reset() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<float> velocity_;
+};
+
+/// AdamW with decoupled weight decay (Loshchilov & Hutter), the optimizer
+/// the paper uses for the Transformer experiments.
+class AdamW : public Optimizer {
+ public:
+  AdamW(double beta1 = 0.9, double beta2 = 0.98, double eps = 1e-9,
+        double weight_decay = 0.0);
+
+  void step(std::span<float> params, std::span<const float> grads,
+            std::span<const LrSegment> lr) override;
+  int state_copies() const override { return 2; }
+  void reset() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<float> m_, v_;
+};
+
+/// Global gradient-norm clipping (the Transformer recipe clips at 25).
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::span<float> grads, double max_norm);
+
+}  // namespace pipemare::optim

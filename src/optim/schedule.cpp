@@ -1,0 +1,31 @@
+#include "src/optim/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::optim {
+
+StepDecay::StepDecay(double initial, double factor, std::int64_t drop_every_steps)
+    : initial_(initial), factor_(factor), drop_every_(drop_every_steps) {
+  if (drop_every_steps <= 0) throw std::invalid_argument("StepDecay: period > 0 required");
+}
+
+double StepDecay::lr(std::int64_t step) const {
+  auto drops = static_cast<double>(step / drop_every_);
+  return initial_ * std::pow(factor_, drops);
+}
+
+InverseSqrtWarmup::InverseSqrtWarmup(double max_lr, std::int64_t warmup_steps, double init_lr)
+    : max_lr_(max_lr), warmup_(warmup_steps), init_lr_(init_lr) {
+  if (warmup_steps <= 0) throw std::invalid_argument("InverseSqrtWarmup: warmup > 0 required");
+}
+
+double InverseSqrtWarmup::lr(std::int64_t step) const {
+  if (step < warmup_) {
+    double frac = static_cast<double>(step) / static_cast<double>(warmup_);
+    return init_lr_ + (max_lr_ - init_lr_) * frac;
+  }
+  return max_lr_ * std::sqrt(static_cast<double>(warmup_) / static_cast<double>(step));
+}
+
+}  // namespace pipemare::optim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace pipemare::optim {
+
+/// Base learning-rate schedule alpha_base(k) as a function of the
+/// optimizer-step index k (one step per minibatch).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double lr(std::int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double value) : value_(value) {}
+  double lr(std::int64_t) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Step decay: initial LR multiplied by `factor` every `drop_every` steps
+/// (the paper's ResNet recipe: drop by 0.1 every 80/30 epochs).
+class StepDecay : public LrSchedule {
+ public:
+  StepDecay(double initial, double factor, std::int64_t drop_every_steps);
+  double lr(std::int64_t step) const override;
+
+ private:
+  double initial_;
+  double factor_;
+  std::int64_t drop_every_;
+};
+
+/// Linear warmup from `init_lr` to `max_lr` over `warmup_steps`, then
+/// inverse-square-root decay (the fairseq Transformer recipe the paper
+/// inherits, with 2x-lengthened warmup).
+class InverseSqrtWarmup : public LrSchedule {
+ public:
+  InverseSqrtWarmup(double max_lr, std::int64_t warmup_steps, double init_lr = 1e-7);
+  double lr(std::int64_t step) const override;
+
+ private:
+  double max_lr_;
+  std::int64_t warmup_;
+  double init_lr_;
+};
+
+}  // namespace pipemare::optim

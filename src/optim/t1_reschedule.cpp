@@ -1,0 +1,33 @@
+#include "src/optim/t1_reschedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::optim {
+
+T1Rescheduler::T1Rescheduler(std::vector<double> tau_fwd, std::int64_t annealing_steps)
+    : tau_(std::move(tau_fwd)), annealing_steps_(annealing_steps) {
+  if (tau_.empty()) throw std::invalid_argument("T1Rescheduler: stages required");
+  for (double& t : tau_) t = std::max(t, 1.0);
+}
+
+double T1Rescheduler::exponent(std::int64_t step) const {
+  if (annealing_steps_ <= 0) return 0.0;
+  double frac = static_cast<double>(step) / static_cast<double>(annealing_steps_);
+  return 1.0 - std::min(frac, 1.0);
+}
+
+double T1Rescheduler::scale(std::int64_t step, int stage) const {
+  double p = exponent(step);
+  if (p == 0.0) return 1.0;
+  return std::pow(tau_.at(static_cast<std::size_t>(stage)), -p);
+}
+
+std::vector<double> T1Rescheduler::scales(std::int64_t step) const {
+  std::vector<double> out(tau_.size());
+  for (int i = 0; i < num_stages(); ++i) out[static_cast<std::size_t>(i)] = scale(step, i);
+  return out;
+}
+
+}  // namespace pipemare::optim

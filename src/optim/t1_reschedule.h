@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pipemare::optim {
+
+/// Technique 1 — learning rate rescheduling (Section 3.1).
+///
+/// In SGD step k, stage i trains with
+///   alpha_{k,i} = alpha_base(k) / tau_i^{p_k},  p_k = 1 - min(k/K, 1),
+/// where tau_i is the stage's forward delay and K the annealing horizon.
+/// Early in training the per-stage LR is the theory-motivated O(1/tau)
+/// value (Lemma 1); by step K it anneals back to the base schedule.
+///
+/// For late pipeline stages tau_i < 1 and a literal division by tau^p
+/// would *increase* the LR, so tau is clamped to >= 1 (documented design
+/// decision; the paper's rule is only meant to shrink step sizes).
+class T1Rescheduler {
+ public:
+  /// `tau_fwd`: per-stage forward delays (optimizer steps, may be < 1).
+  /// `annealing_steps`: the K hyperparameter. K <= 0 disables T1
+  /// (scale factor 1 everywhere).
+  T1Rescheduler(std::vector<double> tau_fwd, std::int64_t annealing_steps);
+
+  /// The exponent p_k.
+  double exponent(std::int64_t step) const;
+
+  /// Multiplier applied to the base LR for stage i at step k: tau_i^{-p_k}.
+  double scale(std::int64_t step, int stage) const;
+
+  /// All per-stage multipliers at step k.
+  std::vector<double> scales(std::int64_t step) const;
+
+  int num_stages() const { return static_cast<int>(tau_.size()); }
+
+ private:
+  std::vector<double> tau_;  ///< clamped to >= 1
+  std::int64_t annealing_steps_;
+};
+
+}  // namespace pipemare::optim

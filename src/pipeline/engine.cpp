@@ -1,0 +1,263 @@
+#include "src/pipeline/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/theory/stability.h"
+
+namespace pipemare::pipeline {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::Sync: return "GPipe";
+    case Method::PipeDream: return "PipeDream";
+    case Method::PipeMare: return "PipeMare";
+  }
+  return "?";
+}
+
+PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
+    : model_(model),
+      cfg_(cfg),
+      partition_(make_partition(model, cfg.num_stages, cfg.split_bias)),
+      schedule_(cfg.num_stages, cfg.num_microbatches) {
+  live_.assign(static_cast<std::size_t>(model.param_count()), 0.0F);
+  util::Rng rng(seed);
+  model_.init_params(live_, rng);
+  prev_live_ = live_;
+  grads_.assign(live_.size(), 0.0F);
+  delta_.assign(live_.size(), 0.0F);
+
+  history_depth_ = schedule_.max_staleness() + 2;
+  history_.assign(static_cast<std::size_t>(history_depth_), {});
+  history_[0] = live_;  // version 0 = initial weights
+
+  if (cfg_.recompute_segments > 0) {
+    int m = model_.num_modules();
+    int r = std::min(cfg_.recompute_segments, m);
+    for (int s = 0; s < r; ++s) {
+      int first = s * m / r;
+      int last = (s + 1) * m / r;
+      if (first < last) segments_.emplace_back(first, last);
+    }
+  }
+}
+
+const std::vector<float>& PipelineEngine::version(std::int64_t v) const {
+  if (v < 0) v = 0;
+  if (v > step_ || v < step_ - history_depth_ + 1) {
+    throw std::logic_error("PipelineEngine: weight version outside history window");
+  }
+  const auto& slot = history_[static_cast<std::size_t>(v % history_depth_)];
+  if (slot.empty()) throw std::logic_error("PipelineEngine: empty history slot");
+  return slot;
+}
+
+void PipelineEngine::assemble_forward_params(int micro, std::vector<float>& out) const {
+  out.resize(live_.size());
+  if (cfg_.method == Method::Sync) {
+    std::copy(live_.begin(), live_.end(), out.begin());
+    return;
+  }
+  for (int u = 0; u < partition_.num_units(); ++u) {
+    const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
+    int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
+    std::int64_t v = step_ - schedule_.fwd_staleness(stage, micro);
+    const std::vector<float>& src = version(std::max<std::int64_t>(v, 0));
+    std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
+              out.begin() + unit.offset);
+  }
+}
+
+void PipelineEngine::assemble_backward_params(int micro,
+                                              const std::vector<float>& fwd_params,
+                                              std::vector<float>& out) const {
+  switch (cfg_.method) {
+    case Method::Sync:
+    case Method::PipeDream:
+      // Synchronous semantics: the backward pass sees exactly the weights
+      // the forward pass used (GPipe trivially; PipeDream via stashing).
+      out = fwd_params;
+      return;
+    case Method::PipeMare:
+      break;
+  }
+  // PipeMare: tau_bkwd = 0, so backward reads the live weights...
+  out.assign(live_.begin(), live_.end());
+  if (!cfg_.discrepancy_correction) return;
+  // ...optionally T2-corrected toward what the forward pass saw:
+  // u_bkwd = w - (tau_fwd - tau_bkwd) * delta.
+  for (int u = 0; u < partition_.num_units(); ++u) {
+    const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
+    int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
+    double gap = cfg_.t2_per_microbatch
+                     ? static_cast<double>(schedule_.fwd_staleness(stage, micro))
+                     : schedule_.mean_tau_fwd(stage);
+    if (gap <= 0.0) continue;
+    auto g = static_cast<float>(gap);
+    for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
+      out[static_cast<std::size_t>(i)] -= g * delta_[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void PipelineEngine::assemble_recompute_params(int micro, int segment_end_stage,
+                                               const std::vector<float>& fwd_params,
+                                               std::vector<float>& out) const {
+  if (cfg_.method != Method::PipeMare) {
+    // Synchronous methods recompute with the same weights the forward
+    // used, so recomputation is statistically invisible.
+    out = fwd_params;
+    return;
+  }
+  out.resize(live_.size());
+  for (int u = 0; u < partition_.num_units(); ++u) {
+    const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
+    int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
+    int stale = schedule_.recompute_staleness(std::min(stage, segment_end_stage), micro,
+                                              segment_end_stage);
+    // Stages after the segment end never recompute; give them their
+    // forward weights (they are not used by the segment re-run anyway).
+    if (stage > segment_end_stage) stale = schedule_.fwd_staleness(stage, micro);
+    const std::vector<float>& src = version(std::max<std::int64_t>(step_ - stale, 0));
+    std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
+              out.begin() + unit.offset);
+    if (cfg_.discrepancy_correction && stage <= segment_end_stage) {
+      // T2 for recompute (Appendix D): u_recomp = w_{t-tau_r} -
+      // (tau_fwd - tau_recomp) * delta.
+      double gap = cfg_.t2_per_microbatch
+                       ? static_cast<double>(schedule_.fwd_staleness(stage, micro) - stale)
+                       : schedule_.mean_tau_fwd(stage) -
+                             schedule_.mean_tau_recompute(stage, segment_end_stage);
+      if (gap > 0.0) {
+        auto g = static_cast<float>(gap);
+        for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
+          out[static_cast<std::size_t>(i)] -= g * delta_[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  }
+}
+
+PipelineEngine::StepResult PipelineEngine::forward_backward(
+    const std::vector<nn::Flow>& micro_inputs,
+    const std::vector<tensor::Tensor>& micro_targets, const nn::LossHead& head) {
+  int n = cfg_.num_microbatches;
+  if (static_cast<int>(micro_inputs.size()) != n ||
+      static_cast<int>(micro_targets.size()) != n) {
+    throw std::invalid_argument("forward_backward: expected N microbatches");
+  }
+  std::fill(grads_.begin(), grads_.end(), 0.0F);
+  StepResult result;
+  std::vector<float> w_fwd, w_bkwd, w_rec;
+  auto caches = model_.make_caches();
+  for (int micro = 0; micro < n; ++micro) {
+    assemble_forward_params(micro, w_fwd);
+
+    nn::Flow input = micro_inputs[static_cast<std::size_t>(micro)];
+    input.training = true;
+    nn::Flow out;
+    std::vector<nn::Flow> checkpoints;  // segment input snapshots
+    if (segments_.empty()) {
+      out = model_.forward(std::move(input), w_fwd, caches);
+    } else {
+      nn::Flow cur = std::move(input);
+      for (const auto& [first, last] : segments_) {
+        checkpoints.push_back(cur);
+        cur = model_.forward_range(first, last, std::move(cur), w_fwd, caches);
+      }
+      out = std::move(cur);
+    }
+
+    nn::LossResult lr = head.forward_backward(out.x, micro_targets[static_cast<std::size_t>(micro)]);
+    if (!std::isfinite(lr.loss)) {
+      result.finite = false;
+      result.loss = lr.loss;
+      return result;
+    }
+    result.loss += lr.loss / n;
+    result.correct += lr.correct;
+    result.count += lr.count;
+
+    assemble_backward_params(micro, w_fwd, w_bkwd);
+    if (!segments_.empty()) {
+      // Rebuild every segment's activation caches from its checkpoint
+      // using recompute-scheduled weights (PipeMare Recompute).
+      for (std::size_t s = 0; s < segments_.size(); ++s) {
+        auto [first, last] = segments_[s];
+        int end_stage = partition_.module_stage[static_cast<std::size_t>(last - 1)];
+        assemble_recompute_params(micro, end_stage, w_fwd, w_rec);
+        (void)model_.forward_range(first, last, checkpoints[s], w_rec, caches);
+      }
+    }
+    nn::Flow dflow;
+    dflow.x = lr.doutput;
+    (void)model_.backward(std::move(dflow), w_bkwd, caches, grads_);
+  }
+  // Microbatch gradients are each a mean over their M samples; dividing
+  // the accumulated sum by N yields the minibatch-mean gradient, matching
+  // the convention the hyperparameters are tuned for.
+  auto inv_n = 1.0F / static_cast<float>(n);
+  for (float& g : grads_) {
+    g *= inv_n;
+    if (!std::isfinite(g)) result.finite = false;
+  }
+  return result;
+}
+
+void PipelineEngine::commit_update() {
+  ++step_;
+  if (cfg_.discrepancy_correction) {
+    for (int stage = 0; stage < cfg_.num_stages; ++stage) {
+      double gap = schedule_.mean_tau_fwd(stage);
+      double gamma = theory::gamma_from_decay(cfg_.decay_d, gap);
+      auto gf = static_cast<float>(gamma);
+      auto cf = static_cast<float>(1.0 - gamma);
+      for (int u = 0; u < partition_.num_units(); ++u) {
+        if (partition_.unit_stage[static_cast<std::size_t>(u)] != stage) continue;
+        const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
+        for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
+          auto idx = static_cast<std::size_t>(i);
+          delta_[idx] = gf * delta_[idx] + cf * (live_[idx] - prev_live_[idx]);
+        }
+      }
+    }
+  }
+  prev_live_ = live_;
+  history_[static_cast<std::size_t>(step_ % history_depth_)] = live_;
+}
+
+nn::LossResult PipelineEngine::evaluate(const nn::Flow& input, const tensor::Tensor& target,
+                                        const nn::LossHead& head) const {
+  auto caches = model_.make_caches();
+  nn::Flow out = model_.forward(input, live_, caches);
+  return head.forward_backward(out.x, target);
+}
+
+std::vector<double> PipelineEngine::stage_tau_fwd() const {
+  // Always the asynchronous-schedule delays: T1 consumers apply these only
+  // during the asynchronous phase, so the current method (e.g. Sync during
+  // T3 warmup) must not zero them out.
+  std::vector<double> tau(static_cast<std::size_t>(cfg_.num_stages));
+  for (int s = 0; s < cfg_.num_stages; ++s) {
+    tau[static_cast<std::size_t>(s)] = schedule_.mean_tau_fwd(s);
+  }
+  return tau;
+}
+
+std::vector<optim::LrSegment> PipelineEngine::lr_segments(
+    double base_lr, std::span<const double> scales) const {
+  std::vector<optim::LrSegment> segs;
+  segs.reserve(static_cast<std::size_t>(cfg_.num_stages));
+  std::int64_t offset = 0;
+  for (int s = 0; s < cfg_.num_stages; ++s) {
+    std::int64_t size = partition_.stage_param_count[static_cast<std::size_t>(s)];
+    double scale = scales.empty() ? 1.0 : scales[static_cast<std::size_t>(s)];
+    segs.push_back({offset, size, base_lr * scale});
+    offset += size;
+  }
+  return segs;
+}
+
+}  // namespace pipemare::pipeline

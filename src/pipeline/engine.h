@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/optim/optimizer.h"
+#include "src/pipeline/partition.h"
+#include "src/pipeline/schedule.h"
+
+namespace pipemare::pipeline {
+
+/// Pipeline-parallel training method (Section 2.2 / Table 1).
+enum class Method {
+  Sync,       ///< GPipe-style synchronous execution: tau_fwd = tau_bkwd = 0
+  PipeDream,  ///< weight stashing: tau_fwd = tau_bkwd = (2(P-i)+1)/N
+  PipeMare,   ///< asynchronous: tau_fwd = (2(P-i)+1)/N, tau_bkwd = 0
+};
+
+std::string method_name(Method m);
+
+struct EngineConfig {
+  Method method = Method::PipeMare;
+  int num_stages = 1;
+  int num_microbatches = 1;  ///< N = microbatches per minibatch
+  bool split_bias = false;   ///< the paper's "2x stages" weight/bias split
+
+  /// Technique 2 — discrepancy correction (applies to PipeMare): approximate
+  /// the forward weights in the backward pass as
+  /// u_bkwd = w - (tau_fwd - tau_bkwd) * delta, where delta is an EMA of
+  /// weight deltas with decay gamma_i = D^{1/(tau_fwd,i - tau_bkwd,i)}.
+  bool discrepancy_correction = false;
+  double decay_d = 0.5;
+  /// Ablation: extrapolate per microbatch with that microbatch's exact
+  /// staleness instead of the per-stage mean delay.
+  bool t2_per_microbatch = false;
+
+  /// PipeMare Recompute (Appendix A.2/D): > 0 splits the module list into
+  /// this many segments; only segment-start activations are kept from the
+  /// forward pass, the rest are recomputed just before the backward pass
+  /// using recompute-scheduled (delayed) weights. 0 disables recomputation.
+  int recompute_segments = 0;
+};
+
+/// Executes pipeline-parallel training *statistically exactly*: every
+/// microbatch's forward/backward uses the precise weight version that the
+/// 1F1B tick schedule would expose (see Schedule), while the computation
+/// itself runs sequentially on one host. Throughput is modelled
+/// analytically in src/hwmodel — the same methodology as the paper's own
+/// PyTorch-based simulator (Appendix C.4).
+///
+/// The engine owns the live weights, the per-version weight history (which
+/// doubles as PipeDream's weight stash), and the T2 delta buffers. The
+/// caller owns the optimizer; one training step is
+///
+///   auto res = engine.forward_backward(inputs, targets, head);
+///   opt.step(engine.weights(), engine.gradients(), segments);
+///   engine.commit_update();
+class PipelineEngine {
+ public:
+  PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed);
+
+  /// Result of one minibatch forward/backward.
+  struct StepResult {
+    double loss = 0.0;     ///< mean loss over the minibatch
+    double correct = 0.0;  ///< summed metric numerator (e.g. #correct)
+    double count = 0.0;    ///< metric denominator
+    bool finite = true;    ///< false if loss or gradients went non-finite
+  };
+
+  /// Runs the N microbatches of one minibatch through forward and backward
+  /// with schedule-exact weight versions, accumulating the mean gradient.
+  StepResult forward_backward(const std::vector<nn::Flow>& micro_inputs,
+                              const std::vector<tensor::Tensor>& micro_targets,
+                              const nn::LossHead& head);
+
+  /// Live (most recent) weights; the caller's optimizer mutates these.
+  std::span<float> weights() { return live_; }
+  std::span<const float> weights() const { return live_; }
+
+  /// Mean gradient produced by the last forward_backward.
+  std::span<float> gradients() { return grads_; }
+
+  /// Publishes the mutated live weights as the next version and updates
+  /// the T2 delta EMA. Call exactly once after each optimizer step.
+  void commit_update();
+
+  /// Evaluation helper: forward-only on the live weights.
+  nn::LossResult evaluate(const nn::Flow& input, const tensor::Tensor& target,
+                          const nn::LossHead& head) const;
+
+  /// Technique 3 switches from Sync warmup to PipeMare mid-training.
+  void set_method(Method m) { cfg_.method = m; }
+  Method method() const { return cfg_.method; }
+
+  const Partition& partition() const { return partition_; }
+  const Schedule& schedule() const { return schedule_; }
+  const nn::Model& model() const { return model_; }
+  const EngineConfig& config() const { return cfg_; }
+  std::int64_t steps_taken() const { return step_; }
+
+  /// Mean forward delay per stage, (2(P-i)+1)/N — the tau vector T1 needs.
+  std::vector<double> stage_tau_fwd() const;
+
+  /// Per-stage optimizer segments with the given base LR and per-stage
+  /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
+  std::vector<optim::LrSegment> lr_segments(double base_lr,
+                                            std::span<const double> scales) const;
+
+  /// Module index ranges [first, last) of the recompute segments
+  /// (empty when recomputation is disabled).
+  const std::vector<std::pair<int, int>>& recompute_ranges() const { return segments_; }
+
+ private:
+  void assemble_forward_params(int micro, std::vector<float>& out) const;
+  void assemble_backward_params(int micro, const std::vector<float>& fwd_params,
+                                std::vector<float>& out) const;
+  void assemble_recompute_params(int micro, int segment_end_stage,
+                                 const std::vector<float>& fwd_params,
+                                 std::vector<float>& out) const;
+  const std::vector<float>& version(std::int64_t v) const;
+
+  const nn::Model& model_;
+  EngineConfig cfg_;
+  Partition partition_;
+  Schedule schedule_;
+
+  std::int64_t step_ = 0;  ///< number of committed updates (version index)
+  int history_depth_ = 1;
+  std::vector<std::vector<float>> history_;  ///< ring buffer of weight versions
+  std::vector<float> live_;
+  std::vector<float> prev_live_;
+  std::vector<float> grads_;
+  std::vector<float> delta_;  ///< T2 EMA of weight deltas
+
+  std::vector<std::pair<int, int>> segments_;  ///< recompute module ranges
+};
+
+}  // namespace pipemare::pipeline

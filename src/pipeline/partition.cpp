@@ -1,0 +1,50 @@
+#include "src/pipeline/partition.h"
+
+#include <stdexcept>
+
+namespace pipemare::pipeline {
+
+Partition make_partition(const nn::Model& model, int num_stages, bool split_bias) {
+  Partition part;
+  part.units = model.weight_units(split_bias);
+  part.split_bias = split_bias;
+  auto u = static_cast<int>(part.units.size());
+  if (u == 0) throw std::invalid_argument("make_partition: model has no weights");
+  if (num_stages < 1 || num_stages > u) {
+    throw std::invalid_argument("make_partition: need 1 <= stages <= weight units (" +
+                                std::to_string(u) + ")");
+  }
+  part.num_stages = num_stages;
+  part.unit_stage.resize(static_cast<std::size_t>(u));
+  part.stage_param_count.assign(static_cast<std::size_t>(num_stages), 0);
+  for (int i = 0; i < u; ++i) {
+    // Even contiguous split: unit i goes to stage floor(i * P / U).
+    int stage = static_cast<int>((static_cast<std::int64_t>(i) * num_stages) / u);
+    part.unit_stage[static_cast<std::size_t>(i)] = stage;
+    part.stage_param_count[static_cast<std::size_t>(stage)] +=
+        part.units[static_cast<std::size_t>(i)].size;
+    part.total_params += part.units[static_cast<std::size_t>(i)].size;
+  }
+  // Module -> stage: stage of the module's first unit; parameter-free
+  // modules ride with the latest stage seen so far (stage 0 before any
+  // weights appear).
+  part.module_stage.assign(static_cast<std::size_t>(model.num_modules()), 0);
+  int unit_idx = 0;
+  int current_stage = 0;
+  for (int m = 0; m < model.num_modules(); ++m) {
+    if (unit_idx < u && part.units[static_cast<std::size_t>(unit_idx)].module == m) {
+      current_stage = part.unit_stage[static_cast<std::size_t>(unit_idx)];
+      while (unit_idx < u && part.units[static_cast<std::size_t>(unit_idx)].module == m) {
+        ++unit_idx;
+      }
+    }
+    part.module_stage[static_cast<std::size_t>(m)] = current_stage;
+  }
+  return part;
+}
+
+int max_stages(const nn::Model& model, bool split_bias) {
+  return static_cast<int>(model.weight_units(split_bias).size());
+}
+
+}  // namespace pipemare::pipeline

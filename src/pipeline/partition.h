@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/nn/model.h"
+
+namespace pipemare::pipeline {
+
+/// Assignment of a model's weight units to pipeline stages.
+///
+/// Mirrors the paper's partitioning rule (Section 4.1): traverse the model
+/// weights in topological order, treating weight+bias of a layer as one
+/// unit (or as two, in the "2x stages" regime), and divide the units
+/// evenly into P contiguous groups.
+struct Partition {
+  int num_stages = 1;
+  bool split_bias = false;
+  std::vector<nn::WeightUnit> units;  ///< topological order
+  std::vector<int> unit_stage;        ///< unit index -> stage index
+  std::vector<std::int64_t> stage_param_count;  ///< params per stage
+  std::int64_t total_params = 0;
+
+  /// Stage of a module (the stage of its first weight unit; parameter-free
+  /// modules inherit the stage of the nearest preceding weight unit).
+  std::vector<int> module_stage;
+
+  int num_units() const { return static_cast<int>(units.size()); }
+};
+
+/// Builds the partition. Requires 1 <= num_stages <= number of weight
+/// units. Stage g receives units [floor(g*U/P), floor((g+1)*U/P)).
+Partition make_partition(const nn::Model& model, int num_stages, bool split_bias);
+
+/// The largest possible stage count for a model: one stage per weight unit
+/// (the paper's finest granularity; with split_bias this is the "2x" case).
+int max_stages(const nn::Model& model, bool split_bias);
+
+}  // namespace pipemare::pipeline

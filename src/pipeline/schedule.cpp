@@ -1,0 +1,102 @@
+#include "src/pipeline/schedule.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipemare::pipeline {
+
+namespace {
+/// floor(a / b) for possibly negative a and positive b.
+int floor_div(int a, int b) {
+  int q = a / b;
+  int r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+}  // namespace
+
+Schedule::Schedule(int num_stages, int num_microbatches)
+    : p_(num_stages), n_(num_microbatches) {
+  if (num_stages < 1 || num_microbatches < 1) {
+    throw std::invalid_argument("Schedule: stages >= 1 and microbatches >= 1 required");
+  }
+}
+
+int Schedule::fwd_staleness(int stage, int micro) const {
+  // Derivation: version at the forward tick is the number of updates u with
+  // u*N - 1 + 2P - 1 - i < t*N + n + i, i.e. u*N < t*N + n + 2i - 2P + 2.
+  // Staleness = t - version = 1 + floor((2P - 2 - 2i - n) / N).
+  int s = 1 + floor_div(2 * p_ - 2 - 2 * stage - micro, n_);
+  return s < 0 ? 0 : s;
+}
+
+int Schedule::recompute_staleness(int stage, int micro, int segment_end_stage) const {
+  if (segment_end_stage < stage) {
+    throw std::invalid_argument("recompute_staleness: segment end before stage");
+  }
+  // Recompute of stage i for microbatch k runs at tick k + 2P - 1 - 2b + i
+  // (so the recomputed activation of the segment's last stage b arrives
+  // exactly at its backward tick). Version counting as for fwd_staleness:
+  // staleness = 1 + floor((2b - 2i - 1 - n) / N).
+  int s = 1 + floor_div(2 * segment_end_stage - 2 * stage - 1 - micro, n_);
+  return s < 0 ? 0 : s;
+}
+
+double Schedule::mean_tau_fwd(int stage) const {
+  return static_cast<double>(2 * (p_ - 1 - stage) + 1) / static_cast<double>(n_);
+}
+
+double Schedule::mean_tau_recompute(int stage, int segment_end_stage) const {
+  double s = 0.0;
+  for (int n = 0; n < n_; ++n) s += recompute_staleness(stage, n, segment_end_stage);
+  return s / n_;
+}
+
+int Schedule::max_staleness() const {
+  int best = 0;
+  for (int n = 0; n < n_; ++n) best = std::max(best, fwd_staleness(0, n));
+  return best;
+}
+
+std::string render_schedule_ascii(int stages, int microbatches, int minibatches,
+                                  bool gpipe_flush) {
+  int p = stages, n = microbatches;
+  int period = gpipe_flush ? 2 * (n + p - 1) : 0;
+  int ticks = gpipe_flush ? period * minibatches
+                          : minibatches * n + 2 * p;  // 1F1B drains at the end
+  std::vector<std::string> rows(static_cast<std::size_t>(p),
+                                std::string(static_cast<std::size_t>(ticks), '.'));
+  for (int t = 0; t < minibatches; ++t) {
+    for (int nn = 0; nn < n; ++nn) {
+      for (int i = 0; i < p; ++i) {
+        int f, b;
+        if (gpipe_flush) {
+          // Fill-drain: forwards first, then backwards in reverse order.
+          f = t * period + nn + i;
+          b = t * period + (n + p - 1) + (n - 1 - nn) + (p - 1 - i);
+        } else {
+          int k = t * n + nn;
+          f = k + i;
+          b = k + 2 * p - 1 - i;
+        }
+        // In 1F1B steady state a stage runs one forward and one backward
+        // per tick (separate functional units); mark coincident cells '*'.
+        if (f < ticks) {
+          char& cell = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(f)];
+          cell = (cell == 'B' || cell == '*') ? '*' : 'F';
+        }
+        if (b < ticks) {
+          char& cell = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)];
+          cell = (cell == 'F' || cell == '*') ? '*' : 'B';
+        }
+      }
+    }
+  }
+  std::ostringstream os;
+  for (int i = 0; i < p; ++i) {
+    os << "stage " << i << " |" << rows[static_cast<std::size_t>(i)] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace pipemare::pipeline

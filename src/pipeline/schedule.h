@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pipemare::pipeline {
+
+/// Exact weight-version arithmetic for the bubble-free 1F1B pipeline
+/// schedule (PipeDream / PipeMare execution; Section 2.2).
+///
+/// Tick model (0-indexed stages i in [0, P), global microbatch k = t*N + n):
+///   - forward of k at stage i occupies tick  k + i,
+///   - backward of k at stage i occupies tick k + 2P - 1 - i,
+///   - stage i applies its u-th weight update right after the backward of
+///     the last microbatch of minibatch u-1, i.e. at tick u*N - 1 + 2P-1-i,
+///   - a forward colliding with an update on the same tick reads first
+///     (read-before-update).
+///
+/// Under this model the *average* forward staleness of stage i is exactly
+/// the paper's tau_fwd,i = (2(P-i)+1)/N (1-indexed i; Table 1), the
+/// backward staleness is exactly 0, and a recompute scheduled to finish
+/// just in time (Appendix A.2) sees a staleness between the two. These are
+/// derived in closed form below and validated against a brute-force tick
+/// simulation in the tests.
+class Schedule {
+ public:
+  Schedule(int num_stages, int num_microbatches);
+
+  int stages() const { return p_; }
+  int microbatches() const { return n_; }
+
+  /// Forward staleness (optimizer steps) of microbatch `micro` at `stage`:
+  /// the minibatch-t forward reads weight version t - fwd_staleness.
+  /// Always >= 0; early in training callers clamp version at 0.
+  int fwd_staleness(int stage, int micro) const;
+
+  /// Backward staleness is identically zero in the 1F1B schedule: the
+  /// backward pass reads the live weights (tau_bkwd = 0, Table 1).
+  int bwd_staleness(int stage, int micro) const { (void)stage, (void)micro; return 0; }
+
+  /// Staleness of the weights used to *recompute* activations for `stage`
+  /// when its segment ends at `segment_end_stage` (inclusive), with the
+  /// recompute finishing exactly when the backward needs it (Appendix D).
+  int recompute_staleness(int stage, int micro, int segment_end_stage) const;
+
+  /// The paper's closed-form mean forward delay (2(P-i)+1)/N for a
+  /// 0-indexed stage.
+  double mean_tau_fwd(int stage) const;
+
+  /// Mean recompute delay over microbatches.
+  double mean_tau_recompute(int stage, int segment_end_stage) const;
+
+  /// Largest forward staleness over all stages/microbatches (ring-buffer
+  /// depth the engine must keep).
+  int max_staleness() const;
+
+ private:
+  int p_;
+  int n_;
+};
+
+/// Renders an ASCII timeline of the first `minibatches` minibatches for
+/// Figure 1: 'F'/'B' cells per (stage, tick); GPipe-style flush inserts
+/// visible bubbles ('.'), the 1F1B schedule has none in steady state.
+std::string render_schedule_ascii(int stages, int microbatches, int minibatches,
+                                  bool gpipe_flush);
+
+}  // namespace pipemare::pipeline

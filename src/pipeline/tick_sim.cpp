@@ -1,0 +1,103 @@
+#include "src/pipeline/tick_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipemare::pipeline {
+
+namespace {
+
+struct Event {
+  std::int64_t fwd_tick = 0;
+  std::int64_t bwd_tick = 0;
+};
+
+/// Computes occupancy and in-flight statistics from per-(stage, microbatch)
+/// forward/backward tick assignments.
+TickStats analyze(const std::vector<std::vector<Event>>& events, int stages,
+                  double steady_rate) {
+  TickStats stats;
+  stats.max_inflight_activations.assign(static_cast<std::size_t>(stages), 0);
+  std::int64_t last_tick = 0;
+  for (const auto& stage_events : events) {
+    for (const Event& e : stage_events) {
+      last_tick = std::max(last_tick, e.bwd_tick);
+    }
+  }
+  stats.total_ticks = last_tick + 1;
+  std::int64_t total_micro_ops = 0;
+  for (int i = 0; i < stages; ++i) {
+    const auto& stage_events = events[static_cast<std::size_t>(i)];
+    total_micro_ops += 2LL * static_cast<std::int64_t>(stage_events.size());
+    // In-flight activations: an activation is allocated at its forward
+    // tick and freed at its backward tick (the backward consumes it), so
+    // it is live on [fwd, bwd). Sweep the tick axis with a difference
+    // array.
+    std::vector<int> delta(static_cast<std::size_t>(stats.total_ticks) + 2, 0);
+    for (const Event& e : stage_events) {
+      delta[static_cast<std::size_t>(e.fwd_tick)] += 1;
+      delta[static_cast<std::size_t>(e.bwd_tick)] -= 1;
+    }
+    int live = 0, peak = 0;
+    for (std::int64_t t = 0; t <= stats.total_ticks; ++t) {
+      live += delta[static_cast<std::size_t>(t)];
+      peak = std::max(peak, live);
+    }
+    stats.max_inflight_activations[static_cast<std::size_t>(i)] = peak;
+  }
+  // Each (stage, tick) has one forward and one backward functional slot.
+  std::int64_t capacity = 2LL * stages * stats.total_ticks;
+  stats.busy_slots = total_micro_ops;
+  stats.idle_slots = capacity - total_micro_ops;
+  // Normalized throughput: achieved microbatch rate over the bubble-free
+  // steady-state rate (one microbatch completing per tick).
+  std::int64_t micro_total =
+      static_cast<std::int64_t>(events.empty() ? 0 : events[0].size());
+  stats.throughput =
+      static_cast<double>(micro_total) / (static_cast<double>(stats.total_ticks) * steady_rate);
+  return stats;
+}
+
+}  // namespace
+
+TickStats simulate_flush_schedule(int stages, int microbatches, int minibatches) {
+  if (stages < 1 || microbatches < 1 || minibatches < 1) {
+    throw std::invalid_argument("simulate_flush_schedule: positive sizes required");
+  }
+  int p = stages, n = microbatches;
+  std::int64_t period = 2LL * (n + p - 1);
+  std::vector<std::vector<Event>> events(static_cast<std::size_t>(p));
+  for (int t = 0; t < minibatches; ++t) {
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < p; ++i) {
+        Event e;
+        e.fwd_tick = t * period + k + i;
+        e.bwd_tick = t * period + (n + p - 1) + (n - 1 - k) + (p - 1 - i);
+        events[static_cast<std::size_t>(i)].push_back(e);
+      }
+    }
+  }
+  return analyze(events, p, 1.0);
+}
+
+TickStats simulate_1f1b_schedule(int stages, int microbatches, int minibatches) {
+  if (stages < 1 || microbatches < 1 || minibatches < 1) {
+    throw std::invalid_argument("simulate_1f1b_schedule: positive sizes required");
+  }
+  int p = stages, n = microbatches;
+  std::vector<std::vector<Event>> events(static_cast<std::size_t>(p));
+  for (int t = 0; t < minibatches; ++t) {
+    for (int k = 0; k < n; ++k) {
+      std::int64_t g = static_cast<std::int64_t>(t) * n + k;  // global microbatch
+      for (int i = 0; i < p; ++i) {
+        Event e;
+        e.fwd_tick = g + i;
+        e.bwd_tick = g + 2LL * p - 1 - i;
+        events[static_cast<std::size_t>(i)].push_back(e);
+      }
+    }
+  }
+  return analyze(events, p, 1.0);
+}
+
+}  // namespace pipemare::pipeline

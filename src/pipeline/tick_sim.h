@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pipemare::pipeline {
+
+/// Discrete-event simulation of the pipeline hardware (one tick = one
+/// microbatch forward or backward slot per stage). Complements the
+/// analytic models in src/hwmodel by *measuring* throughput, bubble
+/// fractions and per-stage in-flight activation counts directly from the
+/// event timeline — the quantities Table 1 and Appendix A.1 state in
+/// closed form.
+///
+/// Two schedules:
+///  - flush (GPipe): a minibatch's N microbatches flow forward, then
+///    backward; the next minibatch starts after the drain. Bubble fraction
+///    (P-1)/(N+P-1) per phase.
+///  - 1F1B (PipeDream/PipeMare): microbatch k's forward occupies stage i
+///    at tick k+i and its backward at tick k+2P-1-i; no bubbles in steady
+///    state.
+/// Note on normalization: each stage has separate forward and backward
+/// functional units (one F and one B slot per tick) — the resourcing the
+/// paper's *delay* model uses. Table 1's *throughput* column instead
+/// normalizes against a serialized F/B unit, under which a bubble-free
+/// pipeline completes one microbatch every 2 ticks; consequently
+/// Table 1's GPipe value N/(N+P-1) equals exactly 2x the flush/1F1B
+/// throughput ratio measured here (asserted in tests).
+struct TickStats {
+  std::int64_t total_ticks = 0;
+  std::int64_t busy_slots = 0;   ///< occupied (stage, tick) slots
+  std::int64_t idle_slots = 0;   ///< idle slots within the active window
+  double throughput = 0.0;       ///< microbatches completed per tick
+  /// Maximum number of simultaneously live forward activations per stage
+  /// (an activation is live from its forward until its backward).
+  std::vector<int> max_inflight_activations;
+};
+
+/// Simulates `minibatches` minibatches of N microbatches through P stages.
+TickStats simulate_flush_schedule(int stages, int microbatches, int minibatches);
+TickStats simulate_1f1b_schedule(int stages, int microbatches, int minibatches);
+
+}  // namespace pipemare::pipeline

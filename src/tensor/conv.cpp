@@ -1,0 +1,152 @@
+#include "src/tensor/conv.h"
+
+#include <stdexcept>
+
+namespace pipemare::tensor {
+
+Tensor im2col(const Tensor& x, const ConvSpec& spec) {
+  if (x.rank() != 4) throw std::invalid_argument("im2col: BCHW tensor required");
+  int b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+  int oh = spec.out_dim(h), ow = spec.out_dim(w);
+  int k = spec.kernel;
+  Tensor cols({b * oh * ow, c * k * k});
+  float* out = cols.data();
+  for (int bi = 0; bi < b; ++bi) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::size_t row =
+            ((static_cast<std::size_t>(bi) * oh + oy) * ow + ox) *
+            static_cast<std::size_t>(c) * k * k;
+        for (int ci = 0; ci < c; ++ci) {
+          for (int ky = 0; ky < k; ++ky) {
+            int iy = oy * spec.stride + ky - spec.padding;
+            for (int kx = 0; kx < k; ++kx) {
+              int ix = ox * spec.stride + kx - spec.padding;
+              float v = 0.0F;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) v = x.at(bi, ci, iy, ix);
+              out[row + (static_cast<std::size_t>(ci) * k + ky) * k + kx] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, int batch, int h, int w) {
+  int c = spec.in_channels;
+  int oh = spec.out_dim(h), ow = spec.out_dim(w);
+  int k = spec.kernel;
+  if (cols.dim(0) != batch * oh * ow || cols.dim(1) != c * k * k) {
+    throw std::invalid_argument("col2im: column shape mismatch");
+  }
+  Tensor dx({batch, c, h, w});
+  const float* in = cols.data();
+  for (int bi = 0; bi < batch; ++bi) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::size_t row =
+            ((static_cast<std::size_t>(bi) * oh + oy) * ow + ox) *
+            static_cast<std::size_t>(c) * k * k;
+        for (int ci = 0; ci < c; ++ci) {
+          for (int ky = 0; ky < k; ++ky) {
+            int iy = oy * spec.stride + ky - spec.padding;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < k; ++kx) {
+              int ix = ox * spec.stride + kx - spec.padding;
+              if (ix < 0 || ix >= w) continue;
+              dx.at(bi, ci, iy, ix) +=
+                  in[row + (static_cast<std::size_t>(ci) * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor maxpool2x2(const Tensor& x, Tensor& indices) {
+  if (x.rank() != 4) throw std::invalid_argument("maxpool2x2: BCHW tensor required");
+  int b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  int oh = h / 2, ow = w / 2;
+  Tensor out({b, c, oh, ow});
+  indices = Tensor({b, c, oh, ow});
+  for (int bi = 0; bi < b; ++bi) {
+    for (int ci = 0; ci < c; ++ci) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = x.at(bi, ci, oy * 2, ox * 2);
+          int best_iy = oy * 2, best_ix = ox * 2;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx2 = 0; dx2 < 2; ++dx2) {
+              int iy = oy * 2 + dy, ix = ox * 2 + dx2;
+              if (x.at(bi, ci, iy, ix) > best) {
+                best = x.at(bi, ci, iy, ix);
+                best_iy = iy;
+                best_ix = ix;
+              }
+            }
+          }
+          out.at(bi, ci, oy, ox) = best;
+          indices.at(bi, ci, oy, ox) = static_cast<float>(best_iy * w + best_ix);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2x2_backward(const Tensor& dy, const Tensor& indices,
+                           const std::vector<int>& input_shape) {
+  Tensor dx(input_shape);
+  int b = dy.dim(0), c = dy.dim(1), oh = dy.dim(2), ow = dy.dim(3);
+  int h = input_shape[2], w = input_shape[3];
+  for (int bi = 0; bi < b; ++bi) {
+    for (int ci = 0; ci < c; ++ci) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          int flat = static_cast<int>(indices.at(bi, ci, oy, ox));
+          int iy = flat / w, ix = flat % w;
+          (void)h;
+          dx.at(bi, ci, iy, ix) += dy.at(bi, ci, oy, ox);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("global_avg_pool: BCHW required");
+  int b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor out({b, c});
+  float inv = 1.0F / static_cast<float>(h * w);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int ci = 0; ci < c; ++ci) {
+      float s = 0.0F;
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < w; ++ix) s += x.at(bi, ci, iy, ix);
+      out.at(bi, ci) = s * inv;
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& dy, const std::vector<int>& input_shape) {
+  Tensor dx(input_shape);
+  int b = input_shape[0], c = input_shape[1], h = input_shape[2], w = input_shape[3];
+  float inv = 1.0F / static_cast<float>(h * w);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int ci = 0; ci < c; ++ci) {
+      float g = dy.at(bi, ci) * inv;
+      for (int iy = 0; iy < h; ++iy)
+        for (int ix = 0; ix < w; ++ix) dx.at(bi, ci, iy, ix) = g;
+    }
+  }
+  return dx;
+}
+
+}  // namespace pipemare::tensor

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace pipemare::tensor {
+
+/// Geometry of a 2-D convolution / pooling window.
+struct ConvSpec {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;
+  int stride = 1;
+  int padding = 1;
+
+  int out_dim(int in_dim) const { return (in_dim + 2 * padding - kernel) / stride + 1; }
+};
+
+/// Unfolds x[B,C,H,W] into columns [B*OH*OW, C*K*K] so that convolution
+/// becomes a single matmul with the [C*K*K, OC] weight matrix.
+Tensor im2col(const Tensor& x, const ConvSpec& spec);
+
+/// Adjoint of im2col: folds columns [B*OH*OW, C*K*K] back into the padded
+/// input gradient dx[B,C,H,W], summing overlapping windows.
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, int batch, int h, int w);
+
+/// 2x2 stride-2 max pooling. Returns pooled tensor; records the flat argmax
+/// index of each window in `indices` (same shape as output) for backward.
+Tensor maxpool2x2(const Tensor& x, Tensor& indices);
+
+/// Backward of maxpool2x2: scatters dy into dx at the recorded indices.
+Tensor maxpool2x2_backward(const Tensor& dy, const Tensor& indices,
+                           const std::vector<int>& input_shape);
+
+/// Global average pooling: x[B,C,H,W] -> [B,C].
+Tensor global_avg_pool(const Tensor& x);
+
+/// Backward of global average pooling.
+Tensor global_avg_pool_backward(const Tensor& dy, const std::vector<int>& input_shape);
+
+}  // namespace pipemare::tensor

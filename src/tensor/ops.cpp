@@ -1,0 +1,205 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::tensor {
+
+namespace {
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams over B and C rows, friendly to the prefetcher.
+  for (int i = 0; i < m; ++i) {
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = pa[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0F) continue;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_tn: rank-2 tensors required");
+  int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_tn: inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = pa + static_cast<std::size_t>(p) * m;
+    const float* brow = pb + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_nt: rank-2 tensors required");
+  int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float s = 0.0F;
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  require(a.rank() == 2, "transpose2d: rank-2 tensor required");
+  int m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require(a.shape() == b.shape(), "add: shape mismatch");
+  Tensor c = a;
+  add_inplace(c, b, 1.0F);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require(a.shape() == b.shape(), "sub: shape mismatch");
+  Tensor c = a;
+  add_inplace(c, b, -1.0F);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require(a.shape() == b.shape(), "mul: shape mismatch");
+  Tensor c = a;
+  for (std::int64_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  for (std::int64_t i = 0; i < c.size(); ++i) c[i] *= s;
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b, float s) {
+  require(a.size() == b.size(), "add_inplace: size mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) pa[i] += s * pb[i];
+}
+
+void add_row_inplace(Tensor& a, std::span<const float> b) {
+  require(a.rank() >= 1, "add_row_inplace: tensor required");
+  int n = a.dim(a.rank() - 1);
+  require(static_cast<int>(b.size()) == n, "add_row_inplace: row size mismatch");
+  std::int64_t rows = a.size() / n;
+  float* pa = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int j = 0; j < n; ++j) pa[r * n + j] += b[static_cast<std::size_t>(j)];
+  }
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor c = a;
+  for (std::int64_t i = 0; i < c.size(); ++i) c[i] = std::max(0.0F, c[i]);
+  return c;
+}
+
+Tensor relu_backward(const Tensor& dy, const Tensor& a) {
+  require(dy.size() == a.size(), "relu_backward: size mismatch");
+  Tensor dx = dy;
+  for (std::int64_t i = 0; i < dx.size(); ++i) {
+    if (a[i] <= 0.0F) dx[i] = 0.0F;
+  }
+  return dx;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  require(a.rank() == 2, "softmax_rows: rank-2 tensor required");
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    float mx = a.at(i, 0);
+    for (int j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
+    float z = 0.0F;
+    for (int j = 0; j < n; ++j) {
+      float e = std::exp(a.at(i, j) - mx);
+      out.at(i, j) = e;
+      z += e;
+    }
+    float inv = 1.0F / z;
+    for (int j = 0; j < n; ++j) out.at(i, j) *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  require(a.rank() == 2, "log_softmax_rows: rank-2 tensor required");
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    float mx = a.at(i, 0);
+    for (int j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
+    float z = 0.0F;
+    for (int j = 0; j < n; ++j) z += std::exp(a.at(i, j) - mx);
+    float lz = std::log(z) + mx;
+    for (int j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) - lz;
+  }
+  return out;
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+void col_sum_accumulate(const Tensor& a, std::span<float> out) {
+  require(a.rank() == 2, "col_sum_accumulate: rank-2 tensor required");
+  int m = a.dim(0), n = a.dim(1);
+  require(static_cast<int>(out.size()) == n, "col_sum_accumulate: size mismatch");
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) out[static_cast<std::size_t>(j)] += a.at(i, j);
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  require(a.size() == b.size(), "mse: size mismatch");
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return a.size() == 0 ? 0.0 : s / static_cast<double>(a.size());
+}
+
+}  // namespace pipemare::tensor

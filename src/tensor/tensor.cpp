@@ -1,0 +1,96 @@
+#include "src/tensor/tensor.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pipemare::tensor {
+
+std::int64_t shape_size(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_size(shape_)), 0.0F) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_size(shape_) != static_cast<std::int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: shape/data size mismatch");
+  }
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) { return Tensor({1}, {value}); }
+
+int Tensor::dim(int i) const {
+  if (i < 0 || i >= rank()) throw std::out_of_range("Tensor::dim index");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(int i) { return data_[static_cast<std::size_t>(i)]; }
+float& Tensor::at(int i, int j) {
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+float& Tensor::at(int i, int j, int k) {
+  return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+float& Tensor::at(int i, int j, int k, int l) {
+  return data_[((static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k) *
+                   shape_[3] +
+               l];
+}
+float Tensor::at(int i) const { return data_[static_cast<std::size_t>(i)]; }
+float Tensor::at(int i, int j) const {
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+float Tensor::at(int i, int j, int k) const {
+  return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+float Tensor::at(int i, int j, int k, int l) const {
+  return data_[((static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k) *
+                   shape_[3] +
+               l];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(std::vector<int> new_shape) {
+  if (shape_size(new_shape) != size()) {
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace pipemare::tensor

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pipemare::tensor {
+
+/// Dense row-major float32 n-dimensional array with value semantics.
+///
+/// This is the compute substrate for the whole library: activations,
+/// parameters views and gradients are all Tensors or float spans. Copies
+/// are deep; moves are cheap. Shapes are small vectors of ints.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Wraps existing data (copied) with the given shape.
+  Tensor(std::vector<int> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+
+  /// Scalar (rank-0, one element) tensor.
+  static Tensor scalar(float value);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-unchecked multi-dimensional accessors for the common ranks.
+  float& at(int i);
+  float& at(int i, int j);
+  float& at(int i, int j, int k);
+  float& at(int i, int j, int k, int l);
+  float at(int i) const;
+  float at(int i, int j) const;
+  float at(int i, int j, int k) const;
+  float at(int i, int j, int k, int l) const;
+
+  /// Returns a tensor sharing no storage with `*this` but reinterpreted
+  /// with a new shape of the same total size.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  /// In-place reshape; total size must be preserved.
+  void reshape(std::vector<int> new_shape);
+
+  void fill(float value);
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count of a shape.
+std::int64_t shape_size(const std::vector<int>& shape);
+
+}  // namespace pipemare::tensor

@@ -1,0 +1,110 @@
+#include "src/theory/char_polys.h"
+
+#include <stdexcept>
+
+namespace pipemare::theory {
+
+namespace {
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+Polynomial char_poly_basic(int tau, double alpha, double lambda) {
+  require(tau >= 0, "char_poly_basic: tau >= 0 required");
+  Polynomial p;
+  p.add_term(tau + 1, 1.0);
+  p.add_term(tau, -1.0);
+  p.add_term(0, alpha * lambda);
+  return p;
+}
+
+Polynomial char_poly_discrepancy(int tau_fwd, int tau_bkwd, double alpha,
+                                 double lambda, double delta) {
+  require(tau_fwd >= tau_bkwd && tau_bkwd >= 0,
+          "char_poly_discrepancy: tau_fwd >= tau_bkwd >= 0 required");
+  Polynomial p;
+  p.add_term(tau_fwd + 1, 1.0);
+  p.add_term(tau_fwd, -1.0);
+  p.add_term(tau_fwd - tau_bkwd, -alpha * delta);
+  p.add_term(0, alpha * (lambda + delta));
+  return p;
+}
+
+Polynomial char_poly_momentum(int tau, double beta, double alpha, double lambda) {
+  require(tau >= 1, "char_poly_momentum: tau >= 1 required");
+  Polynomial p;
+  p.add_term(tau + 1, 1.0);
+  p.add_term(tau, -(1.0 + beta));
+  p.add_term(tau - 1, beta);
+  p.add_term(0, alpha * lambda);
+  return p;
+}
+
+Polynomial char_poly_t2(int tau_fwd, int tau_bkwd, double alpha, double lambda,
+                        double delta, double gamma) {
+  require(tau_fwd > tau_bkwd && tau_bkwd >= 0,
+          "char_poly_t2: tau_fwd > tau_bkwd >= 0 required");
+  int d = tau_fwd - tau_bkwd;
+  Polynomial p;
+  // (w - 1)(w - gamma) w^{tau_f} = w^{tau_f+2} - (1+gamma) w^{tau_f+1} + gamma w^{tau_f}
+  p.add_term(tau_fwd + 2, 1.0);
+  p.add_term(tau_fwd + 1, -(1.0 + gamma));
+  p.add_term(tau_fwd, gamma);
+  // alpha (lambda + delta)(w - gamma)
+  p.add_term(1, alpha * (lambda + delta));
+  p.add_term(0, -gamma * alpha * (lambda + delta));
+  // -alpha delta w^d (w - gamma)
+  p.add_term(d + 1, -alpha * delta);
+  p.add_term(d, gamma * alpha * delta);
+  // +alpha delta w^d * d * (1-gamma) (w - 1)
+  double corr = alpha * delta * static_cast<double>(d) * (1.0 - gamma);
+  p.add_term(d + 1, corr);
+  p.add_term(d, -corr);
+  return p;
+}
+
+Polynomial char_poly_recompute(int tau_fwd, int tau_bkwd, int tau_recomp,
+                               double alpha, double lambda, double delta,
+                               double phi, double gamma) {
+  require(tau_fwd > tau_recomp && tau_recomp > tau_bkwd && tau_bkwd >= 0,
+          "char_poly_recompute: tau_fwd > tau_recomp > tau_bkwd >= 0 required");
+  int db = tau_fwd - tau_bkwd;
+  int dr = tau_fwd - tau_recomp;
+  Polynomial p;
+  p.add_term(tau_fwd + 2, 1.0);
+  p.add_term(tau_fwd + 1, -(1.0 + gamma));
+  p.add_term(tau_fwd, gamma);
+  p.add_term(1, alpha * (lambda + delta));
+  p.add_term(0, -gamma * alpha * (lambda + delta));
+  // -(delta - phi) term at delay gap db.
+  p.add_term(db + 1, -alpha * (delta - phi));
+  p.add_term(db, gamma * alpha * (delta - phi));
+  double corr_b = alpha * (delta - phi) * static_cast<double>(db) * (1.0 - gamma);
+  p.add_term(db + 1, corr_b);
+  p.add_term(db, -corr_b);
+  // -phi term at delay gap dr.
+  p.add_term(dr + 1, -alpha * phi);
+  p.add_term(dr, gamma * alpha * phi);
+  double corr_r = alpha * phi * static_cast<double>(dr) * (1.0 - gamma);
+  p.add_term(dr + 1, corr_r);
+  p.add_term(dr, -corr_r);
+  return p;
+}
+
+Polynomial char_poly_recompute_uncorrected(int tau_fwd, int tau_bkwd,
+                                           int tau_recomp, double alpha,
+                                           double lambda, double delta,
+                                           double phi) {
+  require(tau_fwd > tau_recomp && tau_recomp > tau_bkwd && tau_bkwd >= 0,
+          "char_poly_recompute_uncorrected: delay ordering violated");
+  Polynomial p;
+  p.add_term(tau_fwd + 1, 1.0);
+  p.add_term(tau_fwd, -1.0);
+  p.add_term(tau_fwd - tau_bkwd, -alpha * (delta - phi));
+  p.add_term(tau_fwd - tau_recomp, -alpha * phi);
+  p.add_term(0, alpha * (lambda + delta));
+  return p;
+}
+
+}  // namespace pipemare::theory

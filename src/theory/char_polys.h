@@ -1,0 +1,57 @@
+#pragma once
+
+#include "src/theory/polynomial.h"
+
+namespace pipemare::theory {
+
+/// Characteristic polynomials of the companion matrices for fixed-delay
+/// asynchronous SGD on the quadratic objective f(w) = (lambda/2) w^2.
+/// Stability of the corresponding linear system is equivalent to all roots
+/// lying inside the unit disk (Section 3 of the paper).
+
+/// Eq. (4): p(w) = w^{tau+1} - w^tau + alpha*lambda.
+/// Plain delayed SGD with a single delay tau = tau_fwd = tau_bkwd.
+Polynomial char_poly_basic(int tau, double alpha, double lambda);
+
+/// Eq. (6): p(w) = w^{tau_f} (w - 1) - alpha*delta*w^{tau_f - tau_b}
+///                 + alpha*(lambda + delta).
+/// Forward/backward delay discrepancy with sensitivity `delta`.
+Polynomial char_poly_discrepancy(int tau_fwd, int tau_bkwd, double alpha,
+                                 double lambda, double delta);
+
+/// Eq. (13)/(14): p(w) = w^{tau+1} - (1 + beta) w^tau + beta w^{tau-1}
+///                       + alpha*lambda.
+/// Delayed SGD with heavy-ball momentum beta. Requires tau >= 1.
+Polynomial char_poly_momentum(int tau, double beta, double alpha, double lambda);
+
+/// Appendix B.5: T2 discrepancy-corrected system with EMA decay gamma:
+/// p(w) = (w-1)(w-gamma) w^{tau_f}
+///        + alpha (lambda + delta) (w - gamma)
+///        - alpha delta w^{tau_f - tau_b} (w - gamma)
+///        + alpha delta w^{tau_f - tau_b} (tau_f - tau_b)(1 - gamma)(w - 1).
+Polynomial char_poly_t2(int tau_fwd, int tau_bkwd, double alpha, double lambda,
+                        double delta, double gamma);
+
+/// Appendix D: T2-corrected system with activation recompute. `phi` measures
+/// gradient sensitivity to the recompute-vs-backward weight discrepancy:
+/// p(w) = (w-1)(w-gamma) w^{tau_f}
+///        + alpha (lambda + delta) (w - gamma)
+///        - alpha (delta - phi) w^{tau_f - tau_b} (w - gamma)
+///        + alpha (delta - phi) w^{tau_f - tau_b} (tau_f - tau_b)(1-gamma)(w-1)
+///        - alpha phi w^{tau_f - tau_r} (w - gamma)
+///        + alpha phi w^{tau_f - tau_r} (tau_f - tau_r)(1-gamma)(w-1).
+Polynomial char_poly_recompute(int tau_fwd, int tau_bkwd, int tau_recomp,
+                               double alpha, double lambda, double delta,
+                               double phi, double gamma);
+
+/// Appendix D variant *without* the T2 correction (gamma buffers absent):
+/// gradient uses raw delayed weights for fwd/bkwd/recompute. Obtained from
+/// the three-delay linear model directly:
+/// p(w) = w^{tau_f}(w-1) + alpha(lambda+delta)
+///        - alpha (delta - phi) w^{tau_f - tau_b} - alpha phi w^{tau_f - tau_r}.
+Polynomial char_poly_recompute_uncorrected(int tau_fwd, int tau_bkwd,
+                                           int tau_recomp, double alpha,
+                                           double lambda, double delta,
+                                           double phi);
+
+}  // namespace pipemare::theory

@@ -1,0 +1,78 @@
+#include "src/theory/companion.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace pipemare::theory {
+
+CompanionMatrix::CompanionMatrix(const Polynomial& p) {
+  int d = p.degree();
+  if (d < 1) throw std::invalid_argument("CompanionMatrix: degree >= 1 required");
+  dim_ = d;
+  top_row_.resize(static_cast<std::size_t>(d));
+  double lead = p.coeffs()[static_cast<std::size_t>(d)];
+  // p(x) = x^d + c_{d-1} x^{d-1} + ... + c_0  (after normalization);
+  // companion recurrence: x_{t+1} = -c_{d-1} x_t - ... - c_0 x_{t-d+1}.
+  for (int i = 0; i < d; ++i) {
+    top_row_[static_cast<std::size_t>(i)] =
+        -p.coeffs()[static_cast<std::size_t>(d - 1 - i)] / lead;
+  }
+}
+
+std::vector<double> CompanionMatrix::apply(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != dim_) {
+    throw std::invalid_argument("CompanionMatrix::apply: dimension mismatch");
+  }
+  std::vector<double> y(static_cast<std::size_t>(dim_), 0.0);
+  double head = 0.0;
+  for (int i = 0; i < dim_; ++i) {
+    head += top_row_[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+  }
+  y[0] = head;
+  for (int i = 1; i < dim_; ++i) y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i - 1)];
+  return y;
+}
+
+double CompanionMatrix::spectral_radius_power(int iterations) const {
+  // Growth-rate estimation: rho = lim ||C^k x||^{1/k}. Renormalize every
+  // step and accumulate log growth; robust to complex dominant pairs
+  // (where plain power iteration oscillates) because the *norm* growth
+  // still converges to rho.
+  std::vector<double> x(static_cast<std::size_t>(dim_), 1.0);
+  double log_growth = 0.0;
+  int counted = 0;
+  for (int k = 0; k < iterations; ++k) {
+    x = apply(x);
+    double norm = 0.0;
+    for (double v : x) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    for (double& v : x) v /= norm;
+    // Discard the transient half; average the log growth of the rest.
+    if (k >= iterations / 2) {
+      log_growth += std::log(norm);
+      ++counted;
+    }
+  }
+  return counted > 0 ? std::exp(log_growth / counted) : 0.0;
+}
+
+double CompanionMatrix::simulate_norm(int steps, double noise_std,
+                                      std::uint64_t seed) const {
+  util::Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(dim_), 1.0);
+  for (int t = 0; t < steps; ++t) {
+    x = apply(x);
+    x[0] += rng.normal(0.0, noise_std);
+    for (double& v : x) {
+      if (!std::isfinite(v) || std::abs(v) > 1e12) v = std::copysign(1e12, v);
+    }
+  }
+  double norm = 0.0;
+  for (double v : x) norm += v * v;
+  return std::sqrt(norm);
+}
+
+}  // namespace pipemare::theory

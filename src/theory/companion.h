@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/theory/polynomial.h"
+
+namespace pipemare::theory {
+
+/// Dense companion matrix of a monic polynomial, plus eigenvalue utilities.
+///
+/// The paper's stability arguments (eq. 3) are phrased in terms of the
+/// companion matrix C of the delayed-SGD recurrence; this module provides
+/// the matrix route explicitly, cross-validating the polynomial route
+/// (Durand-Kerner roots / Schur-Cohn) used elsewhere:
+///   spectral radius of C == max |root| of the characteristic polynomial.
+class CompanionMatrix {
+ public:
+  /// Builds the companion matrix of p (must have degree >= 1). The matrix
+  /// is (d x d) with the recurrence coefficients in the first row.
+  explicit CompanionMatrix(const Polynomial& p);
+
+  int dim() const { return dim_; }
+
+  /// y = C x.
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  /// Spectral radius estimated by power iteration on the *real* 2x-lifted
+  /// system (handles complex-conjugate dominant pairs by tracking the
+  /// growth rate of ||C^k x|| over a window).
+  double spectral_radius_power(int iterations = 2000) const;
+
+  /// Simulates w_{t+1} = C w_t + noise e_1 for `steps` steps from a unit
+  /// state and reports the final state norm — the matrix-level analog of
+  /// the scalar quadratic simulator.
+  double simulate_norm(int steps, double noise_std, std::uint64_t seed) const;
+
+ private:
+  int dim_;
+  std::vector<double> top_row_;  ///< -a_{d-1}/a_d ... -a_0/a_d
+};
+
+}  // namespace pipemare::theory

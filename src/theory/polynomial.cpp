@@ -1,0 +1,153 @@
+#include "src/theory/polynomial.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pipemare::theory {
+
+namespace {
+constexpr double kTrimEps = 1e-14;
+}
+
+Polynomial::Polynomial(std::vector<double> ascending_coeffs)
+    : coeffs_(std::move(ascending_coeffs)) {}
+
+int Polynomial::degree() const {
+  for (int i = static_cast<int>(coeffs_.size()) - 1; i >= 0; --i) {
+    if (std::abs(coeffs_[static_cast<std::size_t>(i)]) > kTrimEps) return i;
+  }
+  return -1;
+}
+
+void Polynomial::add_term(int power, double c) {
+  if (power < 0) throw std::invalid_argument("add_term: negative power");
+  if (static_cast<std::size_t>(power) >= coeffs_.size()) {
+    coeffs_.resize(static_cast<std::size_t>(power) + 1, 0.0);
+  }
+  coeffs_[static_cast<std::size_t>(power)] += c;
+}
+
+Complex Polynomial::eval(Complex x) const {
+  Complex acc(0.0, 0.0);
+  for (int i = static_cast<int>(coeffs_.size()) - 1; i >= 0; --i) {
+    acc = acc * x + coeffs_[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  int d = degree();
+  if (d <= 0) return Polynomial({0.0});
+  std::vector<double> out(static_cast<std::size_t>(d), 0.0);
+  for (int i = 1; i <= d; ++i) {
+    out[static_cast<std::size_t>(i - 1)] =
+        coeffs_[static_cast<std::size_t>(i)] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(out));
+}
+
+std::vector<Complex> Polynomial::roots(int max_iters, double tol) const {
+  int d = degree();
+  if (d <= 0) return {};
+  // Monic normalization.
+  std::vector<Complex> c(static_cast<std::size_t>(d) + 1);
+  double lead = coeffs_[static_cast<std::size_t>(d)];
+  for (int i = 0; i <= d; ++i) {
+    c[static_cast<std::size_t>(i)] = coeffs_[static_cast<std::size_t>(i)] / lead;
+  }
+  auto eval_monic = [&](Complex x) {
+    Complex acc(0.0, 0.0);
+    for (int i = d; i >= 0; --i) acc = acc * x + c[static_cast<std::size_t>(i)];
+    return acc;
+  };
+  // Standard Durand-Kerner initialization: powers of a non-real point that
+  // is not a root of unity.
+  std::vector<Complex> z(static_cast<std::size_t>(d));
+  Complex seed(0.4, 0.9);
+  Complex p(1.0, 0.0);
+  for (int i = 0; i < d; ++i) {
+    p *= seed;
+    z[static_cast<std::size_t>(i)] = p;
+  }
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double max_step = 0.0;
+    for (int i = 0; i < d; ++i) {
+      Complex zi = z[static_cast<std::size_t>(i)];
+      Complex denom(1.0, 0.0);
+      for (int j = 0; j < d; ++j) {
+        if (j == i) continue;
+        denom *= (zi - z[static_cast<std::size_t>(j)]);
+      }
+      if (std::abs(denom) < 1e-300) continue;
+      Complex step = eval_monic(zi) / denom;
+      z[static_cast<std::size_t>(i)] = zi - step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tol) break;
+  }
+  return z;
+}
+
+double Polynomial::spectral_radius() const {
+  double r = 0.0;
+  for (const Complex& z : roots()) r = std::max(r, std::abs(z));
+  return r;
+}
+
+bool Polynomial::is_stable() const {
+  int d = degree();
+  if (d < 0) return false;  // zero polynomial: degenerate
+  if (d == 0) return true;  // constant, no roots
+  std::vector<double> a(coeffs_.begin(), coeffs_.begin() + d + 1);
+  // Schur-Cohn reduction. Each step removes one degree; stability requires
+  // |a_0| < |a_d| at every step. Coefficients are renormalized to keep the
+  // recursion well-scaled.
+  while (a.size() > 1) {
+    std::size_t n = a.size() - 1;
+    double scale = 0.0;
+    for (double c : a) scale = std::max(scale, std::abs(c));
+    if (scale == 0.0) return false;  // vanished: marginal/degenerate
+    for (double& c : a) c /= scale;
+    double a0 = a.front();
+    double an = a.back();
+    // Marginal (|a0| == |an|) counts as unstable: a root product on the
+    // unit circle at this stage of the recursion.
+    if (std::abs(a0) >= std::abs(an) - 1e-13) return false;
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = an * a[i + 1] - a0 * a[n - 1 - i];
+    }
+    a = std::move(next);
+  }
+  return true;
+}
+
+bool Polynomial::is_stable_winding(int samples_per_degree) const {
+  int d = degree();
+  if (d < 0) return false;  // zero polynomial: degenerate
+  if (d == 0) return true;  // constant, no roots
+  int samples = std::max(1024, samples_per_degree * d);
+  // Winding number of p(e^{i t}) around the origin for t in [0, 2pi).
+  double total_turn = 0.0;
+  Complex prev = eval(Complex(1.0, 0.0));
+  double min_mag = std::abs(prev);
+  for (int s = 1; s <= samples; ++s) {
+    double t = 2.0 * std::numbers::pi * static_cast<double>(s) /
+               static_cast<double>(samples);
+    Complex cur = eval(Complex(std::cos(t), std::sin(t)));
+    min_mag = std::min(min_mag, std::abs(cur));
+    // Principal-value angle increment; valid while |increment| < pi, which
+    // the dense sampling guarantees away from near-zero crossings.
+    total_turn += std::arg(cur / prev);
+    prev = cur;
+  }
+  // A root on (or numerically touching) the unit circle: treat as unstable.
+  double scale = 0.0;
+  for (double a : coeffs_) scale += std::abs(a);
+  if (min_mag < 1e-9 * std::max(1.0, scale)) return false;
+  auto winding = static_cast<int>(std::lround(total_turn / (2.0 * std::numbers::pi)));
+  return winding == d;
+}
+
+}  // namespace pipemare::theory

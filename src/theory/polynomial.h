@@ -1,0 +1,61 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pipemare::theory {
+
+using Complex = std::complex<double>;
+
+/// Real-coefficient polynomial a_0 + a_1 x + ... + a_d x^d.
+///
+/// Used to analyze the characteristic polynomials of the companion matrices
+/// arising from fixed-delay asynchronous SGD on the quadratic model
+/// (Section 3 and Appendices B/D of the paper). Stability of the linear
+/// recurrence is equivalent to all roots lying inside the unit disk.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> ascending_coeffs);
+
+  /// Degree after trimming (negligible) leading zeros; -1 for the zero poly.
+  int degree() const;
+
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// Adds c * x^power (growing the coefficient vector as needed).
+  void add_term(int power, double c);
+
+  Complex eval(Complex x) const;
+
+  Polynomial derivative() const;
+
+  /// All complex roots via the Durand-Kerner (Weierstrass) iteration.
+  /// Suitable for the moderate degrees (<= a few hundred) used here.
+  std::vector<Complex> roots(int max_iters = 2000, double tol = 1e-12) const;
+
+  /// Maximum root magnitude (spectral radius of the companion matrix).
+  double spectral_radius() const;
+
+  /// True iff every root lies strictly inside the unit disk.
+  ///
+  /// Implemented with the Schur-Cohn (Jury) recursion: p is Schur-stable
+  /// iff |a_0| < |a_d| and the degree-reduced transform
+  /// (a_d p(z) - a_0 p*(z)) / z is Schur-stable, where p* has reversed
+  /// coefficients. This is robust even when roots sit arbitrarily close to
+  /// the unit circle (e.g. eq. (4) at step sizes near zero), where
+  /// sampling- or iteration-based methods lose resolution. Marginal roots
+  /// (on the circle) count as unstable.
+  bool is_stable() const;
+
+  /// Winding-number (argument principle) stability check, kept as an
+  /// independent cross-validation of `is_stable` for roots comfortably
+  /// away from the unit circle. Counts roots inside the circle by the
+  /// winding number of p(e^{i t}) around 0.
+  bool is_stable_winding(int samples_per_degree = 64) const;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+}  // namespace pipemare::theory

@@ -1,0 +1,87 @@
+#include "src/theory/quadratic_sim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/theory/stability.h"
+
+namespace pipemare::theory {
+
+QuadraticSimResult run_quadratic_sim(const QuadraticSimConfig& cfg, int steps) {
+  if (cfg.tau_fwd < cfg.tau_bkwd || cfg.tau_bkwd < 0) {
+    throw std::invalid_argument("quadratic sim: tau_fwd >= tau_bkwd >= 0 required");
+  }
+  if (cfg.tau_recomp >= 0 &&
+      (cfg.tau_recomp > cfg.tau_fwd || cfg.tau_recomp < cfg.tau_bkwd)) {
+    throw std::invalid_argument(
+        "quadratic sim: tau_bkwd <= tau_recomp <= tau_fwd required");
+  }
+  util::Rng rng(cfg.seed);
+
+  // History ring buffer w_{t}, w_{t-1}, ..., long enough for the largest delay.
+  int hist = cfg.tau_fwd + 2;
+  std::vector<double> w(static_cast<std::size_t>(hist), cfg.w0);
+  auto wat = [&](int t, int delay) -> double {
+    int idx = (t - delay) % hist;
+    if (idx < 0) idx += hist;
+    return w[static_cast<std::size_t>(idx)];
+  };
+
+  double gap_b = static_cast<double>(cfg.tau_fwd - cfg.tau_bkwd);
+  double gamma = cfg.t2_correction ? gamma_from_decay(cfg.decay_d, gap_b) : 0.0;
+  double ema_delta = 0.0;  // EMA of per-step weight changes (the T2 buffer)
+  double velocity = 0.0;   // heavy-ball momentum state
+  double prev_w = cfg.w0;
+
+  QuadraticSimResult result;
+  result.losses.reserve(static_cast<std::size_t>(steps));
+  for (int t = 0; t < steps; ++t) {
+    double w_fwd = wat(t, cfg.tau_fwd);
+    double u_bkwd = wat(t, cfg.tau_bkwd);
+    if (cfg.t2_correction) {
+      u_bkwd -= gap_b * ema_delta;
+    }
+    double grad;
+    if (cfg.tau_recomp >= 0) {
+      double u_rec = wat(t, cfg.tau_recomp);
+      if (cfg.t2_correction) {
+        u_rec -= static_cast<double>(cfg.tau_fwd - cfg.tau_recomp) * ema_delta;
+      }
+      grad = (cfg.lambda + cfg.delta) * w_fwd - (cfg.delta - cfg.phi) * u_bkwd -
+             cfg.phi * u_rec;
+    } else {
+      grad = (cfg.lambda + cfg.delta) * w_fwd - cfg.delta * u_bkwd;
+    }
+    grad -= rng.normal(0.0, cfg.noise_std);
+
+    double cur = wat(t, 0);
+    double next;
+    if (cfg.momentum > 0.0) {
+      velocity = cfg.momentum * velocity - cfg.alpha * grad;
+      next = cur + velocity;
+    } else {
+      next = cur - cfg.alpha * grad;
+    }
+    if (!std::isfinite(next) || std::abs(next) > cfg.divergence_limit) {
+      result.diverged = true;
+      next = std::isfinite(next)
+                 ? std::copysign(cfg.divergence_limit, next)
+                 : cfg.divergence_limit;
+    }
+    if (cfg.t2_correction) {
+      ema_delta = gamma * ema_delta + (1.0 - gamma) * (next - prev_w);
+    }
+    prev_w = next;
+    w[static_cast<std::size_t>((t + 1) % hist)] = next;
+    double loss = 0.5 * cfg.lambda * next * next;
+    if (!std::isfinite(loss) || loss > cfg.divergence_limit) {
+      loss = cfg.divergence_limit;
+      result.diverged = true;
+    }
+    result.losses.push_back(loss);
+  }
+  result.final_loss = result.losses.empty() ? 0.0 : result.losses.back();
+  return result;
+}
+
+}  // namespace pipemare::theory

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace pipemare::theory {
+
+/// Configuration for simulating fixed-delay asynchronous SGD on the
+/// one-dimensional quadratic f(w) = (lambda/2) w^2 with gradient samples
+///
+///   grad_t = (lambda + delta) w_{t - tau_fwd}
+///            - (delta - phi) u_bkwd,t - phi u_recomp,t - eta_t
+///
+/// where eta_t ~ N(0, noise_std^2). With phi = 0 this is the Section 3.2
+/// model; with delta = phi = 0 it reduces to eq. (2); tau_recomp < 0
+/// disables the recompute path (Appendix D).
+struct QuadraticSimConfig {
+  double lambda = 1.0;
+  double alpha = 0.2;
+  int tau_fwd = 0;
+  int tau_bkwd = 0;
+  int tau_recomp = -1;  ///< < 0 disables the recompute delay path
+  double delta = 0.0;   ///< discrepancy sensitivity (Section 3.2)
+  double phi = 0.0;     ///< recompute sensitivity (Appendix D)
+  double noise_std = 1.0;
+  double w0 = 2.0;
+  double momentum = 0.0;  ///< heavy-ball beta (Appendix B.3)
+
+  /// Technique 2: replace u_bkwd by w_{t - tau_bkwd} - (tau_fwd - tau_bkwd) delta_t
+  /// (and analogously for u_recomp) where delta_t is an EMA of weight deltas.
+  bool t2_correction = false;
+  double decay_d = 0.135;  ///< D; gamma = D^{1/(tau_fwd - tau_bkwd)}
+
+  std::uint64_t seed = 1;
+  double divergence_limit = 1e9;  ///< losses are clipped at this value
+};
+
+/// Result of a quadratic-model run.
+struct QuadraticSimResult {
+  std::vector<double> losses;  ///< (lambda/2) w_t^2 per iteration
+  bool diverged = false;
+  double final_loss = 0.0;
+};
+
+/// Runs the recurrence for `steps` iterations. Reproduces Figures 3(a) and
+/// 5(a) of the paper with the paper's parameters, and supplies the empirical
+/// grid for Figure 3(b).
+QuadraticSimResult run_quadratic_sim(const QuadraticSimConfig& cfg, int steps);
+
+}  // namespace pipemare::theory

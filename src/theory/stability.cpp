@@ -1,0 +1,70 @@
+#include "src/theory/stability.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pipemare::theory {
+
+double lemma1_max_alpha(double lambda, int tau) {
+  if (lambda <= 0.0) throw std::invalid_argument("lemma1: lambda > 0 required");
+  return 2.0 / lambda * std::sin(std::numbers::pi / (4.0 * tau + 2.0));
+}
+
+double lemma1_double_root_alpha(double lambda, int tau) {
+  if (tau == 0) return 1.0 / lambda;
+  double t = static_cast<double>(tau);
+  return 1.0 / (lambda * (t + 1.0)) * std::pow(t / (t + 1.0), t);
+}
+
+double lemma2_bound(double lambda, double delta, int tau_fwd, int tau_bkwd) {
+  double base = lemma1_max_alpha(lambda, tau_fwd);
+  if (delta <= 0.0 || tau_fwd == tau_bkwd) return base;
+  double disc = 2.0 / (delta * static_cast<double>(tau_fwd - tau_bkwd));
+  return std::min(disc, base);
+}
+
+double lemma3_bound(double lambda, int tau) {
+  return 4.0 / lambda * std::sin(std::numbers::pi / (4.0 * tau + 2.0));
+}
+
+double gamma_star(int tau_fwd, int tau_bkwd) {
+  double gap = static_cast<double>(tau_fwd - tau_bkwd);
+  return 1.0 - 2.0 / (gap + 1.0);
+}
+
+double d_star(int tau_fwd, int tau_bkwd) {
+  double gap = static_cast<double>(tau_fwd - tau_bkwd);
+  return std::pow(gamma_star(tau_fwd, tau_bkwd), gap);
+}
+
+double gamma_from_decay(double decay_d, double delay_gap) {
+  if (decay_d <= 0.0) return 0.0;
+  if (delay_gap <= 0.0) return 0.0;
+  return std::pow(decay_d, 1.0 / delay_gap);
+}
+
+double largest_stable_alpha(const PolyFamily& family, double alpha_min,
+                            double alpha_max, int bisect_iters) {
+  if (!family(alpha_min).is_stable()) return 0.0;
+  double lo = alpha_min;
+  double hi = alpha_min;
+  // Geometric scan for the first unstable alpha.
+  while (hi < alpha_max) {
+    hi *= 2.0;
+    if (!family(hi).is_stable()) break;
+    lo = hi;
+  }
+  if (hi >= alpha_max) return alpha_max;
+  for (int i = 0; i < bisect_iters; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (family(mid).is_stable()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pipemare::theory

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+
+#include "src/theory/polynomial.h"
+
+namespace pipemare::theory {
+
+/// Closed-form stability bounds from the paper's lemmas, plus numeric
+/// search utilities used to reproduce Figures 3(b), 5(b), 8 and 16.
+
+/// Lemma 1: plain delayed SGD on the quadratic is stable iff
+/// 0 <= alpha <= (2/lambda) sin(pi / (4 tau + 2)) = O(1/(lambda tau)).
+double lemma1_max_alpha(double lambda, int tau);
+
+/// Lemma 1, second claim: the unique alpha producing a double root,
+/// alpha = 1/(lambda (tau+1)) * (tau/(tau+1))^tau.
+double lemma1_double_root_alpha(double lambda, int tau);
+
+/// Lemma 2: with discrepancy sensitivity delta > 0 there exists an unstable
+/// alpha no larger than
+/// min( 2 / (delta (tau_fwd - tau_bkwd)), (2/lambda) sin(pi/(4 tau_fwd+2)) ).
+double lemma2_bound(double lambda, double delta, int tau_fwd, int tau_bkwd);
+
+/// Lemma 3: with momentum beta in (0,1] there exists an unstable alpha no
+/// larger than (4/lambda) sin(pi / (4 tau + 2)).
+double lemma3_bound(double lambda, int tau);
+
+/// Section 3.2: gamma that cancels the Delta-dependence of the second-order
+/// Taylor expansion of the T2-corrected characteristic polynomial at w = 1:
+/// gamma* = 1 - 2 / (tau_fwd - tau_bkwd + 1).
+double gamma_star(int tau_fwd, int tau_bkwd);
+
+/// The corresponding decay hyperparameter D = gamma^{tau_fwd - tau_bkwd},
+/// which tends to exp(-2) ~= 0.135 for large delays.
+double d_star(int tau_fwd, int tau_bkwd);
+
+/// Converts the global decay hyperparameter D into the per-stage EMA decay
+/// gamma_i = D^{1 / (tau_fwd,i - tau_bkwd,i)} (Technique 2).
+double gamma_from_decay(double decay_d, double delay_gap);
+
+/// Builds the characteristic polynomial for a given step size.
+using PolyFamily = std::function<Polynomial(double alpha)>;
+
+/// Largest alpha for which the family is stable, found by geometric growth
+/// followed by bisection of the first stability-to-instability crossing.
+/// Returns 0 if even `alpha_min` is unstable.
+double largest_stable_alpha(const PolyFamily& family, double alpha_min = 1e-9,
+                            double alpha_max = 1e3, int bisect_iters = 60);
+
+}  // namespace pipemare::theory

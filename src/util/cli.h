@@ -1,0 +1,26 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace pipemare::util {
+
+/// Minimal `--key=value` command-line parser for benches and examples.
+///
+/// Every bench accepts `--quick=1` to shrink workloads for smoke runs and
+/// `--seed=<n>` for reproducibility; each binary documents its own extras.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pipemare::util

@@ -1,0 +1,82 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pipemare::util {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+constexpr std::uint64_t kIncrement = 1442695040888963407ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(seed + kIncrement) { next_u32(); }
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * kMultiplier + kIncrement;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two draws for full double resolution.
+  std::uint64_t hi = next_u32();
+  std::uint64_t lo = next_u32();
+  std::uint64_t bits = ((hi << 21U) ^ lo) & ((1ULL << 53U) - 1U);
+  return static_cast<double>(bits) / static_cast<double>(1ULL << 53U);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+int Rng::randint(int n) {
+  if (n <= 0) throw std::invalid_argument("Rng::randint: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  auto bound = static_cast<std::uint32_t>(n);
+  std::uint32_t threshold = (0U - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return static_cast<int>(r % bound);
+  }
+}
+
+double Rng::truncated_exponential(double mean, double max_value) {
+  if (mean <= 0.0) return 0.0;
+  // Inverse-CDF sampling of Exp(1/mean) conditioned on [0, max_value].
+  double cdf_max = 1.0 - std::exp(-max_value / mean);
+  double u = uniform() * cdf_max;
+  return -mean * std::log(1.0 - u);
+}
+
+void Rng::shuffle(std::vector<int>& v) {
+  for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+    int j = randint(i + 1);
+    std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+  }
+}
+
+Rng Rng::split() {
+  std::uint64_t child_seed = (static_cast<std::uint64_t>(next_u32()) << 32U) | next_u32();
+  return Rng(child_seed);
+}
+
+}  // namespace pipemare::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pipemare::util {
+
+/// Deterministic 64-bit PCG (PCG-XSH-RR) random number generator.
+///
+/// All randomness in the library flows through this class so that every
+/// experiment is exactly reproducible from a seed. The generator is cheap
+/// to copy, which lets callers fork independent streams (see `split`).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal sample (Box-Muller, cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int randint(int n);
+
+  /// Sample from a truncated exponential distribution on [0, max_value]
+  /// with the given mean parameter (mean of the *untruncated* law).
+  /// Used by the Hogwild!-style asynchrony model (Appendix E).
+  double truncated_exponential(double mean, double max_value);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  /// Fork a statistically independent child stream. The child is seeded
+  /// from this stream's output, so splitting is itself deterministic.
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pipemare::util

@@ -1,0 +1,64 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+int argmax(std::span<const float> xs) {
+  if (xs.empty()) throw std::invalid_argument("argmax: empty span");
+  return static_cast<int>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double l2_norm(std::span<const float> xs) {
+  double s = 0.0;
+  for (float x : xs) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+std::vector<double> ema(std::span<const double> xs, double gamma) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double e = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    e = first ? x : gamma * e + (1.0 - gamma) * x;
+    first = false;
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool diverged(double value, double limit) {
+  return !std::isfinite(value) || std::abs(value) > limit;
+}
+
+}  // namespace pipemare::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pipemare::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance; returns 0 for fewer than two elements.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Maximum value; requires a non-empty span.
+double max_value(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+
+/// Index of the maximum element; requires a non-empty span.
+int argmax(std::span<const float> xs);
+
+/// L2 norm.
+double l2_norm(std::span<const float> xs);
+
+/// Exponential moving average of a series with decay `gamma`:
+/// e_0 = x_0, e_t = gamma * e_{t-1} + (1 - gamma) * x_t.
+std::vector<double> ema(std::span<const double> xs, double gamma);
+
+/// True if the value is NaN, infinite, or has magnitude above `limit`.
+bool diverged(double value, double limit = 1e6);
+
+}  // namespace pipemare::util

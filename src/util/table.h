@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pipemare::util {
+
+/// Fixed-width console table, used by the bench harnesses to print
+/// paper-style tables (Table 1-5) and figure series.
+///
+/// Usage:
+///   Table t({"Method", "Best", "Target", "Speedup"});
+///   t.add_row({"PipeMare", "95.0", "94.0", "3.3X"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header separator and per-column alignment padding.
+  std::string to_string() const;
+
+  /// Renders as CSV (no padding), suitable for plotting scripts.
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, mapping non-finite values to
+/// "inf"/"nan" (the paper uses infinity for unreachable time-to-accuracy).
+std::string fmt(double value, int precision = 3);
+
+/// Formats a ratio as the paper's "X" notation, e.g. 3.28 -> "3.3X".
+std::string fmt_x(double value, int precision = 1);
+
+}  // namespace pipemare::util

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/bleu.h"
+#include "src/data/image_data.h"
+#include "src/data/regression_data.h"
+#include "src/data/translation_data.h"
+
+namespace pipemare::data {
+namespace {
+
+TEST(ImageData, ShapesAndDeterminism) {
+  ImageDatasetConfig cfg;
+  cfg.classes = 4;
+  cfg.train_size = 32;
+  cfg.test_size = 16;
+  cfg.image_size = 8;
+  SynthImageDataset ds(cfg);
+  std::vector<int> idx = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto mb1 = ds.train_minibatch(idx, 4);
+  auto mb2 = ds.train_minibatch(idx, 4);
+  ASSERT_EQ(mb1.inputs.size(), 2u);
+  EXPECT_EQ(mb1.inputs[0].x.shape(), (std::vector<int>{4, 3, 8, 8}));
+  // Same index -> identical pixels (per-sample noise seeds are fixed).
+  for (std::int64_t i = 0; i < mb1.inputs[0].x.size(); ++i) {
+    ASSERT_EQ(mb1.inputs[0].x[i], mb2.inputs[0].x[i]);
+  }
+  for (std::int64_t i = 0; i < mb1.targets[0].size(); ++i) {
+    int label = static_cast<int>(mb1.targets[0][i]);
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, cfg.classes);
+  }
+}
+
+TEST(ImageData, TestBatchCoversSplit) {
+  ImageDatasetConfig cfg;
+  cfg.train_size = 8;
+  cfg.test_size = 20;
+  cfg.image_size = 8;
+  SynthImageDataset ds(cfg);
+  auto batches = ds.test_batch(8);
+  ASSERT_EQ(batches.inputs.size(), 3u);  // 8 + 8 + 4
+  EXPECT_EQ(batches.inputs[2].x.dim(0), 4);
+}
+
+TEST(ImageData, ClassesAreSeparable) {
+  // Templates of different classes must differ far more than the noise so
+  // the task is learnable: compare two samples of the same vs different
+  // classes with noise disabled.
+  ImageDatasetConfig cfg;
+  cfg.noise_std = 0.0;
+  cfg.max_shift = 0;
+  cfg.train_size = 64;
+  cfg.test_size = 4;
+  SynthImageDataset ds(cfg);
+  auto mb = ds.train_minibatch([] {
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = i;
+    return v;
+  }(), 64);
+  // Group samples by label and check mean intra/inter distances.
+  const auto& x = mb.inputs[0].x;
+  const auto& y = mb.targets[0];
+  std::int64_t pix = x.size() / 64;
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int a = 0; a < 64; ++a) {
+    for (int b = a + 1; b < 64; ++b) {
+      double d = 0.0;
+      for (std::int64_t p = 0; p < pix; ++p) {
+        double diff = x[a * pix + p] - x[b * pix + p];
+        d += diff * diff;
+      }
+      if (y[a] == y[b]) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, 1e-9);          // identical without noise/shift
+  EXPECT_GT(inter / n_inter, 0.1);           // classes clearly distinct
+}
+
+TEST(TranslationData, ReferenceIsMappedReversal) {
+  TranslationConfig cfg;
+  cfg.vocab = 16;
+  cfg.seq_len = 5;
+  SynthTranslationDataset ds(cfg);
+  std::vector<int> src = {3, 4, 5, 6, 7};
+  auto ref = ds.reference(src);
+  ASSERT_EQ(ref.size(), 5u);
+  // Reversal: ref[i] depends only on src[len-1-i]; mapping is a bijection
+  // on content tokens.
+  auto ref2 = ds.reference({7, 6, 5, 4, 3});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ref[static_cast<std::size_t>(i)], ref2[static_cast<std::size_t>(4 - i)]);
+    EXPECT_GE(ref[static_cast<std::size_t>(i)], TranslationConfig::kFirstContent);
+    EXPECT_LT(ref[static_cast<std::size_t>(i)], cfg.vocab);
+  }
+  std::set<int> mapped;
+  for (int t = TranslationConfig::kFirstContent; t < cfg.vocab; ++t) {
+    auto r = ds.reference({t});
+    mapped.insert(r[0]);
+  }
+  EXPECT_EQ(static_cast<int>(mapped.size()), cfg.vocab - TranslationConfig::kFirstContent);
+}
+
+TEST(TranslationData, BatchLayoutTeacherForcing) {
+  TranslationConfig cfg;
+  cfg.vocab = 16;
+  cfg.seq_len = 4;
+  cfg.train_size = 8;
+  SynthTranslationDataset ds(cfg);
+  auto mb = ds.train_minibatch({0, 1}, 2);
+  ASSERT_EQ(mb.inputs.size(), 1u);
+  const auto& flow = mb.inputs[0];
+  const auto& tgt = mb.targets[0];
+  EXPECT_EQ(flow.x.shape(), (std::vector<int>{2, 4}));
+  EXPECT_EQ(flow.aux.shape(), (std::vector<int>{2, 5}));
+  EXPECT_EQ(tgt.shape(), (std::vector<int>{2, 5}));
+  // aux = BOS + ref; target = ref + EOS (shifted by one).
+  EXPECT_EQ(static_cast<int>(flow.aux.at(0, 0)), TranslationConfig::kBos);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(flow.aux.at(0, t + 1), tgt.at(0, t));
+  }
+  EXPECT_EQ(static_cast<int>(tgt.at(0, 4)), TranslationConfig::kEos);
+}
+
+TEST(RegressionData, LambdaMaxMatchesExplicitEigenvalue) {
+  RegressionConfig cfg;
+  cfg.features = 3;
+  cfg.size = 512;
+  cfg.scale_decades = 0.5;
+  SynthRegressionDataset ds(cfg);
+  // Rayleigh quotient at random probes never exceeds lambda_max.
+  auto mb = ds.minibatch([] {
+    std::vector<int> v(512);
+    for (int i = 0; i < 512; ++i) v[static_cast<std::size_t>(i)] = i;
+    return v;
+  }(), 512);
+  const auto& x = mb.inputs[0].x;
+  int n = x.dim(0), d = x.dim(1);
+  // Build H = (1/n) X^T X explicitly (d = 3).
+  double h[3][3] = {};
+  for (int i = 0; i < n; ++i)
+    for (int a = 0; a < d; ++a)
+      for (int b = 0; b < d; ++b) h[a][b] += static_cast<double>(x.at(i, a)) * x.at(i, b) / n;
+  // Power-iterate explicitly.
+  double v[3] = {1, 1, 1};
+  double lam = 0.0;
+  for (int it = 0; it < 500; ++it) {
+    double hv[3] = {};
+    for (int a = 0; a < d; ++a)
+      for (int b = 0; b < d; ++b) hv[a] += h[a][b] * v[b];
+    double norm = std::sqrt(hv[0] * hv[0] + hv[1] * hv[1] + hv[2] * hv[2]);
+    for (int a = 0; a < d; ++a) v[a] = hv[a] / norm;
+    lam = norm;
+  }
+  EXPECT_NEAR(ds.lambda_max(), lam, 1e-6 * lam);
+}
+
+TEST(Bleu, PerfectMatchScores100) {
+  std::vector<std::vector<int>> refs = {{1, 2, 3, 4, 5}, {6, 7, 8, 9}};
+  EXPECT_NEAR(corpus_bleu(refs, refs), 100.0, 1e-9);
+}
+
+TEST(Bleu, EmptyOrDisjointScoresZero) {
+  std::vector<std::vector<int>> hyp = {{1, 2, 3, 4}};
+  std::vector<std::vector<int>> ref = {{5, 6, 7, 8}};
+  EXPECT_EQ(corpus_bleu(hyp, ref), 0.0);
+  EXPECT_EQ(corpus_bleu({{}}, {{1, 2, 3}}), 0.0);
+}
+
+TEST(Bleu, BrevityPenaltyApplies) {
+  // Hypothesis is a perfect prefix but shorter: precisions are 1, so the
+  // score equals 100 * exp(1 - ref/hyp).
+  std::vector<std::vector<int>> hyp = {{1, 2, 3, 4, 5}};
+  std::vector<std::vector<int>> ref = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  double expected = 100.0 * std::exp(1.0 - 10.0 / 5.0);
+  EXPECT_NEAR(corpus_bleu(hyp, ref), expected, 1e-9);
+}
+
+TEST(Bleu, PartialOverlapBetweenZeroAndHundred) {
+  std::vector<std::vector<int>> hyp = {{1, 2, 3, 9, 5, 6, 7, 8}};
+  std::vector<std::vector<int>> ref = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  double bleu = corpus_bleu(hyp, ref);
+  EXPECT_GT(bleu, 10.0);
+  EXPECT_LT(bleu, 90.0);
+}
+
+TEST(Bleu, MonotoneInQuality) {
+  std::vector<std::vector<int>> ref = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  std::vector<std::vector<int>> near = {{1, 2, 3, 4, 5, 6, 7, 9}};
+  std::vector<std::vector<int>> far = {{1, 9, 3, 9, 5, 9, 7, 9}};
+  EXPECT_GT(corpus_bleu(near, ref), corpus_bleu(far, ref));
+}
+
+TEST(SequenceAccuracy, CountsMatchesAndLengthMismatch) {
+  EXPECT_NEAR(sequence_accuracy({{1, 2, 3}}, {{1, 2, 3}}), 1.0, 1e-12);
+  EXPECT_NEAR(sequence_accuracy({{1, 2}}, {{1, 2, 3, 4}}), 0.5, 1e-12);
+  EXPECT_NEAR(sequence_accuracy({{9, 9, 9}}, {{1, 2, 3}}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pipemare::data

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/hwmodel/activation_memory.h"
+#include "src/hwmodel/characteristics.h"
+#include "src/nn/dropout.h"
+#include "src/nn/serialize.h"
+#include "src/nn/transformer.h"
+#include "src/pipeline/tick_sim.h"
+#include "src/theory/char_polys.h"
+#include "src/theory/companion.h"
+#include "src/theory/stability.h"
+#include "src/util/rng.h"
+
+namespace pipemare {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tick simulator vs analytic models
+// ---------------------------------------------------------------------------
+
+struct PN {
+  int p;
+  int n;
+};
+
+class TickSimGrid : public ::testing::TestWithParam<PN> {};
+
+TEST_P(TickSimGrid, OneFOneBInflightMatchesAppendixA1) {
+  // Appendix A.1: stage i caches O(2(P-i)+1) activations. The tick
+  // simulation must measure exactly 2(P-1-i)+1 (0-indexed) once the
+  // pipeline is in steady state.
+  auto [p, n] = GetParam();
+  // Enough minibatches for every stage to reach pipeline steady state
+  // (total microbatches must exceed the 2P-tick round trip).
+  int minibatches = std::max(6, 4 * p / n);
+  auto stats = pipeline::simulate_1f1b_schedule(p, n, minibatches);
+  auto expected = hwmodel::pipemare_activation_counts(p);
+  ASSERT_EQ(stats.max_inflight_activations.size(), expected.size());
+  for (int i = 0; i < p; ++i) {
+    EXPECT_EQ(stats.max_inflight_activations[static_cast<std::size_t>(i)],
+              expected[static_cast<std::size_t>(i)])
+        << "stage " << i;
+  }
+}
+
+TEST_P(TickSimGrid, FlushThroughputMatchesTable1) {
+  // Table 1: GPipe normalized throughput N/(N+P-1). The simulator uses
+  // dual F/B units (one microbatch completes per tick in bubble-free
+  // steady state), while Table 1 normalizes against a serialized unit
+  // (one per 2 ticks): the Table 1 value is exactly 2x the measured
+  // flush/1F1B ratio for long runs.
+  auto [p, n] = GetParam();
+  int minibatches = std::max(60, 40 * p / n);
+  auto flush = pipeline::simulate_flush_schedule(p, n, minibatches);
+  auto steady = pipeline::simulate_1f1b_schedule(p, n, minibatches);
+  double relative = 2.0 * flush.throughput / steady.throughput;
+  double table1 = hwmodel::normalized_throughput_simple(pipeline::Method::Sync, p, n);
+  EXPECT_NEAR(relative, table1, 0.05 * table1 + 0.02) << "P=" << p << " N=" << n;
+}
+
+TEST_P(TickSimGrid, OneFOneBHasNoSteadyStateBubbles) {
+  auto [p, n] = GetParam();
+  int minibatches = std::max(50, 40 * p / n);
+  auto stats = pipeline::simulate_1f1b_schedule(p, n, minibatches);
+  // Busy fraction approaches 1 for long runs (only fill/drain idle).
+  double busy_frac = static_cast<double>(stats.busy_slots) /
+                     static_cast<double>(stats.busy_slots + stats.idle_slots);
+  EXPECT_GT(busy_frac, 0.85) << "P=" << p << " N=" << n;
+  auto flush = pipeline::simulate_flush_schedule(p, n, minibatches);
+  double flush_busy = static_cast<double>(flush.busy_slots) /
+                      static_cast<double>(flush.busy_slots + flush.idle_slots);
+  EXPECT_GT(busy_frac, flush_busy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TickSimGrid,
+                         ::testing::Values(PN{2, 2}, PN{4, 4}, PN{8, 4}, PN{16, 8},
+                                           PN{16, 2}),
+                         [](const auto& info) {
+                           return "P" + std::to_string(info.param.p) + "N" +
+                                  std::to_string(info.param.n);
+                         });
+
+// ---------------------------------------------------------------------------
+// Companion matrix cross-validation
+// ---------------------------------------------------------------------------
+
+TEST(Companion, SpectralRadiusMatchesPolynomialRoots) {
+  for (double alpha : {0.01, 0.1, 0.3}) {
+    theory::Polynomial p = theory::char_poly_basic(8, alpha, 1.0);
+    theory::CompanionMatrix c(p);
+    EXPECT_EQ(c.dim(), 9);
+    EXPECT_NEAR(c.spectral_radius_power(4000), p.spectral_radius(), 2e-2)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(Companion, DiscrepancyPolyAgreesToo) {
+  theory::Polynomial p = theory::char_poly_discrepancy(10, 6, 0.05, 1.0, 5.0);
+  theory::CompanionMatrix c(p);
+  EXPECT_NEAR(c.spectral_radius_power(4000), p.spectral_radius(), 2e-2);
+}
+
+TEST(Companion, SimulationBoundedIffStable) {
+  double stable_alpha = 0.5 * theory::lemma1_max_alpha(1.0, 6);
+  double unstable_alpha = 2.0 * theory::lemma1_max_alpha(1.0, 6);
+  theory::CompanionMatrix stable(theory::char_poly_basic(6, stable_alpha, 1.0));
+  theory::CompanionMatrix unstable(theory::char_poly_basic(6, unstable_alpha, 1.0));
+  EXPECT_LT(stable.simulate_norm(3000, 0.1, 7), 1e3);
+  EXPECT_GT(unstable.simulate_norm(3000, 0.1, 7), 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+TEST(Dropout, IdentityAtEval) {
+  nn::Dropout drop(0.5);
+  nn::Flow in;
+  in.x = tensor::Tensor({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  in.training = false;
+  nn::Cache cache;
+  nn::Flow out = drop.forward(in, {}, cache);
+  for (std::int64_t i = 0; i < in.x.size(); ++i) EXPECT_EQ(out.x[i], in.x[i]);
+}
+
+TEST(Dropout, TrainingMasksAndRescales) {
+  nn::Dropout drop(0.5, 42);
+  nn::Flow in;
+  in.x = tensor::Tensor({1, 1000});
+  in.x.fill(1.0F);
+  in.training = true;
+  nn::Cache cache;
+  nn::Flow out = drop.forward(in, {}, cache);
+  int zeros = 0;
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < out.x.size(); ++i) {
+    if (out.x[i] == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(out.x[i], 2.0F, 1e-6F);  // inverted scaling 1/(1-0.5)
+    }
+    sum += out.x[i];
+  }
+  EXPECT_NEAR(zeros, 500, 60);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // expectation preserved
+}
+
+TEST(Dropout, BackwardAppliesForwardMask) {
+  nn::Dropout drop(0.3, 7);
+  nn::Flow in;
+  in.x = tensor::Tensor({1, 64});
+  in.x.fill(1.0F);
+  in.training = true;
+  nn::Cache cache;
+  nn::Flow out = drop.forward(in, {}, cache);
+  nn::Flow dout;
+  dout.x = tensor::Tensor({1, 64});
+  dout.x.fill(1.0F);
+  nn::Flow din = drop.backward(dout, {}, cache, {});
+  for (std::int64_t i = 0; i < out.x.size(); ++i) {
+    EXPECT_EQ(din.x[i], out.x[i]);  // dy=1, mask applied identically
+  }
+}
+
+TEST(Dropout, TransformerWithDropoutTrainsAndEvalsDeterministically) {
+  nn::TransformerConfig cfg;
+  cfg.vocab = 9;
+  cfg.d_model = 8;
+  cfg.heads = 2;
+  cfg.enc_layers = 1;
+  cfg.dec_layers = 1;
+  cfg.ffn_hidden = 12;
+  cfg.dropout = 0.2;
+  nn::Model m = nn::make_transformer(cfg);
+  util::Rng rng(3);
+  std::vector<float> params(static_cast<std::size_t>(m.param_count()));
+  m.init_params(params, rng);
+  nn::Flow in;
+  in.x = tensor::Tensor({1, 4}, {3, 4, 5, 6});
+  in.aux = tensor::Tensor({1, 3}, {1, 3, 4});
+  in.training = false;
+  auto caches = m.make_caches();
+  nn::Flow a = m.forward(in, params, caches);
+  nn::Flow b = m.forward(in, params, caches);
+  for (std::int64_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]);  // eval is dropout-free and deterministic
+  }
+  in.training = true;
+  nn::Flow c = m.forward(in, params, caches);
+  // Training pass differs from eval (masks active) almost surely.
+  bool differs = false;
+  for (std::int64_t i = 0; i < a.x.size(); ++i) {
+    if (std::abs(a.x[i] - c.x[i]) > 1e-7F) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTrip) {
+  std::vector<float> w = {1.5F, -2.25F, 0.0F, 3.75F};
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pipemare_weights_test.bin").string();
+  nn::save_weights(path, w);
+  auto back = nn::load_weights(path);
+  ASSERT_EQ(back.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(back[i], w[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pipemare_garbage_test.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  EXPECT_THROW(nn::load_weights(path), std::runtime_error);
+  EXPECT_THROW(nn::load_weights("/nonexistent/dir/x.bin"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pipemare

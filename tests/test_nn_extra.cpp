@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/attention.h"
+#include "src/nn/embedding.h"
+#include "src/nn/heads.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace pipemare::nn {
+namespace {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Cross-attention context gradient: finite-difference check of dL/dctx
+// ---------------------------------------------------------------------------
+
+TEST(CrossAttention, ContextGradientMatchesFiniteDifferences) {
+  util::Rng rng(31);
+  MultiHeadAttention cross(8, 2, MultiHeadAttention::Kind::CrossAttention);
+  std::vector<float> w(static_cast<std::size_t>(cross.param_count()));
+  cross.init_params(w, rng);
+
+  Flow in;
+  in.x = Tensor({2, 3, 8});
+  in.ctx = Tensor({2, 4, 8});
+  for (std::int64_t i = 0; i < in.x.size(); ++i) in.x[i] = static_cast<float>(rng.normal());
+  for (std::int64_t i = 0; i < in.ctx.size(); ++i)
+    in.ctx[i] = static_cast<float>(rng.normal());
+
+  // Scalar loss: sum of outputs (so dL/dy = 1 everywhere).
+  auto loss_at = [&](const Flow& flow) {
+    Cache cache;
+    Flow out = cross.forward(flow, w, cache);
+    return tensor::sum(out.x);
+  };
+
+  Cache cache;
+  Flow out = cross.forward(in, w, cache);
+  Flow dout;
+  dout.x = Tensor(out.x.shape());
+  dout.x.fill(1.0F);
+  std::vector<float> grad(w.size(), 0.0F);
+  Flow din = cross.backward(dout, w, cache, grad);
+  ASSERT_FALSE(din.ctx.empty());
+
+  const double eps = 1e-2;
+  for (int probe = 0; probe < 12; ++probe) {
+    auto i = static_cast<std::int64_t>(rng.randint(static_cast<int>(in.ctx.size())));
+    Flow plus = in;
+    plus.ctx[i] += static_cast<float>(eps);
+    Flow minus = in;
+    minus.ctx[i] -= static_cast<float>(eps);
+    double numeric = (loss_at(plus) - loss_at(minus)) / (2.0 * eps);
+    EXPECT_NEAR(din.ctx[i], numeric, 5e-3 + 0.05 * std::abs(numeric)) << "ctx idx " << i;
+  }
+}
+
+TEST(CrossAttention, AccumulatesIntoExistingContextGradient) {
+  // When downstream layers already contributed a ctx gradient, the
+  // cross-attention backward must *add* its own contribution.
+  util::Rng rng(33);
+  MultiHeadAttention cross(8, 2, MultiHeadAttention::Kind::CrossAttention);
+  std::vector<float> w(static_cast<std::size_t>(cross.param_count()));
+  cross.init_params(w, rng);
+  Flow in;
+  in.x = Tensor({1, 2, 8});
+  in.ctx = Tensor({1, 3, 8});
+  for (std::int64_t i = 0; i < in.x.size(); ++i) in.x[i] = static_cast<float>(rng.normal());
+  for (std::int64_t i = 0; i < in.ctx.size(); ++i)
+    in.ctx[i] = static_cast<float>(rng.normal());
+  Cache cache;
+  Flow out = cross.forward(in, w, cache);
+
+  Flow dout_zero;
+  dout_zero.x = Tensor(out.x.shape());
+  dout_zero.x.fill(1.0F);
+  std::vector<float> g1(w.size(), 0.0F);
+  Flow din_zero = cross.backward(dout_zero, w, cache, g1);
+
+  Flow dout_pre = dout_zero;
+  dout_pre.ctx = Tensor(in.ctx.shape());
+  dout_pre.ctx.fill(0.5F);
+  std::vector<float> g2(w.size(), 0.0F);
+  Flow din_pre = cross.backward(dout_pre, w, cache, g2);
+
+  for (std::int64_t i = 0; i < din_zero.ctx.size(); ++i) {
+    EXPECT_NEAR(din_pre.ctx[i], din_zero.ctx[i] + 0.5F, 1e-5F);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-attention invariances
+// ---------------------------------------------------------------------------
+
+TEST(SelfAttention, PermutingBatchPermutesOutput) {
+  // Batch elements are independent: swapping two inputs swaps the outputs.
+  util::Rng rng(35);
+  MultiHeadAttention attn(8, 2, MultiHeadAttention::Kind::SelfAttention);
+  std::vector<float> w(static_cast<std::size_t>(attn.param_count()));
+  attn.init_params(w, rng);
+  Flow in;
+  in.x = Tensor({2, 3, 8});
+  for (std::int64_t i = 0; i < in.x.size(); ++i) in.x[i] = static_cast<float>(rng.normal());
+  Cache cache;
+  Flow out = attn.forward(in, w, cache);
+
+  Flow swapped;
+  swapped.x = Tensor({2, 3, 8});
+  for (int s = 0; s < 3; ++s)
+    for (int d = 0; d < 8; ++d) {
+      swapped.x.at(0, s, d) = in.x.at(1, s, d);
+      swapped.x.at(1, s, d) = in.x.at(0, s, d);
+    }
+  Flow out2 = attn.forward(swapped, w, cache);
+  for (int s = 0; s < 3; ++s)
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_NEAR(out2.x.at(0, s, d), out.x.at(1, s, d), 1e-5F);
+      EXPECT_NEAR(out2.x.at(1, s, d), out.x.at(0, s, d), 1e-5F);
+    }
+}
+
+TEST(Embedding, BackwardScattersIntoUsedRowsOnly) {
+  util::Rng rng(37);
+  TokenEmbedding emb(10, 4, 8);
+  std::vector<float> w(static_cast<std::size_t>(emb.param_count()));
+  emb.init_params(w, rng);
+  Flow in;
+  in.x = Tensor({1, 3}, {2, 7, 2});
+  Cache cache;
+  Flow out = emb.forward(in, w, cache);
+  Flow dout;
+  dout.x = Tensor(out.x.shape());
+  dout.x.fill(1.0F);
+  std::vector<float> grad(w.size(), 0.0F);
+  emb.backward(dout, w, cache, grad);
+  float scale = std::sqrt(4.0F);
+  for (int v = 0; v < 10; ++v) {
+    for (int d = 0; d < 4; ++d) {
+      float g = grad[static_cast<std::size_t>(v) * 4 + d];
+      if (v == 2) {
+        EXPECT_NEAR(g, 2.0F * scale, 1e-5F);  // token 2 used twice
+      } else if (v == 7) {
+        EXPECT_NEAR(g, 1.0F * scale, 1e-5F);
+      } else {
+        EXPECT_EQ(g, 0.0F);
+      }
+    }
+  }
+}
+
+TEST(Embedding, RejectsOutOfRangeTokens) {
+  util::Rng rng(39);
+  TokenEmbedding emb(5, 4, 8);
+  std::vector<float> w(static_cast<std::size_t>(emb.param_count()));
+  emb.init_params(w, rng);
+  Flow in;
+  in.x = Tensor({1, 2}, {1, 9});
+  Cache cache;
+  EXPECT_THROW(emb.forward(in, w, cache), std::out_of_range);
+}
+
+TEST(Model, BackwardRangeOnlyTouchesRangeGradients) {
+  util::Rng rng(41);
+  Model m;
+  m.add(std::make_unique<Linear>(4, 4));
+  m.add(std::make_unique<Linear>(4, 4));
+  m.add(std::make_unique<Linear>(4, 2));
+  std::vector<float> params(static_cast<std::size_t>(m.param_count()));
+  m.init_params(params, rng);
+  Flow in;
+  in.x = Tensor({2, 4});
+  for (std::int64_t i = 0; i < in.x.size(); ++i) in.x[i] = static_cast<float>(rng.normal());
+  auto caches = m.make_caches();
+  Flow out = m.forward(in, params, caches);
+  Tensor target({2}, {0.0F, 1.0F});
+  auto lr = ClassificationXent().forward_backward(out.x, target);
+  std::vector<float> grad(params.size(), 0.0F);
+  Flow dflow;
+  dflow.x = lr.doutput;
+  // Backward through the last module only.
+  m.backward_range(2, 3, std::move(dflow), params, caches, grad);
+  auto g0 = m.module_params(0, std::span<const float>(grad));
+  auto g2 = m.module_params(2, std::span<const float>(grad));
+  double sum0 = 0.0, sum2 = 0.0;
+  for (float g : g0) sum0 += std::abs(g);
+  for (float g : g2) sum2 += std::abs(g);
+  EXPECT_EQ(sum0, 0.0);
+  EXPECT_GT(sum2, 0.0);
+}
+
+}  // namespace
+}  // namespace pipemare::nn

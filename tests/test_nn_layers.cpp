@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/heads.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/nn/norm.h"
+#include "src/nn/residual.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace pipemare::nn {
+namespace {
+
+using tensor::Tensor;
+
+/// Finite-difference gradient check of a model + loss head.
+/// Verifies a random subset of parameter coordinates and, optionally, the
+/// gradient w.r.t. the input activation.
+void gradcheck(const Model& model, const LossHead& head, Flow input, Tensor target,
+               util::Rng& rng, int param_probes = 40, bool check_input = true,
+               double eps = 5e-3, double rel_tol = 0.08, double abs_tol = 3e-3) {
+  std::vector<float> params(static_cast<std::size_t>(model.param_count()));
+  model.init_params(params, rng);
+
+  auto loss_at = [&](std::span<const float> p, const Flow& in) {
+    auto caches = model.make_caches();
+    Flow out = model.forward(in, p, caches);
+    return head.forward_backward(out.x, target).loss;
+  };
+
+  // Analytic gradients.
+  std::vector<float> grad(params.size(), 0.0F);
+  auto caches = model.make_caches();
+  Flow out = model.forward(input, params, caches);
+  LossResult lr = head.forward_backward(out.x, target);
+  Flow dflow;
+  dflow.x = lr.doutput;
+  Flow din = model.backward(std::move(dflow), params, caches, grad);
+
+  for (int probe = 0; probe < param_probes; ++probe) {
+    if (params.empty()) break;
+    auto i = static_cast<std::size_t>(rng.randint(static_cast<int>(params.size())));
+    float saved = params[i];
+    params[i] = saved + static_cast<float>(eps);
+    double lp = loss_at(params, input);
+    params[i] = saved - static_cast<float>(eps);
+    double lm = loss_at(params, input);
+    params[i] = saved;
+    double numeric = (lp - lm) / (2.0 * eps);
+    double analytic = grad[i];
+    double tol = abs_tol + rel_tol * std::abs(numeric);
+    EXPECT_NEAR(analytic, numeric, tol) << "param index " << i;
+  }
+
+  if (check_input && !din.x.empty()) {
+    for (int probe = 0; probe < 10; ++probe) {
+      auto i = static_cast<std::int64_t>(rng.randint(static_cast<int>(input.x.size())));
+      float saved = input.x[i];
+      Flow in2 = input;
+      in2.x[i] = saved + static_cast<float>(eps);
+      double lp = loss_at(params, in2);
+      in2.x[i] = saved - static_cast<float>(eps);
+      double lm = loss_at(params, in2);
+      double numeric = (lp - lm) / (2.0 * eps);
+      double analytic = din.x[i];
+      double tol = abs_tol + rel_tol * std::abs(numeric);
+      EXPECT_NEAR(analytic, numeric, tol) << "input index " << i;
+    }
+  }
+}
+
+Flow random_flow(std::vector<int> shape, util::Rng& rng) {
+  Flow f;
+  f.x = Tensor(std::move(shape));
+  for (std::int64_t i = 0; i < f.x.size(); ++i) f.x[i] = static_cast<float>(rng.normal());
+  return f;
+}
+
+Tensor random_labels(int batch, int classes, util::Rng& rng) {
+  Tensor t({batch});
+  for (int i = 0; i < batch; ++i) t[i] = static_cast<float>(rng.randint(classes));
+  return t;
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(1);
+  Model m;
+  m.add(std::make_unique<Linear>(5, 4));
+  gradcheck(m, ClassificationXent(), random_flow({3, 5}, rng), random_labels(3, 4, rng), rng);
+}
+
+TEST(GradCheck, TwoLayerMlpWithRelu) {
+  util::Rng rng(2);
+  Model m;
+  m.add(std::make_unique<Linear>(6, 8, true));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(8, 3));
+  gradcheck(m, ClassificationXent(), random_flow({4, 6}, rng), random_labels(4, 3, rng), rng);
+}
+
+TEST(GradCheck, Conv2d) {
+  util::Rng rng(3);
+  Model m;
+  m.add(std::make_unique<Conv2d>(2, 3, 3, 1, 1));
+  m.add(std::make_unique<GlobalAvgPool>());
+  gradcheck(m, ClassificationXent(), random_flow({2, 2, 4, 4}, rng),
+            random_labels(2, 3, rng), rng);
+}
+
+TEST(GradCheck, Conv2dStride2) {
+  util::Rng rng(4);
+  Model m;
+  m.add(std::make_unique<Conv2d>(2, 4, 3, 2, 1));
+  m.add(std::make_unique<GlobalAvgPool>());
+  gradcheck(m, ClassificationXent(), random_flow({2, 2, 6, 6}, rng),
+            random_labels(2, 4, rng), rng);
+}
+
+TEST(GradCheck, BatchNorm) {
+  util::Rng rng(5);
+  Model m;
+  m.add(std::make_unique<BatchNorm2d>(3));
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(3, 2));
+  gradcheck(m, ClassificationXent(), random_flow({4, 3, 3, 3}, rng),
+            random_labels(4, 2, rng), rng);
+}
+
+TEST(GradCheck, GroupNorm) {
+  util::Rng rng(51);
+  Model m;
+  m.add(std::make_unique<GroupNorm2d>(4, 2));
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(4, 2));
+  gradcheck(m, ClassificationXent(), random_flow({3, 4, 3, 3}, rng),
+            random_labels(3, 2, rng), rng);
+}
+
+TEST(GroupNorm, WorksWithBatchSizeOne) {
+  // The whole point of GroupNorm here: statistics are per-sample, so a
+  // microbatch of one sample is fine (BatchNorm would degenerate).
+  util::Rng rng(52);
+  GroupNorm2d gn(4, 2);
+  std::vector<float> w(static_cast<std::size_t>(gn.param_count()));
+  gn.init_params(w, rng);
+  Flow in = random_flow({1, 4, 4, 4}, rng);
+  Cache cache;
+  Flow out = gn.forward(in, w, cache);
+  // Normalized output: each group has ~zero mean and ~unit variance.
+  for (int g = 0; g < 2; ++g) {
+    double s = 0.0, s2 = 0.0;
+    int n = 0;
+    for (int c = g * 2; c < (g + 1) * 2; ++c)
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) {
+          double v = out.x.at(0, c, y, x);
+          s += v;
+          s2 += v * v;
+          ++n;
+        }
+    EXPECT_NEAR(s / n, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / n, 1.0, 1e-2);
+  }
+}
+
+TEST(GradCheck, LayerNorm) {
+  util::Rng rng(6);
+  Model m;
+  m.add(std::make_unique<LayerNorm>(6));
+  m.add(std::make_unique<Linear>(6, 3));
+  gradcheck(m, ClassificationXent(), random_flow({5, 6}, rng), random_labels(5, 3, rng), rng);
+}
+
+TEST(GradCheck, MaxPool) {
+  util::Rng rng(7);
+  Model m;
+  m.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1));
+  m.add(std::make_unique<MaxPool2x2>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(2, 2));
+  gradcheck(m, ClassificationXent(), random_flow({2, 1, 4, 4}, rng),
+            random_labels(2, 2, rng), rng);
+}
+
+TEST(GradCheck, ResidualIdentity) {
+  util::Rng rng(8);
+  Model m;
+  m.add(std::make_unique<ResidualOpen>());
+  m.add(std::make_unique<Conv2d>(2, 2, 3, 1, 1));
+  m.add(std::make_unique<ResidualClose>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  gradcheck(m, ClassificationXent(), random_flow({2, 2, 4, 4}, rng),
+            random_labels(2, 2, rng), rng);
+}
+
+TEST(GradCheck, ResidualProjection) {
+  util::Rng rng(9);
+  Model m;
+  m.add(std::make_unique<ResidualOpen>());
+  m.add(std::make_unique<Conv2d>(2, 4, 3, 2, 1));
+  m.add(std::make_unique<ResidualClose>(2, 4, 2));
+  m.add(std::make_unique<GlobalAvgPool>());
+  gradcheck(m, ClassificationXent(), random_flow({2, 2, 4, 4}, rng),
+            random_labels(2, 4, rng), rng);
+}
+
+TEST(BackpropDifferentWeights, LinearUsesBackwardWeightsForInputGrad) {
+  // The paper's model evaluates grad f(u_fwd, u_bkwd) with different weight
+  // vectors. For y = x W^T: dX must use W_bkwd while dW must use the cached
+  // forward activations.
+  util::Rng rng(10);
+  Linear lin(3, 2);
+  std::vector<float> w_fwd(static_cast<std::size_t>(lin.param_count()));
+  std::vector<float> w_bkwd(w_fwd.size());
+  lin.init_params(w_fwd, rng);
+  lin.init_params(w_bkwd, rng);
+
+  Flow in = random_flow({2, 3}, rng);
+  Cache cache;
+  Flow out = lin.forward(in, w_fwd, cache);
+  (void)out;
+  Flow dout;
+  dout.x = Tensor({2, 2}, {1.0F, 0.5F, -1.0F, 2.0F});
+  std::vector<float> grad(w_fwd.size(), 0.0F);
+  Flow din = lin.backward(dout, w_bkwd, cache, grad);
+
+  // dX = dY * W_bkwd (row-major [out,in] weight).
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      float expect = 0.0F;
+      for (int o = 0; o < 2; ++o) {
+        expect += dout.x.at(i, o) * w_bkwd[static_cast<std::size_t>(o) * 3 + j];
+      }
+      EXPECT_NEAR(din.x.at(i, j), expect, 1e-5F);
+    }
+  }
+  // dW = dY^T X_fwd.
+  for (int o = 0; o < 2; ++o) {
+    for (int j = 0; j < 3; ++j) {
+      float expect = 0.0F;
+      for (int i = 0; i < 2; ++i) expect += dout.x.at(i, o) * in.x.at(i, j);
+      EXPECT_NEAR(grad[static_cast<std::size_t>(o) * 3 + j], expect, 1e-5F);
+    }
+  }
+}
+
+TEST(Heads, ClassificationXentMatchesManual) {
+  Tensor logits({1, 3}, {1.0F, 2.0F, 0.5F});
+  Tensor label({1}, {1.0F});
+  auto res = ClassificationXent().forward_backward(logits, label);
+  // Manual: -log softmax(logits)[1].
+  double z = std::exp(1.0) + std::exp(2.0) + std::exp(0.5);
+  EXPECT_NEAR(res.loss, -std::log(std::exp(2.0) / z), 1e-5);
+  EXPECT_EQ(res.correct, 1.0);
+  // Gradient sums to zero per row.
+  double s = 0.0;
+  for (int j = 0; j < 3; ++j) s += res.doutput.at(0, j);
+  EXPECT_NEAR(s, 0.0, 1e-6);
+}
+
+TEST(Heads, SequenceXentLabelSmoothingGradSumsToZero) {
+  util::Rng rng(11);
+  Tensor logits({2, 3, 5});
+  for (std::int64_t i = 0; i < logits.size(); ++i)
+    logits[i] = static_cast<float>(rng.normal());
+  Tensor target({2, 3}, {0, 1, 2, 3, 4, 0});
+  auto res = SequenceXent(0.1).forward_backward(logits, target);
+  EXPECT_GT(res.loss, 0.0);
+  EXPECT_EQ(res.count, 6.0);
+  double s = 0.0;
+  for (std::int64_t i = 0; i < res.doutput.size(); ++i) s += res.doutput[i];
+  EXPECT_NEAR(s, 0.0, 1e-5);
+}
+
+TEST(Heads, SequenceXentIgnoresPadding) {
+  Tensor logits({1, 2, 4});
+  Tensor target({1, 2}, {2.0F, 3.0F});
+  auto all = SequenceXent(0.0, /*pad_id=*/-1).forward_backward(logits, target);
+  auto padded = SequenceXent(0.0, /*pad_id=*/3).forward_backward(logits, target);
+  EXPECT_EQ(all.count, 2.0);
+  EXPECT_EQ(padded.count, 1.0);
+}
+
+TEST(Heads, MseLossGradient) {
+  Tensor out({2}, {1.0F, 3.0F});
+  Tensor tgt({2}, {0.0F, 1.0F});
+  auto res = MseLoss().forward_backward(out, tgt);
+  EXPECT_NEAR(res.loss, 0.5 * (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(res.doutput[0], 0.5F, 1e-6F);
+  EXPECT_NEAR(res.doutput[1], 1.0F, 1e-6F);
+}
+
+TEST(Model, WeightUnitsSplitBiasDoublesUnits) {
+  Model m;
+  m.add(std::make_unique<Linear>(4, 3));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(3, 2));
+  auto units = m.weight_units(false);
+  auto split = m.weight_units(true);
+  EXPECT_EQ(units.size(), 2u);
+  EXPECT_EQ(split.size(), 4u);
+  // Units tile the flat parameter vector exactly.
+  std::int64_t covered = 0;
+  for (const auto& u : split) {
+    EXPECT_EQ(u.offset, covered);
+    covered += u.size;
+  }
+  EXPECT_EQ(covered, m.param_count());
+}
+
+TEST(Residual, OpenRejectsNestedShortcuts) {
+  ResidualOpen open;
+  Cache cache;
+  util::Rng rng(12);
+  Flow f = random_flow({1, 2, 2, 2}, rng);
+  Flow opened = open.forward(f, {}, cache);
+  EXPECT_THROW(open.forward(opened, {}, cache), std::logic_error);
+}
+
+TEST(Residual, CloseWithoutOpenThrows) {
+  ResidualClose close;
+  Cache cache;
+  util::Rng rng(13);
+  Flow f = random_flow({1, 2, 2, 2}, rng);
+  EXPECT_THROW(close.forward(f, {}, cache), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pipemare::nn

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/optim/optimizer.h"
+#include "src/optim/schedule.h"
+#include "src/optim/t1_reschedule.h"
+
+namespace pipemare::optim {
+namespace {
+
+std::vector<LrSegment> whole(double lr, std::size_t n) {
+  return {{0, static_cast<std::int64_t>(n), lr}};
+}
+
+TEST(SgdMomentum, PlainSgdStep) {
+  SgdMomentum opt(0.0, 0.0);
+  std::vector<float> w = {1.0F, -2.0F};
+  std::vector<float> g = {0.5F, 1.0F};
+  opt.step(w, g, whole(0.1, 2));
+  EXPECT_NEAR(w[0], 0.95F, 1e-6F);
+  EXPECT_NEAR(w[1], -2.1F, 1e-6F);
+  EXPECT_EQ(opt.state_copies(), 0);
+}
+
+TEST(SgdMomentum, MomentumAccumulates) {
+  // PyTorch convention: v = mu v + g, w -= lr v. Two identical steps:
+  // step1: v=g, w -= lr g; step2: v = mu g + g, w -= lr (1+mu) g.
+  SgdMomentum opt(0.9, 0.0);
+  std::vector<float> w = {0.0F};
+  std::vector<float> g = {1.0F};
+  opt.step(w, g, whole(0.1, 1));
+  EXPECT_NEAR(w[0], -0.1F, 1e-6F);
+  opt.step(w, g, whole(0.1, 1));
+  EXPECT_NEAR(w[0], -0.1F - 0.1F * 1.9F, 1e-6F);
+  EXPECT_EQ(opt.state_copies(), 1);
+}
+
+TEST(SgdMomentum, WeightDecayAddsToGradient) {
+  SgdMomentum opt(0.0, 0.1);
+  std::vector<float> w = {2.0F};
+  std::vector<float> g = {0.0F};
+  opt.step(w, g, whole(0.5, 1));
+  // g' = 0 + 0.1*2 = 0.2; w -= 0.5*0.2.
+  EXPECT_NEAR(w[0], 1.9F, 1e-6F);
+}
+
+TEST(SgdMomentum, PerSegmentLearningRates) {
+  SgdMomentum opt(0.0, 0.0);
+  std::vector<float> w = {1.0F, 1.0F};
+  std::vector<float> g = {1.0F, 1.0F};
+  std::vector<LrSegment> segs = {{0, 1, 0.1}, {1, 1, 0.2}};
+  opt.step(w, g, segs);
+  EXPECT_NEAR(w[0], 0.9F, 1e-6F);
+  EXPECT_NEAR(w[1], 0.8F, 1e-6F);
+}
+
+TEST(AdamW, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is ~lr * sign(g).
+  AdamW opt(0.9, 0.999, 1e-12, 0.0);
+  std::vector<float> w = {0.0F, 0.0F};
+  std::vector<float> g = {3.0F, -0.5F};
+  opt.step(w, g, whole(0.01, 2));
+  EXPECT_NEAR(w[0], -0.01F, 1e-5F);
+  EXPECT_NEAR(w[1], 0.01F, 1e-5F);
+  EXPECT_EQ(opt.state_copies(), 2);
+}
+
+TEST(AdamW, DecoupledWeightDecayShrinksWeights) {
+  AdamW opt(0.9, 0.999, 1e-12, 0.1);
+  std::vector<float> w = {1.0F};
+  std::vector<float> g = {0.0F};
+  opt.step(w, g, whole(0.01, 1));
+  // Zero gradient: only the decoupled decay applies: w -= lr*wd*w.
+  EXPECT_NEAR(w[0], 1.0F - 0.01F * 0.1F, 1e-6F);
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  AdamW opt;
+  std::vector<float> w = {5.0F};
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<float> g = {w[0]};  // f = w^2/2
+    opt.step(w, g, whole(0.01, 1));
+  }
+  EXPECT_NEAR(w[0], 0.0F, 0.02F);
+}
+
+TEST(ClipGradNorm, ScalesOnlyAboveThreshold) {
+  std::vector<float> g = {3.0F, 4.0F};  // norm 5
+  double norm = clip_grad_norm(g, 10.0);
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+  EXPECT_NEAR(g[0], 3.0F, 1e-6F);
+  norm = clip_grad_norm(g, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+  EXPECT_NEAR(std::hypot(g[0], g[1]), 1.0F, 1e-4F);
+}
+
+TEST(Schedules, StepDecayDropsByFactor) {
+  StepDecay s(0.1, 0.1, 100);
+  EXPECT_DOUBLE_EQ(s.lr(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr(99), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr(100), 0.01);
+  EXPECT_DOUBLE_EQ(s.lr(250), 0.001);
+}
+
+TEST(Schedules, InverseSqrtWarmupShape) {
+  InverseSqrtWarmup s(1e-3, 100, 1e-7);
+  EXPECT_NEAR(s.lr(0), 1e-7, 1e-12);
+  EXPECT_NEAR(s.lr(50), 0.5e-3, 1e-5);
+  EXPECT_NEAR(s.lr(100), 1e-3, 1e-12);
+  EXPECT_NEAR(s.lr(400), 1e-3 * 0.5, 1e-12);  // sqrt(100/400)
+  // Monotone decreasing after warmup.
+  EXPECT_GT(s.lr(200), s.lr(300));
+}
+
+TEST(T1, ScaleAnnealsFromInverseTauToOne) {
+  T1Rescheduler t1({8.0, 2.0, 0.25}, 100);
+  // Step 0: p=1 -> scale = 1/tau (tau clamped to >= 1).
+  EXPECT_NEAR(t1.scale(0, 0), 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(t1.scale(0, 1), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(t1.scale(0, 2), 1.0, 1e-12);  // tau<1 clamped: never boosts LR
+  // Step 50: p=0.5 -> scale = tau^{-1/2}.
+  EXPECT_NEAR(t1.scale(50, 0), std::pow(8.0, -0.5), 1e-12);
+  // Step >= K: back to the base schedule.
+  EXPECT_NEAR(t1.scale(100, 0), 1.0, 1e-12);
+  EXPECT_NEAR(t1.scale(500, 0), 1.0, 1e-12);
+}
+
+TEST(T1, DisabledWhenAnnealingNonPositive) {
+  T1Rescheduler t1({8.0}, 0);
+  EXPECT_NEAR(t1.scale(0, 0), 1.0, 1e-12);
+}
+
+TEST(T1, ScalesVectorMonotoneInStage) {
+  // Earlier stages (larger tau) get smaller multipliers.
+  T1Rescheduler t1({10.0, 5.0, 2.0, 1.0}, 1000);
+  auto s = t1.scales(0);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i], s[i - 1]);
+}
+
+}  // namespace
+}  // namespace pipemare::optim

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/conv.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace pipemare::tensor {
+namespace {
+
+TEST(Tensor, ZerosAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, AtAccessorsRowMajor) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0F);
+  EXPECT_EQ(t.at(0, 2), 3.0F);
+  EXPECT_EQ(t.at(1, 0), 4.0F);
+  EXPECT_EQ(t.at(1, 2), 6.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0F);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, MatmulSmall) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0F);
+}
+
+TEST(Ops, MatmulVariantsAgreeWithExplicitTranspose) {
+  util::Rng rng(1);
+  Tensor a({4, 5});
+  Tensor b({4, 6});
+  for (std::int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.normal());
+  for (std::int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal());
+  Tensor tn = matmul_tn(a, b);                 // a^T b : [5,6]
+  Tensor ref = matmul(transpose2d(a), b);
+  for (std::int64_t i = 0; i < tn.size(); ++i) EXPECT_NEAR(tn[i], ref[i], 1e-5F);
+
+  Tensor c({5, 4});
+  Tensor d({6, 4});
+  for (std::int64_t i = 0; i < c.size(); ++i) c[i] = static_cast<float>(rng.normal());
+  for (std::int64_t i = 0; i < d.size(); ++i) d[i] = static_cast<float>(rng.normal());
+  Tensor nt = matmul_nt(c, d);                 // c d^T : [5,6]
+  Tensor ref2 = matmul(c, transpose2d(d));
+  for (std::int64_t i = 0; i < nt.size(); ++i) EXPECT_NEAR(nt[i], ref2[i], 1e-5F);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor a({2, 4}, {1, 2, 3, 4, -1, 0, 1, 100});
+  Tensor s = softmax_rows(a);
+  for (int i = 0; i < 2; ++i) {
+    float total = 0.0F;
+    for (int j = 0; j < 4; ++j) {
+      total += s.at(i, j);
+      EXPECT_GE(s.at(i, j), 0.0F);
+    }
+    EXPECT_NEAR(total, 1.0F, 1e-5F);
+  }
+  // Large logit dominates without overflow.
+  EXPECT_NEAR(s.at(1, 3), 1.0F, 1e-5F);
+}
+
+TEST(Ops, LogSoftmaxMatchesSoftmax) {
+  Tensor a({1, 3}, {0.5F, -1.0F, 2.0F});
+  Tensor ls = log_softmax_rows(a);
+  Tensor s = softmax_rows(a);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(std::exp(ls.at(0, j)), s.at(0, j), 1e-5F);
+  }
+}
+
+TEST(Ops, ReluAndBackward) {
+  Tensor x({1, 4}, {-1.0F, 0.0F, 2.0F, -3.0F});
+  Tensor y = relu(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0F);
+  Tensor dy({1, 4}, {1, 1, 1, 1});
+  Tensor dx = relu_backward(dy, x);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 0.0F);  // zero input has zero subgradient here
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 1.0F);
+}
+
+TEST(Conv, Im2ColIdentityKernel) {
+  // 1x1 kernel with no padding: im2col is the identity layout.
+  ConvSpec spec{.in_channels = 2, .out_channels = 1, .kernel = 1, .stride = 1, .padding = 0};
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor cols = im2col(x, spec);
+  EXPECT_EQ(cols.dim(0), 4);
+  EXPECT_EQ(cols.dim(1), 2);
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(cols.at(0, 1), 5.0F);
+  EXPECT_FLOAT_EQ(cols.at(3, 0), 4.0F);
+  EXPECT_FLOAT_EQ(cols.at(3, 1), 8.0F);
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property).
+  ConvSpec spec{.in_channels = 3, .out_channels = 1, .kernel = 3, .stride = 1, .padding = 1};
+  util::Rng rng(2);
+  Tensor x({2, 3, 4, 4});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal());
+  Tensor cols = im2col(x, spec);
+  Tensor y(cols.shape());
+  for (std::int64_t i = 0; i < y.size(); ++i) y[i] = static_cast<float>(rng.normal());
+  Tensor back = col2im(y, spec, 2, 4, 4);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cols.size(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::int64_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Conv, MaxPoolForwardBackward) {
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor idx;
+  Tensor y = maxpool2x2(x, idx);
+  EXPECT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0F);
+  Tensor dy({1, 1, 1, 1}, {2.0F});
+  Tensor dx = maxpool2x2_backward(dy, idx, {1, 1, 2, 2});
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 0.0F);
+}
+
+TEST(Conv, GlobalAvgPool) {
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = global_avg_pool(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.0F);
+  Tensor dy({1, 2}, {4.0F, 8.0F});
+  Tensor dx = global_avg_pool_backward(dy, {1, 2, 2, 2});
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 1, 1), 1.0F);
+  EXPECT_FLOAT_EQ(dx.at(0, 1, 0, 0), 2.0F);
+}
+
+}  // namespace
+}  // namespace pipemare::tensor

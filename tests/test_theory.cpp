@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "src/theory/char_polys.h"
+#include "src/theory/polynomial.h"
+#include "src/theory/quadratic_sim.h"
+#include "src/theory/stability.h"
+
+namespace pipemare::theory {
+namespace {
+
+TEST(Polynomial, EvalAndDerivative) {
+  Polynomial p({1.0, -3.0, 2.0});  // 1 - 3x + 2x^2
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_NEAR(std::abs(p.eval({2.0, 0.0}) - Complex(3.0, 0.0)), 0.0, 1e-12);
+  Polynomial d = p.derivative();  // -3 + 4x
+  EXPECT_EQ(d.degree(), 1);
+  EXPECT_NEAR(std::abs(d.eval({1.0, 0.0}) - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Polynomial, RootsOfQuadratic) {
+  Polynomial p({2.0, -3.0, 1.0});  // (x-1)(x-2)
+  auto rs = p.roots();
+  ASSERT_EQ(rs.size(), 2u);
+  double lo = std::min(rs[0].real(), rs[1].real());
+  double hi = std::max(rs[0].real(), rs[1].real());
+  EXPECT_NEAR(lo, 1.0, 1e-8);
+  EXPECT_NEAR(hi, 2.0, 1e-8);
+  EXPECT_NEAR(rs[0].imag(), 0.0, 1e-8);
+}
+
+TEST(Polynomial, SpectralRadiusOfKnownPoly) {
+  Polynomial p({-6.0, 11.0, -6.0, 1.0});  // roots 1, 2, 3
+  EXPECT_NEAR(p.spectral_radius(), 3.0, 1e-6);
+}
+
+TEST(Polynomial, StabilityByWindingNumber) {
+  // Roots at 0.5 and -0.5: stable.
+  Polynomial stable({-0.25, 0.0, 1.0});
+  EXPECT_TRUE(stable.is_stable());
+  // Root at 2: unstable.
+  Polynomial unstable({-2.0, 1.0});
+  EXPECT_FALSE(unstable.is_stable());
+  // Root exactly on the unit circle: treated as unstable.
+  Polynomial marginal({-1.0, 1.0});
+  EXPECT_FALSE(marginal.is_stable());
+}
+
+TEST(Lemma1, MatchesNumericStabilityThreshold) {
+  // Property check across a grid of (lambda, tau): the closed form of
+  // Lemma 1 must agree with the numeric first instability of eq. (4).
+  for (double lambda : {0.5, 1.0, 2.0}) {
+    for (int tau : {1, 2, 5, 10, 25}) {
+      double closed = lemma1_max_alpha(lambda, tau);
+      double numeric = largest_stable_alpha([&](double a) {
+        return char_poly_basic(tau, a, lambda);
+      });
+      EXPECT_NEAR(numeric, closed, 1e-3 * closed + 1e-9)
+          << "lambda=" << lambda << " tau=" << tau;
+    }
+  }
+}
+
+TEST(Lemma1, TauZeroRecoversGradientDescentBound) {
+  // tau = 0: alpha <= 2/lambda, the classic GD stability bound.
+  EXPECT_NEAR(lemma1_max_alpha(1.0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(lemma1_max_alpha(4.0, 0), 0.5, 1e-12);
+}
+
+TEST(Lemma1, DoubleRootAlphaGivesRepeatedRoot) {
+  int tau = 6;
+  double lambda = 1.0;
+  double alpha = lemma1_double_root_alpha(lambda, tau);
+  Polynomial p = char_poly_basic(tau, alpha, lambda);
+  // The double root is at w = tau/(tau+1); p and p' both vanish there.
+  double w = static_cast<double>(tau) / (tau + 1);
+  EXPECT_NEAR(std::abs(p.eval({w, 0.0})), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(p.derivative().eval({w, 0.0})), 0.0, 1e-10);
+}
+
+TEST(Lemma2, DiscrepancyShrinksStableRegion) {
+  int tf = 10, tb = 6;
+  double lambda = 1.0;
+  double no_disc = largest_stable_alpha(
+      [&](double a) { return char_poly_discrepancy(tf, tb, a, lambda, 0.0); });
+  for (double delta : {1.0, 5.0, 20.0}) {
+    double with_disc = largest_stable_alpha([&](double a) {
+      return char_poly_discrepancy(tf, tb, a, lambda, delta);
+    });
+    EXPECT_LT(with_disc, no_disc) << "delta=" << delta;
+    // Lemma 2 upper bound on the first instability.
+    EXPECT_LE(with_disc, lemma2_bound(lambda, delta, tf, tb) + 1e-9);
+  }
+}
+
+TEST(Lemma3, MomentumThresholdBelowBound) {
+  double lambda = 1.0;
+  for (int tau : {2, 5, 10}) {
+    for (double beta : {0.5, 0.9}) {
+      double numeric = largest_stable_alpha([&](double a) {
+        return char_poly_momentum(tau, beta, a, lambda);
+      });
+      EXPECT_LE(numeric, lemma3_bound(lambda, tau) + 1e-9)
+          << "tau=" << tau << " beta=" << beta;
+      // Momentum with beta -> 0 degenerates to the plain bound.
+    }
+  }
+  double numeric_b0 = largest_stable_alpha(
+      [&](double a) { return char_poly_momentum(5, 0.0, a, lambda); });
+  EXPECT_NEAR(numeric_b0, lemma1_max_alpha(lambda, 5), 1e-4);
+}
+
+TEST(T2, GammaStarMatchesDStarLimit) {
+  // D = gamma*^{gap} approaches exp(-2) ~= 0.135 for large delays.
+  EXPECT_NEAR(d_star(41, 10), std::exp(-2.0), 0.05);
+  EXPECT_NEAR(gamma_star(11, 6), 1.0 - 2.0 / 6.0, 1e-12);
+  // gamma_from_decay inverts d_star.
+  double g = gamma_from_decay(d_star(20, 5), 15.0);
+  EXPECT_NEAR(g, gamma_star(20, 5), 1e-12);
+}
+
+TEST(T2, CorrectionEnlargesStableRegionForPositiveDelta) {
+  // Section 3.2 claim, verified numerically (as the paper does): with
+  // gamma = gamma*, T2 permits a larger stable alpha whenever delta > 0.
+  double lambda = 1.0;
+  for (int tf : {10, 20, 40}) {
+    int tb = tf / 4;
+    double gamma = gamma_star(tf, tb);
+    for (double delta : {1.0, 5.0, 25.0}) {
+      double uncorrected = largest_stable_alpha([&](double a) {
+        return char_poly_discrepancy(tf, tb, a, lambda, delta);
+      });
+      double corrected = largest_stable_alpha([&](double a) {
+        return char_poly_t2(tf, tb, a, lambda, delta, gamma);
+      });
+      EXPECT_GT(corrected, uncorrected)
+          << "tf=" << tf << " tb=" << tb << " delta=" << delta;
+    }
+  }
+}
+
+TEST(T2, TaylorExpansionAtOneIndependentOfDelta) {
+  // B.5: with gamma = gamma*, p(1), p'(1) and p''(1) do not depend on delta.
+  int tf = 17, tb = 4;
+  double alpha = 0.01, lambda = 1.0;
+  double gamma = gamma_star(tf, tb);
+  auto probe = [&](double delta) {
+    Polynomial p = char_poly_t2(tf, tb, alpha, lambda, delta, gamma);
+    Polynomial d1 = p.derivative();
+    Polynomial d2 = d1.derivative();
+    return std::array<double, 3>{p.eval({1.0, 0.0}).real(),
+                                 d1.eval({1.0, 0.0}).real(),
+                                 d2.eval({1.0, 0.0}).real()};
+  };
+  auto a = probe(0.0);
+  auto b = probe(7.0);
+  EXPECT_NEAR(a[0], b[0], 1e-10);
+  EXPECT_NEAR(a[1], b[1], 1e-10);
+  EXPECT_NEAR(a[2], b[2], 1e-8);
+}
+
+TEST(Recompute, CharPolyReducesToT2WhenPhiZero) {
+  int tf = 10, tb = 1, tr = 4;
+  double alpha = 0.05, lambda = 1.0, delta = 3.0;
+  double gamma = gamma_star(tf, tb);
+  Polynomial with_rec =
+      char_poly_recompute(tf, tb, tr, alpha, lambda, delta, 0.0, gamma);
+  Polynomial without = char_poly_t2(tf, tb, alpha, lambda, delta, gamma);
+  ASSERT_EQ(with_rec.degree(), without.degree());
+  for (int i = 0; i <= with_rec.degree(); ++i) {
+    EXPECT_NEAR(with_rec.coeffs()[static_cast<std::size_t>(i)],
+                without.coeffs()[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(QuadraticSim, ConvergesWithoutDelay) {
+  QuadraticSimConfig cfg;
+  cfg.tau_fwd = 0;
+  cfg.alpha = 0.2;
+  cfg.noise_std = 0.0;
+  auto res = run_quadratic_sim(cfg, 200);
+  EXPECT_FALSE(res.diverged);
+  EXPECT_LT(res.final_loss, 1e-10);
+}
+
+TEST(QuadraticSim, DivergesAtLargeDelayFixedAlpha) {
+  // Figure 3(a): lambda=1, alpha=0.2; tau=10 grows unboundedly while
+  // tau=0,5 stay at the noise floor. (Theory: threshold at tau=10 is
+  // 2 sin(pi/42) ~= 0.149 < 0.2, while at tau=5 it is ~0.285 > 0.2.)
+  auto run = [](int tau) {
+    QuadraticSimConfig cfg;
+    cfg.tau_fwd = tau;
+    cfg.tau_bkwd = tau;
+    cfg.alpha = 0.2;
+    cfg.noise_std = 1.0;
+    cfg.seed = 17;
+    return run_quadratic_sim(cfg, 4000);
+  };
+  EXPECT_LT(run(0).final_loss, 10.0);
+  EXPECT_LT(run(5).final_loss, 10.0);
+  EXPECT_GT(run(10).final_loss, 1e3);
+}
+
+TEST(QuadraticSim, DiscrepancyCausesDivergence) {
+  // Figure 5(a): tau_fwd=10, tau_bkwd=6; at an alpha where delta=0
+  // converges, delta=5 diverges (Lemma 2: first instability below
+  // 2/(delta*(tf-tb)) = 0.1 < 0.149).
+  auto run = [](double delta) {
+    QuadraticSimConfig cfg;
+    cfg.tau_fwd = 10;
+    cfg.tau_bkwd = 6;
+    cfg.alpha = 0.12;
+    cfg.delta = delta;
+    cfg.noise_std = 1.0;
+    cfg.seed = 23;
+    return run_quadratic_sim(cfg, 4000);
+  };
+  EXPECT_LT(run(0.0).final_loss, 10.0);
+  EXPECT_GT(run(5.0).final_loss, 1e3);
+}
+
+TEST(QuadraticSim, T2CorrectionStabilizesDiscrepancy) {
+  // Pick a step size between the uncorrected and T2-corrected stability
+  // thresholds: the uncorrected run must blow up while the corrected run
+  // stays bounded.
+  int tf = 10, tb = 6;
+  double lambda = 1.0, delta = 5.0, decay_d = 0.1;
+  double gamma = gamma_from_decay(decay_d, tf - tb);
+  double uncorr = largest_stable_alpha([&](double a) {
+    return char_poly_discrepancy(tf, tb, a, lambda, delta);
+  });
+  double corr = largest_stable_alpha([&](double a) {
+    return char_poly_t2(tf, tb, a, lambda, delta, gamma);
+  });
+  ASSERT_GT(corr, uncorr);
+  double alpha = 0.5 * (uncorr + corr);
+
+  QuadraticSimConfig cfg;
+  cfg.tau_fwd = tf;
+  cfg.tau_bkwd = tb;
+  cfg.alpha = alpha;
+  cfg.delta = delta;
+  cfg.lambda = lambda;
+  cfg.noise_std = 0.1;
+  cfg.seed = 23;
+  cfg.decay_d = decay_d;
+
+  cfg.t2_correction = false;
+  auto plain = run_quadratic_sim(cfg, 6000);
+  cfg.t2_correction = true;
+  auto corrected = run_quadratic_sim(cfg, 6000);
+  EXPECT_GT(plain.final_loss, 1e3);
+  EXPECT_LT(corrected.final_loss, 10.0);
+}
+
+TEST(QuadraticSim, MatchesStabilityTheoryNearThreshold) {
+  // Deterministic runs (no noise) flip from convergent to divergent across
+  // the Lemma 1 threshold.
+  int tau = 8;
+  double lambda = 1.0;
+  double alpha_star = lemma1_max_alpha(lambda, tau);
+  auto run = [&](double alpha) {
+    QuadraticSimConfig cfg;
+    cfg.tau_fwd = tau;
+    cfg.tau_bkwd = tau;
+    cfg.alpha = alpha;
+    cfg.noise_std = 0.0;
+    return run_quadratic_sim(cfg, 30000);
+  };
+  EXPECT_LT(run(0.9 * alpha_star).final_loss, 1e-6);
+  EXPECT_GT(run(1.1 * alpha_star).final_loss, 1.0);
+}
+
+class StageSweepLemma1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageSweepLemma1, ThresholdScalesInverselyWithTau) {
+  int tau = GetParam();
+  double ratio = lemma1_max_alpha(1.0, tau) * (4.0 * tau + 2.0) / 2.0;
+  // sin(x) ~ x: the bound behaves as pi/(4 tau + 2) * 2, i.e. O(1/tau).
+  EXPECT_NEAR(ratio, std::numbers::pi, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(TauGrid, StageSweepLemma1,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace pipemare::theory

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace pipemare::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(3);
+  const int n = 200000;
+  double s = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    s += x;
+    s2 += x * x;
+  }
+  double mean = s / n;
+  double var = s2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, RandintBounds) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    int v = rng.randint(5);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 5);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, TruncatedExponentialWithinRange) {
+  Rng rng(5);
+  double s = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.truncated_exponential(3.0, 10.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 10.0);
+    s += x;
+  }
+  // Mean of Exp(3) truncated at 10 is below 3 but well above 2.
+  double mean = s / 20000.0;
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 3.0);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng rng(9);
+  Rng a = rng.split();
+  Rng b = rng.split();
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Stats, MeanVariance) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(Stats, Diverged) {
+  EXPECT_TRUE(diverged(std::nan("")));
+  EXPECT_TRUE(diverged(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(diverged(1e9));
+  EXPECT_FALSE(diverged(10.0));
+}
+
+TEST(Stats, Ema) {
+  std::vector<double> xs = {1.0, 0.0, 0.0};
+  auto e = ema(xs, 0.5);
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_DOUBLE_EQ(e[1], 0.5);
+  EXPECT_DOUBLE_EQ(e[2], 0.25);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("xx"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatsValues) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt_x(3.28), "3.3X");
+  EXPECT_EQ(fmt_x(std::numeric_limits<double>::infinity()), "-");
+}
+
+}  // namespace
+}  // namespace pipemare::util
