@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/pipeline/threaded_engine.h"
+
 namespace pipemare::core {
 
 TrainResult train(const Task& task, TrainerConfig cfg) {
@@ -10,6 +12,10 @@ TrainResult train(const Task& task, TrainerConfig cfg) {
   }
   cfg.engine.num_microbatches = cfg.num_microbatches();
   nn::Model model = task.build_model();
+  if (cfg.threaded_execution) {
+    pipeline::ThreadedEngine engine(model, cfg.engine, cfg.seed);
+    return train_loop(task, engine, cfg);
+  }
   pipeline::PipelineEngine engine(model, cfg.engine, cfg.seed);
   return train_loop(task, engine, cfg);
 }

@@ -46,6 +46,12 @@ struct TrainerConfig {
   /// Technique 3: synchronous (GPipe-style) epochs before going async.
   int warmup_epochs = 0;
 
+  /// Execute minibatches on the multithreaded stage-per-worker engine
+  /// (pipeline::ThreadedEngine) instead of the sequential analytic engine.
+  /// Statistically identical (same weight-version store); wall-clock
+  /// faster on multicore hosts. Incompatible with engine.recompute_segments.
+  bool threaded_execution = false;
+
   std::uint64_t seed = 1;
   double divergence_loss = 1e3;  ///< train loss above this declares divergence
 

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+namespace pipemare::pipeline {
+
+/// Pipeline-parallel training method (Section 2.2 / Table 1).
+enum class Method {
+  Sync,       ///< GPipe-style synchronous execution: tau_fwd = tau_bkwd = 0
+  PipeDream,  ///< weight stashing: tau_fwd = tau_bkwd = (2(P-i)+1)/N
+  PipeMare,   ///< asynchronous: tau_fwd = (2(P-i)+1)/N, tau_bkwd = 0
+};
+
+std::string method_name(Method m);
+
+struct EngineConfig {
+  Method method = Method::PipeMare;
+  int num_stages = 1;
+  int num_microbatches = 1;  ///< N = microbatches per minibatch
+  bool split_bias = false;   ///< the paper's "2x stages" weight/bias split
+
+  /// Technique 2 — discrepancy correction (applies to PipeMare): approximate
+  /// the forward weights in the backward pass as
+  /// u_bkwd = w - (tau_fwd - tau_bkwd) * delta, where delta is an EMA of
+  /// weight deltas with decay gamma_i = D^{1/(tau_fwd,i - tau_bkwd,i)}.
+  bool discrepancy_correction = false;
+  double decay_d = 0.5;
+  /// Ablation: extrapolate per microbatch with that microbatch's exact
+  /// staleness instead of the per-stage mean delay.
+  bool t2_per_microbatch = false;
+
+  /// PipeMare Recompute (Appendix A.2/D): > 0 splits the module list into
+  /// this many segments; only segment-start activations are kept from the
+  /// forward pass, the rest are recomputed just before the backward pass
+  /// using recompute-scheduled (delayed) weights. 0 disables recomputation.
+  /// Only the analytic PipelineEngine models recomputation; ThreadedEngine
+  /// rejects it.
+  int recompute_segments = 0;
+};
+
+}  // namespace pipemare::pipeline

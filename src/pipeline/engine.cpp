@@ -4,8 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "src/theory/stability.h"
-
 namespace pipemare::pipeline {
 
 std::string method_name(Method m) {
@@ -17,21 +15,36 @@ std::string method_name(Method m) {
   return "?";
 }
 
+std::vector<optim::LrSegment> stage_lr_segments(const Partition& partition,
+                                                double base_lr,
+                                                std::span<const double> scales) {
+  std::vector<optim::LrSegment> segs;
+  segs.reserve(static_cast<std::size_t>(partition.num_stages));
+  std::int64_t offset = 0;
+  for (int s = 0; s < partition.num_stages; ++s) {
+    std::int64_t size = partition.stage_param_count[static_cast<std::size_t>(s)];
+    double scale = scales.empty() ? 1.0 : scales[static_cast<std::size_t>(s)];
+    segs.push_back({offset, size, base_lr * scale});
+    offset += size;
+  }
+  return segs;
+}
+
+std::vector<double> stage_tau_fwd_vector(const Schedule& schedule) {
+  std::vector<double> tau(static_cast<std::size_t>(schedule.stages()));
+  for (int s = 0; s < schedule.stages(); ++s) {
+    tau[static_cast<std::size_t>(s)] = schedule.mean_tau_fwd(s);
+  }
+  return tau;
+}
+
 PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
       partition_(make_partition(model, cfg.num_stages, cfg.split_bias)),
-      schedule_(cfg.num_stages, cfg.num_microbatches) {
-  live_.assign(static_cast<std::size_t>(model.param_count()), 0.0F);
-  util::Rng rng(seed);
-  model_.init_params(live_, rng);
-  prev_live_ = live_;
-  grads_.assign(live_.size(), 0.0F);
-  delta_.assign(live_.size(), 0.0F);
-
-  history_depth_ = schedule_.max_staleness() + 2;
-  history_.assign(static_cast<std::size_t>(history_depth_), {});
-  history_[0] = live_;  // version 0 = initial weights
+      schedule_(cfg.num_stages, cfg.num_microbatches),
+      store_(model, cfg_, partition_, schedule_, seed) {
+  grads_.assign(store_.live().size(), 0.0F);
 
   if (cfg_.recompute_segments > 0) {
     int m = model_.num_modules();
@@ -44,62 +57,22 @@ PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::ui
   }
 }
 
-const std::vector<float>& PipelineEngine::version(std::int64_t v) const {
-  if (v < 0) v = 0;
-  if (v > step_ || v < step_ - history_depth_ + 1) {
-    throw std::logic_error("PipelineEngine: weight version outside history window");
-  }
-  const auto& slot = history_[static_cast<std::size_t>(v % history_depth_)];
-  if (slot.empty()) throw std::logic_error("PipelineEngine: empty history slot");
-  return slot;
-}
-
 void PipelineEngine::assemble_forward_params(int micro, std::vector<float>& out) const {
-  out.resize(live_.size());
-  if (cfg_.method == Method::Sync) {
-    std::copy(live_.begin(), live_.end(), out.begin());
-    return;
-  }
-  for (int u = 0; u < partition_.num_units(); ++u) {
-    const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
-    int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
-    std::int64_t v = step_ - schedule_.fwd_staleness(stage, micro);
-    const std::vector<float>& src = version(std::max<std::int64_t>(v, 0));
-    std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
-              out.begin() + unit.offset);
-  }
+  out.resize(store_.live().size());
+  store_.assemble_forward_units(0, partition_.num_units(), micro, out);
 }
 
 void PipelineEngine::assemble_backward_params(int micro,
                                               const std::vector<float>& fwd_params,
                                               std::vector<float>& out) const {
-  switch (cfg_.method) {
-    case Method::Sync:
-    case Method::PipeDream:
-      // Synchronous semantics: the backward pass sees exactly the weights
-      // the forward pass used (GPipe trivially; PipeDream via stashing).
-      out = fwd_params;
-      return;
-    case Method::PipeMare:
-      break;
+  if (cfg_.method == Method::Sync || cfg_.method == Method::PipeDream) {
+    // Synchronous semantics: the backward pass sees exactly the weights
+    // the forward pass used (GPipe trivially; PipeDream via stashing).
+    out = fwd_params;
+    return;
   }
-  // PipeMare: tau_bkwd = 0, so backward reads the live weights...
-  out.assign(live_.begin(), live_.end());
-  if (!cfg_.discrepancy_correction) return;
-  // ...optionally T2-corrected toward what the forward pass saw:
-  // u_bkwd = w - (tau_fwd - tau_bkwd) * delta.
-  for (int u = 0; u < partition_.num_units(); ++u) {
-    const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
-    int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
-    double gap = cfg_.t2_per_microbatch
-                     ? static_cast<double>(schedule_.fwd_staleness(stage, micro))
-                     : schedule_.mean_tau_fwd(stage);
-    if (gap <= 0.0) continue;
-    auto g = static_cast<float>(gap);
-    for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
-      out[static_cast<std::size_t>(i)] -= g * delta_[static_cast<std::size_t>(i)];
-    }
-  }
+  out.resize(store_.live().size());
+  store_.assemble_backward_units(0, partition_.num_units(), micro, out);
 }
 
 void PipelineEngine::assemble_recompute_params(int micro, int segment_end_stage,
@@ -111,7 +84,8 @@ void PipelineEngine::assemble_recompute_params(int micro, int segment_end_stage,
     out = fwd_params;
     return;
   }
-  out.resize(live_.size());
+  out.resize(store_.live().size());
+  std::span<const float> delta = store_.delta();
   for (int u = 0; u < partition_.num_units(); ++u) {
     const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
     int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
@@ -120,7 +94,8 @@ void PipelineEngine::assemble_recompute_params(int micro, int segment_end_stage,
     // Stages after the segment end never recompute; give them their
     // forward weights (they are not used by the segment re-run anyway).
     if (stage > segment_end_stage) stale = schedule_.fwd_staleness(stage, micro);
-    const std::vector<float>& src = version(std::max<std::int64_t>(step_ - stale, 0));
+    const std::vector<float>& src =
+        store_.version(std::max<std::int64_t>(store_.step() - stale, 0));
     std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
               out.begin() + unit.offset);
     if (cfg_.discrepancy_correction && stage <= segment_end_stage) {
@@ -133,7 +108,7 @@ void PipelineEngine::assemble_recompute_params(int micro, int segment_end_stage,
       if (gap > 0.0) {
         auto g = static_cast<float>(gap);
         for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
-          out[static_cast<std::size_t>(i)] -= g * delta_[static_cast<std::size_t>(i)];
+          out[static_cast<std::size_t>(i)] -= g * delta[static_cast<std::size_t>(i)];
         }
       }
     }
@@ -206,58 +181,17 @@ PipelineEngine::StepResult PipelineEngine::forward_backward(
   return result;
 }
 
-void PipelineEngine::commit_update() {
-  ++step_;
-  if (cfg_.discrepancy_correction) {
-    for (int stage = 0; stage < cfg_.num_stages; ++stage) {
-      double gap = schedule_.mean_tau_fwd(stage);
-      double gamma = theory::gamma_from_decay(cfg_.decay_d, gap);
-      auto gf = static_cast<float>(gamma);
-      auto cf = static_cast<float>(1.0 - gamma);
-      for (int u = 0; u < partition_.num_units(); ++u) {
-        if (partition_.unit_stage[static_cast<std::size_t>(u)] != stage) continue;
-        const nn::WeightUnit& unit = partition_.units[static_cast<std::size_t>(u)];
-        for (std::int64_t i = unit.offset; i < unit.offset + unit.size; ++i) {
-          auto idx = static_cast<std::size_t>(i);
-          delta_[idx] = gf * delta_[idx] + cf * (live_[idx] - prev_live_[idx]);
-        }
-      }
-    }
-  }
-  prev_live_ = live_;
-  history_[static_cast<std::size_t>(step_ % history_depth_)] = live_;
+nn::LossResult evaluate_forward(const nn::Model& model, std::span<const float> params,
+                                const nn::Flow& input, const tensor::Tensor& target,
+                                const nn::LossHead& head) {
+  auto caches = model.make_caches();
+  nn::Flow out = model.forward(input, params, caches);
+  return head.forward_backward(out.x, target);
 }
 
 nn::LossResult PipelineEngine::evaluate(const nn::Flow& input, const tensor::Tensor& target,
                                         const nn::LossHead& head) const {
-  auto caches = model_.make_caches();
-  nn::Flow out = model_.forward(input, live_, caches);
-  return head.forward_backward(out.x, target);
-}
-
-std::vector<double> PipelineEngine::stage_tau_fwd() const {
-  // Always the asynchronous-schedule delays: T1 consumers apply these only
-  // during the asynchronous phase, so the current method (e.g. Sync during
-  // T3 warmup) must not zero them out.
-  std::vector<double> tau(static_cast<std::size_t>(cfg_.num_stages));
-  for (int s = 0; s < cfg_.num_stages; ++s) {
-    tau[static_cast<std::size_t>(s)] = schedule_.mean_tau_fwd(s);
-  }
-  return tau;
-}
-
-std::vector<optim::LrSegment> PipelineEngine::lr_segments(
-    double base_lr, std::span<const double> scales) const {
-  std::vector<optim::LrSegment> segs;
-  segs.reserve(static_cast<std::size_t>(cfg_.num_stages));
-  std::int64_t offset = 0;
-  for (int s = 0; s < cfg_.num_stages; ++s) {
-    std::int64_t size = partition_.stage_param_count[static_cast<std::size_t>(s)];
-    double scale = scales.empty() ? 1.0 : scales[static_cast<std::size_t>(s)];
-    segs.push_back({offset, size, base_lr * scale});
-    offset += size;
-  }
-  return segs;
+  return evaluate_forward(model_, store_.live(), input, target, head);
 }
 
 }  // namespace pipemare::pipeline

@@ -7,68 +7,60 @@
 #include "src/nn/heads.h"
 #include "src/nn/model.h"
 #include "src/optim/optimizer.h"
+#include "src/pipeline/config.h"
 #include "src/pipeline/partition.h"
 #include "src/pipeline/schedule.h"
+#include "src/pipeline/weight_versions.h"
 
 namespace pipemare::pipeline {
 
-/// Pipeline-parallel training method (Section 2.2 / Table 1).
-enum class Method {
-  Sync,       ///< GPipe-style synchronous execution: tau_fwd = tau_bkwd = 0
-  PipeDream,  ///< weight stashing: tau_fwd = tau_bkwd = (2(P-i)+1)/N
-  PipeMare,   ///< asynchronous: tau_fwd = (2(P-i)+1)/N, tau_bkwd = 0
+/// Result of one minibatch forward/backward (shared by all engines).
+struct StepResult {
+  double loss = 0.0;     ///< mean loss over the minibatch
+  double correct = 0.0;  ///< summed metric numerator (e.g. #correct)
+  double count = 0.0;    ///< metric denominator
+  bool finite = true;    ///< false if loss or gradients went non-finite
 };
 
-std::string method_name(Method m);
+/// Per-stage optimizer segments for a partition with the given base LR and
+/// per-stage scale factors (from the T1 rescheduler). Scales may be empty
+/// (all 1).
+std::vector<optim::LrSegment> stage_lr_segments(const Partition& partition,
+                                                double base_lr,
+                                                std::span<const double> scales);
 
-struct EngineConfig {
-  Method method = Method::PipeMare;
-  int num_stages = 1;
-  int num_microbatches = 1;  ///< N = microbatches per minibatch
-  bool split_bias = false;   ///< the paper's "2x stages" weight/bias split
+/// Mean forward delay per stage, (2(P-i)+1)/N — the tau vector T1 needs.
+/// Always the asynchronous-schedule delays: T1 consumers apply these only
+/// during the asynchronous phase, so the current method (e.g. Sync during
+/// T3 warmup) must not zero them out.
+std::vector<double> stage_tau_fwd_vector(const Schedule& schedule);
 
-  /// Technique 2 — discrepancy correction (applies to PipeMare): approximate
-  /// the forward weights in the backward pass as
-  /// u_bkwd = w - (tau_fwd - tau_bkwd) * delta, where delta is an EMA of
-  /// weight deltas with decay gamma_i = D^{1/(tau_fwd,i - tau_bkwd,i)}.
-  bool discrepancy_correction = false;
-  double decay_d = 0.5;
-  /// Ablation: extrapolate per microbatch with that microbatch's exact
-  /// staleness instead of the per-stage mean delay.
-  bool t2_per_microbatch = false;
-
-  /// PipeMare Recompute (Appendix A.2/D): > 0 splits the module list into
-  /// this many segments; only segment-start activations are kept from the
-  /// forward pass, the rest are recomputed just before the backward pass
-  /// using recompute-scheduled (delayed) weights. 0 disables recomputation.
-  int recompute_segments = 0;
-};
+/// Forward-only evaluation of `params` — the engines' shared evaluate().
+nn::LossResult evaluate_forward(const nn::Model& model, std::span<const float> params,
+                                const nn::Flow& input, const tensor::Tensor& target,
+                                const nn::LossHead& head);
 
 /// Executes pipeline-parallel training *statistically exactly*: every
 /// microbatch's forward/backward uses the precise weight version that the
 /// 1F1B tick schedule would expose (see Schedule), while the computation
 /// itself runs sequentially on one host. Throughput is modelled
 /// analytically in src/hwmodel — the same methodology as the paper's own
-/// PyTorch-based simulator (Appendix C.4).
+/// PyTorch-based simulator (Appendix C.4). For real wall-clock overlap on
+/// a multicore host, see ThreadedEngine (threaded_engine.h), which shares
+/// this engine's weight-version store and produces identical results.
 ///
 /// The engine owns the live weights, the per-version weight history (which
-/// doubles as PipeDream's weight stash), and the T2 delta buffers. The
-/// caller owns the optimizer; one training step is
+/// doubles as PipeDream's weight stash), and the T2 delta buffers (all via
+/// WeightVersions). The caller owns the optimizer; one training step is
 ///
 ///   auto res = engine.forward_backward(inputs, targets, head);
 ///   opt.step(engine.weights(), engine.gradients(), segments);
 ///   engine.commit_update();
 class PipelineEngine {
  public:
-  PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed);
+  using StepResult = pipeline::StepResult;
 
-  /// Result of one minibatch forward/backward.
-  struct StepResult {
-    double loss = 0.0;     ///< mean loss over the minibatch
-    double correct = 0.0;  ///< summed metric numerator (e.g. #correct)
-    double count = 0.0;    ///< metric denominator
-    bool finite = true;    ///< false if loss or gradients went non-finite
-  };
+  PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed);
 
   /// Runs the N microbatches of one minibatch through forward and backward
   /// with schedule-exact weight versions, accumulating the mean gradient.
@@ -77,15 +69,15 @@ class PipelineEngine {
                               const nn::LossHead& head);
 
   /// Live (most recent) weights; the caller's optimizer mutates these.
-  std::span<float> weights() { return live_; }
-  std::span<const float> weights() const { return live_; }
+  std::span<float> weights() { return store_.live(); }
+  std::span<const float> weights() const { return store_.live(); }
 
   /// Mean gradient produced by the last forward_backward.
   std::span<float> gradients() { return grads_; }
 
   /// Publishes the mutated live weights as the next version and updates
   /// the T2 delta EMA. Call exactly once after each optimizer step.
-  void commit_update();
+  void commit_update() { store_.commit_update(); }
 
   /// Evaluation helper: forward-only on the live weights.
   nn::LossResult evaluate(const nn::Flow& input, const tensor::Tensor& target,
@@ -99,15 +91,17 @@ class PipelineEngine {
   const Schedule& schedule() const { return schedule_; }
   const nn::Model& model() const { return model_; }
   const EngineConfig& config() const { return cfg_; }
-  std::int64_t steps_taken() const { return step_; }
+  std::int64_t steps_taken() const { return store_.step(); }
 
   /// Mean forward delay per stage, (2(P-i)+1)/N — the tau vector T1 needs.
-  std::vector<double> stage_tau_fwd() const;
+  std::vector<double> stage_tau_fwd() const { return stage_tau_fwd_vector(schedule_); }
 
   /// Per-stage optimizer segments with the given base LR and per-stage
   /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
   std::vector<optim::LrSegment> lr_segments(double base_lr,
-                                            std::span<const double> scales) const;
+                                            std::span<const double> scales) const {
+    return stage_lr_segments(partition_, base_lr, scales);
+  }
 
   /// Module index ranges [first, last) of the recompute segments
   /// (empty when recomputation is disabled).
@@ -120,20 +114,13 @@ class PipelineEngine {
   void assemble_recompute_params(int micro, int segment_end_stage,
                                  const std::vector<float>& fwd_params,
                                  std::vector<float>& out) const;
-  const std::vector<float>& version(std::int64_t v) const;
 
   const nn::Model& model_;
   EngineConfig cfg_;
   Partition partition_;
   Schedule schedule_;
-
-  std::int64_t step_ = 0;  ///< number of committed updates (version index)
-  int history_depth_ = 1;
-  std::vector<std::vector<float>> history_;  ///< ring buffer of weight versions
-  std::vector<float> live_;
-  std::vector<float> prev_live_;
+  WeightVersions store_;
   std::vector<float> grads_;
-  std::vector<float> delta_;  ///< T2 EMA of weight deltas
 
   std::vector<std::pair<int, int>> segments_;  ///< recompute module ranges
 };

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "src/nn/flow.h"
+
+namespace pipemare::pipeline {
+
+/// One unit of inter-stage traffic: a microbatch's activation bundle
+/// travelling downstream (Forward) or its output gradient travelling
+/// upstream (Backward).
+struct StageItem {
+  enum class Kind { Forward, Backward };
+  Kind kind = Kind::Forward;
+  int micro = 0;
+  nn::Flow flow;
+};
+
+/// The bounded mailbox in front of each stage worker: two FIFO lanes, one
+/// fed by the previous stage's forwards (SPSC) and one by the next stage's
+/// backwards (SPSC; together an MPSC inbox). `pop` drains the backward
+/// lane first — the 1F1B priority rule that keeps in-flight activations
+/// bounded and the pipeline draining.
+///
+/// Each lane holds at most `lane_capacity` items; `push_*` blocks while
+/// its lane is full. With lane_capacity >= N (microbatches per minibatch)
+/// pushes can never block mid-minibatch — each lane carries exactly N
+/// items per minibatch — which is the configuration ThreadedEngine uses to
+/// make the worker graph trivially deadlock-free.
+class StageMailbox {
+ public:
+  explicit StageMailbox(std::size_t lane_capacity) : cap_(lane_capacity) {}
+
+  StageMailbox(const StageMailbox&) = delete;
+  StageMailbox& operator=(const StageMailbox&) = delete;
+
+  void push_forward(StageItem item) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      space_.wait(lock, [&] { return fwd_.size() < cap_; });
+      fwd_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  void push_backward(StageItem item) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      space_.wait(lock, [&] { return bwd_.size() < cap_; });
+      bwd_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks until an item is available; backward lane first.
+  StageItem pop() {
+    StageItem item;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      ready_.wait(lock, [&] { return !bwd_.empty() || !fwd_.empty(); });
+      std::deque<StageItem>& lane = bwd_.empty() ? fwd_ : bwd_;
+      item = std::move(lane.front());
+      lane.pop_front();
+    }
+    // notify_all, not notify_one: the two producers wait on different
+    // lane-full predicates through this one CV, and a single notify could
+    // wake the producer whose lane is still full while the other sleeps
+    // on a lost wakeup. At most two producers, so the broadcast is cheap.
+    space_.notify_all();
+    return item;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable ready_;  ///< signalled on push
+  std::condition_variable space_;  ///< signalled on pop
+  std::deque<StageItem> fwd_;
+  std::deque<StageItem> bwd_;
+  std::size_t cap_;
+};
+
+}  // namespace pipemare::pipeline

@@ -1,0 +1,253 @@
+#include "src/pipeline/threaded_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipemare::pipeline {
+
+ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
+    : model_(model),
+      cfg_(cfg),
+      partition_(make_partition(model, cfg.num_stages, cfg.split_bias)),
+      schedule_(cfg.num_stages, cfg.num_microbatches),
+      store_(model, cfg_, partition_, schedule_, seed) {
+  if (cfg_.recompute_segments > 0) {
+    throw std::invalid_argument(
+        "ThreadedEngine: activation recomputation is modelled only by the "
+        "analytic PipelineEngine; set recompute_segments = 0");
+  }
+  grads_.assign(store_.live().size(), 0.0F);
+
+  // Stage -> module/unit ranges. module_stage and the units' module ids are
+  // both non-decreasing, so each stage owns a contiguous slice of each.
+  const int p = cfg_.num_stages;
+  ranges_.resize(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    StageRange& r = ranges_[static_cast<std::size_t>(s)];
+    auto mlo = std::lower_bound(partition_.module_stage.begin(),
+                                partition_.module_stage.end(), s);
+    auto mhi = std::upper_bound(partition_.module_stage.begin(),
+                                partition_.module_stage.end(), s);
+    r.module_first = static_cast<int>(mlo - partition_.module_stage.begin());
+    r.module_last = static_cast<int>(mhi - partition_.module_stage.begin());
+    auto unit_before = [&](const nn::WeightUnit& u, int m) { return u.module < m; };
+    r.unit_first = static_cast<int>(
+        std::lower_bound(partition_.units.begin(), partition_.units.end(),
+                         r.module_first, unit_before) -
+        partition_.units.begin());
+    r.unit_last = static_cast<int>(
+        std::lower_bound(partition_.units.begin(), partition_.units.end(),
+                         r.module_last, unit_before) -
+        partition_.units.begin());
+  }
+
+  const int n = cfg_.num_microbatches;
+  caches_.resize(static_cast<std::size_t>(n));
+  for (auto& c : caches_) c = model_.make_caches();
+
+  mailboxes_.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    // Lane capacity N makes pushes non-blocking (each lane carries exactly
+    // N items per minibatch), which keeps the worker graph deadlock-free;
+    // the 1F1B backward-first pop rule bounds actual occupancy well below
+    // that in steady state.
+    mailboxes_.push_back(std::make_unique<StageMailbox>(static_cast<std::size_t>(n)));
+  }
+
+  workers_.reserve(static_cast<std::size_t>(p));
+  try {
+    for (int s = 0; s < p; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  } catch (...) {
+    // Thread spawning failed partway (e.g. thread-count limits): shut the
+    // started workers down and join them so destroying the joinable
+    // std::threads does not std::terminate; then surface the error.
+    {
+      std::lock_guard<std::mutex> lock(ctrl_m_);
+      shutdown_ = true;
+    }
+    ctrl_go_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadedEngine::~ThreadedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(ctrl_m_);
+    shutdown_ = true;
+  }
+  ctrl_go_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadedEngine::record_failure(const char* what) {
+  bool expected = false;
+  if (mb_failed_.compare_exchange_strong(expected, true)) {
+    std::lock_guard<std::mutex> lock(ctrl_m_);
+    mb_error_ = what;
+  }
+}
+
+void ThreadedEngine::worker_loop(int stage) {
+  // Reused full-size parameter buffers; only this stage's slices are
+  // written and read.
+  std::vector<float> w_fwd(store_.live().size());
+  std::vector<float> w_bkwd(store_.live().size());
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(ctrl_m_);
+      ctrl_go_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    run_minibatch(stage, w_fwd, w_bkwd);
+    {
+      std::lock_guard<std::mutex> lock(ctrl_m_);
+      ++done_count_;
+    }
+    ctrl_done_.notify_one();
+  }
+}
+
+void ThreadedEngine::backward_step(int stage, int micro, nn::Flow dflow,
+                                   std::vector<float>& w_bkwd) {
+  const StageRange& r = ranges_[static_cast<std::size_t>(stage)];
+  nn::Flow din;
+  if (!mb_failed_.load(std::memory_order_relaxed)) {
+    try {
+      store_.assemble_backward_units(r.unit_first, r.unit_last, micro, w_bkwd);
+      din = model_.backward_range(r.module_first, r.module_last, std::move(dflow),
+                                  w_bkwd, caches_[static_cast<std::size_t>(micro)],
+                                  grads_);
+    } catch (const std::exception& e) {
+      record_failure(e.what());
+    }
+  }
+  if (stage > 0) {
+    mailboxes_[static_cast<std::size_t>(stage - 1)]->push_backward(
+        {StageItem::Kind::Backward, micro, std::move(din)});
+  }
+}
+
+void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
+                                   std::vector<float>& w_bkwd) {
+  const int n = cfg_.num_microbatches;
+  const StageRange& r = ranges_[static_cast<std::size_t>(stage)];
+  const bool last = stage == cfg_.num_stages - 1;
+  int fwd_left = n;
+  int bwd_left = n;
+  // 1F1B worker loop: drain whatever the mailbox offers, backwards first.
+  // After a worker-side exception the minibatch is poisoned: remaining
+  // items skip compute and empty flows keep the chains draining so every
+  // worker still reaches its 2N-item quota.
+  while (fwd_left > 0 || bwd_left > 0) {
+    StageItem item = mailboxes_[static_cast<std::size_t>(stage)]->pop();
+    if (item.kind == StageItem::Kind::Forward) {
+      --fwd_left;
+      nn::Flow out;
+      if (!mb_failed_.load(std::memory_order_relaxed)) {
+        try {
+          store_.assemble_forward_units(r.unit_first, r.unit_last, item.micro, w_fwd);
+          out = model_.forward_range(r.module_first, r.module_last,
+                                     std::move(item.flow), w_fwd,
+                                     caches_[static_cast<std::size_t>(item.micro)]);
+        } catch (const std::exception& e) {
+          record_failure(e.what());
+        }
+      }
+      if (!last) {
+        mailboxes_[static_cast<std::size_t>(stage + 1)]->push_forward(
+            {StageItem::Kind::Forward, item.micro, std::move(out)});
+      } else {
+        // Tail stage: loss, then the microbatch's backward immediately
+        // (its F and B are adjacent ticks in the 1F1B schedule).
+        nn::Flow dflow;
+        if (!mb_failed_.load(std::memory_order_relaxed)) {
+          try {
+            nn::LossResult lr = mb_head_->forward_backward(
+                out.x, (*mb_targets_)[static_cast<std::size_t>(item.micro)]);
+            if (!std::isfinite(lr.loss)) {
+              if (mb_result_.finite) {
+                mb_result_.finite = false;
+                mb_result_.loss = lr.loss;
+              }
+            } else if (mb_result_.finite) {
+              mb_result_.loss += lr.loss / n;
+              mb_result_.correct += lr.correct;
+              mb_result_.count += lr.count;
+            }
+            dflow.x = std::move(lr.doutput);
+          } catch (const std::exception& e) {
+            record_failure(e.what());
+          }
+        }
+        backward_step(stage, item.micro, std::move(dflow), w_bkwd);
+        --bwd_left;
+      }
+    } else {
+      backward_step(stage, item.micro, std::move(item.flow), w_bkwd);
+      --bwd_left;
+    }
+  }
+}
+
+ThreadedEngine::StepResult ThreadedEngine::forward_backward(
+    const std::vector<nn::Flow>& micro_inputs,
+    const std::vector<tensor::Tensor>& micro_targets, const nn::LossHead& head) {
+  const int n = cfg_.num_microbatches;
+  if (static_cast<int>(micro_inputs.size()) != n ||
+      static_cast<int>(micro_targets.size()) != n) {
+    throw std::invalid_argument("forward_backward: expected N microbatches");
+  }
+  std::fill(grads_.begin(), grads_.end(), 0.0F);
+  {
+    std::lock_guard<std::mutex> lock(ctrl_m_);
+    mb_targets_ = &micro_targets;
+    mb_head_ = &head;
+    mb_result_ = StepResult{};
+    mb_failed_.store(false);
+    mb_error_.clear();
+    done_count_ = 0;
+    ++generation_;
+  }
+  ctrl_go_.notify_all();
+  for (int m = 0; m < n; ++m) {
+    StageItem item;
+    item.kind = StageItem::Kind::Forward;
+    item.micro = m;
+    item.flow = micro_inputs[static_cast<std::size_t>(m)];
+    item.flow.training = true;
+    mailboxes_[0]->push_forward(std::move(item));
+  }
+  StepResult result;
+  {
+    std::unique_lock<std::mutex> lock(ctrl_m_);
+    ctrl_done_.wait(lock, [&] { return done_count_ == cfg_.num_stages; });
+    mb_targets_ = nullptr;
+    mb_head_ = nullptr;
+    result = mb_result_;
+    if (mb_failed_.load()) {
+      throw std::runtime_error("ThreadedEngine worker failed: " + mb_error_);
+    }
+  }
+  if (result.finite) {
+    // Same normalization and finiteness sweep as the sequential engine.
+    auto inv_n = 1.0F / static_cast<float>(n);
+    for (float& g : grads_) {
+      g *= inv_n;
+      if (!std::isfinite(g)) result.finite = false;
+    }
+  }
+  return result;
+}
+
+nn::LossResult ThreadedEngine::evaluate(const nn::Flow& input, const tensor::Tensor& target,
+                                        const nn::LossHead& head) const {
+  return evaluate_forward(model_, store_.live(), input, target, head);
+}
+
+}  // namespace pipemare::pipeline

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/optim/optimizer.h"
+#include "src/pipeline/config.h"
+#include "src/pipeline/engine.h"
+#include "src/pipeline/partition.h"
+#include "src/pipeline/schedule.h"
+#include "src/pipeline/stage_mailbox.h"
+#include "src/pipeline/weight_versions.h"
+
+namespace pipemare::pipeline {
+
+/// Truly concurrent pipeline-parallel execution: one persistent worker
+/// thread per stage, connected by bounded two-lane mailboxes, running the
+/// 1F1B schedule with real wall-clock overlap (PipeDream-style pipelined
+/// workers; the first step toward "as fast as the hardware allows").
+///
+/// Statistically this engine is *identical* to the sequential
+/// PipelineEngine: both assemble every (stage, microbatch) forward and
+/// backward parameter view through the same WeightVersions store, and
+/// within a minibatch the store is frozen (updates commit between
+/// minibatches), so the weight bytes each pass sees do not depend on
+/// thread timing. Combined with three ordering facts —
+///   1. each stage worker processes its microbatches in FIFO order,
+///   2. stages own disjoint module (and hence gradient and cache) ranges,
+///   3. each Dropout module's RNG is drawn by exactly one worker, in
+///      microbatch order —
+/// every float is produced by the same operations in the same order as in
+/// the sequential engine, making loss trajectories and gradients bitwise
+/// equal (see tests/test_threaded_engine.cpp).
+///
+/// The surface mirrors PipelineEngine so core::train_loop can drive either
+/// engine:
+///
+///   auto res = engine.forward_backward(inputs, targets, head);
+///   opt.step(engine.weights(), engine.gradients(), segments);
+///   engine.commit_update();
+///
+/// Unsupported: activation recomputation (cfg.recompute_segments > 0) is a
+/// memory-model feature of the analytic engine and is rejected here.
+class ThreadedEngine {
+ public:
+  using StepResult = pipeline::StepResult;
+
+  ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed);
+  ~ThreadedEngine();
+
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  /// Runs the N microbatches of one minibatch through the stage workers
+  /// with schedule-exact weight versions, accumulating the mean gradient.
+  /// Rethrows the first worker-side exception (after the pipeline drains).
+  StepResult forward_backward(const std::vector<nn::Flow>& micro_inputs,
+                              const std::vector<tensor::Tensor>& micro_targets,
+                              const nn::LossHead& head);
+
+  /// Live (most recent) weights; the caller's optimizer mutates these.
+  std::span<float> weights() { return store_.live(); }
+  std::span<const float> weights() const { return store_.live(); }
+
+  /// Mean gradient produced by the last forward_backward.
+  std::span<float> gradients() { return grads_; }
+
+  /// Publishes the mutated live weights as the next version and updates
+  /// the T2 delta EMA. Call exactly once after each optimizer step.
+  void commit_update() { store_.commit_update(); }
+
+  /// Evaluation helper: forward-only on the live weights (single-threaded;
+  /// evaluation has no pipeline semantics to overlap).
+  nn::LossResult evaluate(const nn::Flow& input, const tensor::Tensor& target,
+                          const nn::LossHead& head) const;
+
+  /// Technique 3 switches from Sync warmup to PipeMare mid-training. Only
+  /// call between minibatches (as core::train_loop does).
+  void set_method(Method m) { cfg_.method = m; }
+  Method method() const { return cfg_.method; }
+
+  const Partition& partition() const { return partition_; }
+  const Schedule& schedule() const { return schedule_; }
+  const nn::Model& model() const { return model_; }
+  const EngineConfig& config() const { return cfg_; }
+  std::int64_t steps_taken() const { return store_.step(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Mean forward delay per stage, (2(P-i)+1)/N — the tau vector T1 needs.
+  std::vector<double> stage_tau_fwd() const { return stage_tau_fwd_vector(schedule_); }
+
+  /// Per-stage optimizer segments with the given base LR and per-stage
+  /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
+  std::vector<optim::LrSegment> lr_segments(double base_lr,
+                                            std::span<const double> scales) const {
+    return stage_lr_segments(partition_, base_lr, scales);
+  }
+
+ private:
+  /// A stage worker's slice of the model: modules [module_first,
+  /// module_last) and the weight units those modules own, [unit_first,
+  /// unit_last). With split_bias a module's bias unit may be *scheduled*
+  /// on the next stage while the module executes here; the unit range
+  /// follows module ownership, and each unit's staleness follows its own
+  /// scheduled stage — exactly like the sequential engine.
+  struct StageRange {
+    int module_first = 0;
+    int module_last = 0;
+    int unit_first = 0;
+    int unit_last = 0;
+  };
+
+  void worker_loop(int stage);
+  void run_minibatch(int stage, std::vector<float>& w_fwd, std::vector<float>& w_bkwd);
+  void backward_step(int stage, int micro, nn::Flow dflow, std::vector<float>& w_bkwd);
+  void record_failure(const char* what);
+
+  const nn::Model& model_;
+  EngineConfig cfg_;
+  Partition partition_;
+  Schedule schedule_;
+  WeightVersions store_;
+  std::vector<float> grads_;
+
+  std::vector<StageRange> ranges_;  ///< per stage
+  std::vector<std::unique_ptr<StageMailbox>> mailboxes_;  ///< per stage
+  std::vector<std::vector<nn::Cache>> caches_;  ///< per microbatch, full model
+
+  // Per-minibatch context, owned by forward_backward for the duration of
+  // one generation; workers read it between the go and done barriers.
+  // (Inputs need no pointer here: they reach stage 0 as mailbox items.)
+  const std::vector<tensor::Tensor>* mb_targets_ = nullptr;
+  const nn::LossHead* mb_head_ = nullptr;
+  StepResult mb_result_;        ///< written only by the last-stage worker
+  std::atomic<bool> mb_failed_{false};
+  std::string mb_error_;        ///< first worker exception (guarded by ctrl_m_)
+
+  std::mutex ctrl_m_;
+  std::condition_variable ctrl_go_;
+  std::condition_variable ctrl_done_;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pipemare::pipeline

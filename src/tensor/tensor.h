@@ -1,5 +1,15 @@
 #pragma once
 
+#include <version>
+
+// The whole library leans on C++20 (<span> views over flat parameter
+// vectors, std::numbers in the math kernels). Catch an under-configured
+// toolchain here, at the root include, with one clear message instead of
+// hundreds of template errors downstream.
+#if !defined(__cpp_lib_span) || __cpp_lib_span < 202002L
+#error "pipemare requires C++20 (std::span): build with -std=c++20 on GCC >= 10 or Clang >= 12"
+#endif
+
 #include <cstdint>
 #include <span>
 #include <string>

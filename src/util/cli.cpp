@@ -8,13 +8,14 @@ Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
-    auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg] = "1";
-    } else {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
+    // insert_or_assign with prebuilt strings (rather than values_[k] = v on
+    // substr results) keeps GCC 12's -O3 -Wrestrict false positive
+    // (PR 105329) out of -Werror builds.
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    std::string value = eq == std::string::npos ? std::string("1") : body.substr(eq + 1);
+    values_.insert_or_assign(std::move(key), std::move(value));
   }
 }
 

@@ -100,8 +100,10 @@ TEST(Integration, BeamAndGreedyAgreeOnWellTrainedModel) {
   // Once the synthetic mapping is learned, the model's distribution is
   // sharply peaked and beam-5 output matches greedy output (this is the
   // justification for evaluating curves greedily; DESIGN decision).
+  // 30 epochs drive the synthetic mapping to (near-)perfect BLEU across
+  // seeds (12 epochs used to land around BLEU 20 and forced a skip).
   auto task = tiny_translation_task(11);
-  auto cfg = tiny_translation_config(12);
+  auto cfg = tiny_translation_config(30);
   cfg.engine.method = pipeline::Method::Sync;
   cfg.engine.num_stages = 4;
 
@@ -110,9 +112,7 @@ TEST(Integration, BeamAndGreedyAgreeOnWellTrainedModel) {
   pipeline::PipelineEngine engine(model, cfg.engine, cfg.seed);
   auto res = train_loop(*task, engine, cfg);
   ASSERT_FALSE(res.diverged);
-  if (res.best_metric < 60.0) {
-    GTEST_SKIP() << "model not trained well enough for the agreement check";
-  }
+  ASSERT_GE(res.best_metric, 60.0) << "model must train well enough for the agreement check";
   double greedy = task->evaluate(model, engine.weights());
   double beam = task->evaluate_beam(model, engine.weights(), 5);
   EXPECT_NEAR(greedy, beam, 5.0);

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/core/trainer.h"
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/nn/resnet.h"
+#include "src/pipeline/engine.h"
+#include "src/pipeline/partition.h"
+#include "src/pipeline/stage_mailbox.h"
+#include "src/pipeline/threaded_engine.h"
+#include "src/util/rng.h"
+
+namespace pipemare::pipeline {
+namespace {
+
+/// Small CNN + random classification microbatches shared by the parity
+/// tests (same recipe as bench/micro_engine's engine benchmark).
+struct ParityFixture {
+  nn::Model model;
+  nn::ClassificationXent head;
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+
+  explicit ParityFixture(int num_micro, std::uint64_t seed = 3) {
+    nn::ResNetConfig mc;
+    mc.base_channels = 8;
+    mc.blocks_per_group = {1, 1};
+    model = nn::make_resnet(mc);
+    util::Rng rng(seed);
+    for (int m = 0; m < num_micro; ++m) {
+      nn::Flow f;
+      f.x = tensor::Tensor({2, 3, 8, 8});
+      for (std::int64_t i = 0; i < f.x.size(); ++i) {
+        f.x[i] = static_cast<float>(rng.normal());
+      }
+      tensor::Tensor t({2});
+      for (int j = 0; j < 2; ++j) t[j] = static_cast<float>(rng.randint(10));
+      inputs.push_back(std::move(f));
+      targets.push_back(std::move(t));
+    }
+  }
+};
+
+EngineConfig parity_config(Method method, int stages, int micro) {
+  EngineConfig ec;
+  ec.method = method;
+  ec.num_stages = stages;
+  ec.num_microbatches = micro;
+  return ec;
+}
+
+/// Runs `steps` SGD steps on both engines and asserts bitwise-equal
+/// losses, gradients and weights at every step.
+void expect_bitwise_parity(EngineConfig ec, int steps) {
+  ParityFixture fx(ec.num_microbatches);
+  PipelineEngine seq(fx.model, ec, 1);
+  ThreadedEngine thr(fx.model, ec, 1);
+  for (int step = 0; step < steps; ++step) {
+    auto rs = seq.forward_backward(fx.inputs, fx.targets, fx.head);
+    auto rt = thr.forward_backward(fx.inputs, fx.targets, fx.head);
+    ASSERT_EQ(rs.finite, rt.finite) << "step " << step;
+    ASSERT_DOUBLE_EQ(rs.loss, rt.loss) << "step " << step;
+    ASSERT_DOUBLE_EQ(rs.correct, rt.correct) << "step " << step;
+    auto gs = seq.gradients();
+    auto gt = thr.gradients();
+    ASSERT_EQ(gs.size(), gt.size());
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      ASSERT_EQ(gs[i], gt[i]) << "grad " << i << " at step " << step;
+    }
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      seq.weights()[i] -= 0.05F * gs[i];
+      thr.weights()[i] -= 0.05F * gt[i];
+    }
+    seq.commit_update();
+    thr.commit_update();
+  }
+  for (std::size_t i = 0; i < seq.weights().size(); ++i) {
+    ASSERT_EQ(seq.weights()[i], thr.weights()[i]) << "weight " << i;
+  }
+}
+
+TEST(ThreadedEngine, BitwiseParityWithSequentialSync) {
+  expect_bitwise_parity(parity_config(Method::Sync, 4, 4), 5);
+}
+
+TEST(ThreadedEngine, BitwiseParityWithSequentialPipeDream) {
+  expect_bitwise_parity(parity_config(Method::PipeDream, 4, 4), 5);
+}
+
+TEST(ThreadedEngine, BitwiseParityWithSequentialPipeMare) {
+  expect_bitwise_parity(parity_config(Method::PipeMare, 4, 4), 5);
+}
+
+TEST(ThreadedEngine, BitwiseParityWithDiscrepancyCorrection) {
+  auto ec = parity_config(Method::PipeMare, 6, 2);
+  ec.discrepancy_correction = true;
+  ec.decay_d = 0.25;
+  expect_bitwise_parity(ec, 5);
+}
+
+TEST(ThreadedEngine, BitwiseParityWithSplitBiasUnits) {
+  // split_bias can schedule a module's bias unit on the stage after the
+  // one executing the module; the threaded engine must still version that
+  // unit by its own scheduled stage.
+  ParityFixture fx(2);
+  int stages = max_stages(fx.model, true);
+  auto ec = parity_config(Method::PipeMare, stages, 2);
+  ec.split_bias = true;
+  expect_bitwise_parity(ec, 3);
+}
+
+TEST(ThreadedEngine, SingleStageDegeneratesToSequential) {
+  expect_bitwise_parity(parity_config(Method::PipeMare, 1, 4), 3);
+}
+
+TEST(ThreadedEngine, BitwiseParityWithDropoutStreams) {
+  // Each Dropout module owns a deterministic RNG stream consumed in
+  // microbatch order; with one worker per stage the threaded engine must
+  // consume every stream in the same order as the sequential engine. Each
+  // engine gets its own (identically seeded) model so the streams stay
+  // independent across engines.
+  data::TranslationConfig d;
+  d.vocab = 12;
+  d.seq_len = 5;
+  d.train_size = 32;
+  d.test_size = 8;
+  d.seed = 3;
+  nn::TransformerConfig mc;
+  mc.d_model = 16;
+  mc.heads = 2;
+  mc.enc_layers = 1;
+  mc.dec_layers = 1;
+  mc.ffn_hidden = 24;
+  mc.dropout = 0.3;
+  core::TranslationTask task(d, mc, "tiny-dropout", /*eval=*/8);
+  nn::Model model_seq = task.build_model();
+  nn::Model model_thr = task.build_model();
+
+  auto ec = parity_config(Method::PipeMare, 4, 2);
+  PipelineEngine seq(model_seq, ec, 1);
+  ThreadedEngine thr(model_thr, ec, 1);
+
+  auto mb = task.minibatch({0, 1, 2, 3}, 2);
+  for (int step = 0; step < 3; ++step) {
+    auto rs = seq.forward_backward(mb.inputs, mb.targets, task.loss());
+    auto rt = thr.forward_backward(mb.inputs, mb.targets, task.loss());
+    ASSERT_DOUBLE_EQ(rs.loss, rt.loss) << "step " << step;
+    auto gs = seq.gradients();
+    auto gt = thr.gradients();
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      ASSERT_EQ(gs[i], gt[i]) << "grad " << i << " at step " << step;
+    }
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      seq.weights()[i] -= 0.05F * gs[i];
+      thr.weights()[i] -= 0.05F * gt[i];
+    }
+    seq.commit_update();
+    thr.commit_update();
+  }
+}
+
+TEST(ThreadedEngine, MatchesSequentialStalenessStatistics) {
+  auto ec = parity_config(Method::PipeMare, 8, 4);
+  ParityFixture fx(ec.num_microbatches);
+  PipelineEngine seq(fx.model, ec, 1);
+  ThreadedEngine thr(fx.model, ec, 1);
+  auto tau_s = seq.stage_tau_fwd();
+  auto tau_t = thr.stage_tau_fwd();
+  ASSERT_EQ(tau_s.size(), tau_t.size());
+  for (std::size_t s = 0; s < tau_s.size(); ++s) {
+    EXPECT_DOUBLE_EQ(tau_s[s], tau_t[s]);
+    // The paper's closed form (2(P-i)+1)/N for 1-indexed stage i.
+    EXPECT_DOUBLE_EQ(tau_t[s], (2.0 * (8 - 1 - static_cast<double>(s)) + 1.0) / 4.0);
+  }
+  EXPECT_EQ(thr.num_workers(), 8);
+}
+
+TEST(ThreadedEngine, RejectsRecomputeSegments) {
+  ParityFixture fx(2);
+  auto ec = parity_config(Method::PipeMare, 4, 2);
+  ec.recompute_segments = 2;
+  EXPECT_THROW(ThreadedEngine(fx.model, ec, 1), std::invalid_argument);
+}
+
+TEST(ThreadedEngine, TrainLoopParityOnTinyTranslation) {
+  // End-to-end: core::train drives either engine to the same loss
+  // trajectory and metric curve (Sync and fully-async PipeMare).
+  data::TranslationConfig d;
+  d.vocab = 12;
+  d.seq_len = 5;
+  d.train_size = 64;
+  d.test_size = 16;
+  d.seed = 3;
+  nn::TransformerConfig m;
+  m.d_model = 16;
+  m.heads = 2;
+  m.enc_layers = 1;
+  m.dec_layers = 1;
+  m.ffn_hidden = 24;
+  core::TranslationTask task(d, m, "tiny-parity", /*eval=*/8);
+
+  for (auto method : {Method::Sync, Method::PipeMare}) {
+    core::TrainerConfig cfg;
+    cfg.epochs = 2;
+    cfg.minibatch_size = 16;
+    cfg.microbatch_size = 4;
+    cfg.optimizer = core::TrainerConfig::Opt::AdamW;
+    cfg.schedule = core::TrainerConfig::Sched::InverseSqrt;
+    cfg.lr = 4e-3;
+    cfg.sched_warmup_steps = 10;
+    cfg.seed = 7;
+    cfg.engine.method = method;
+    cfg.engine.num_stages = 4;
+
+    auto seq_res = core::train(task, cfg);
+    cfg.threaded_execution = true;
+    auto thr_res = core::train(task, cfg);
+
+    ASSERT_EQ(seq_res.curve.size(), thr_res.curve.size()) << method_name(method);
+    for (std::size_t e = 0; e < seq_res.curve.size(); ++e) {
+      EXPECT_DOUBLE_EQ(seq_res.curve[e].train_loss, thr_res.curve[e].train_loss)
+          << method_name(method) << " epoch " << e;
+      EXPECT_DOUBLE_EQ(seq_res.curve[e].metric, thr_res.curve[e].metric)
+          << method_name(method) << " epoch " << e;
+      EXPECT_DOUBLE_EQ(seq_res.curve[e].param_norm, thr_res.curve[e].param_norm)
+          << method_name(method) << " epoch " << e;
+    }
+  }
+}
+
+TEST(StageMailbox, PopDrainsBackwardLaneFirst) {
+  StageMailbox box(4);
+  StageItem f;
+  f.kind = StageItem::Kind::Forward;
+  f.micro = 0;
+  box.push_forward(std::move(f));
+  StageItem b;
+  b.kind = StageItem::Kind::Backward;
+  b.micro = 1;
+  box.push_backward(std::move(b));
+  EXPECT_EQ(box.pop().kind, StageItem::Kind::Backward);
+  EXPECT_EQ(box.pop().kind, StageItem::Kind::Forward);
+}
+
+}  // namespace
+}  // namespace pipemare::pipeline
