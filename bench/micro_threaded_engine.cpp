@@ -11,6 +11,8 @@
 //   [--benchmark_filter=...] [--benchmark_min_time=...]
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 
 #include "src/nn/activations.h"
@@ -106,6 +108,20 @@ void BM_ThreadedEngineStep(benchmark::State& state) {
     run_step(engine, w);
   }
   state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
+  // Peak mailbox occupancy across stages: with the credit-based 1F1B lane
+  // bounds these stay at most min(N, P - s + 1) per lane for stage s
+  // (the old configuration buffered up to N per lane).
+  std::size_t fwd_peak = 0;
+  std::size_t bwd_peak = 0;
+  std::size_t inflight_peak = 0;
+  for (const auto& ls : engine.lane_stats()) {
+    fwd_peak = std::max(fwd_peak, ls.fwd_high_water);
+    bwd_peak = std::max(bwd_peak, ls.bwd_high_water);
+    inflight_peak = std::max(inflight_peak, ls.inflight_high_water);
+  }
+  state.counters["peak_fwd_lane"] = static_cast<double>(fwd_peak);
+  state.counters["peak_bwd_lane"] = static_cast<double>(bwd_peak);
+  state.counters["peak_inflight"] = static_cast<double>(inflight_peak);
 }
 BENCHMARK(BM_ThreadedEngineStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);

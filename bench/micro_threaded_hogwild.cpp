@@ -1,0 +1,117 @@
+// Wall-clock comparison of the sequential HogwildEngine and the
+// multithreaded ThreadedHogwildEngine on an identical training step
+// (Appendix E stochastic-delay semantics). The threaded backend runs the
+// minibatch's microbatches on W free-running workers sharing the delayed
+// weight snapshots; results are bitwise reproducible run-to-run and match
+// the sequential engine up to gradient-sum reassociation, so the rows
+// measure pure execution overlap. On a host with >= W cores the threaded
+// rows should approach W-fold items/s once per-microbatch compute
+// dominates queue and snapshot-assembly overhead.
+//
+// google-benchmark target: bench_micro_threaded_hogwild
+//   [--benchmark_filter=...] [--benchmark_min_time=...]
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/hogwild/hogwild.h"
+#include "src/hogwild/threaded_hogwild.h"
+#include "src/nn/activations.h"
+#include "src/nn/heads.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace pipemare;
+
+constexpr int kLayers = 8;
+constexpr int kWidth = 192;
+constexpr int kClasses = 10;
+constexpr int kMicroBatches = 8;
+constexpr int kMicroSize = 4;
+constexpr int kStages = 4;
+
+/// A deep dropout-free MLP (the threaded backend rejects stateful-forward
+/// modules); uniform per-layer cost.
+nn::Model make_mlp() {
+  nn::Model m;
+  for (int i = 0; i < kLayers; ++i) {
+    m.add(std::make_unique<nn::Linear>(kWidth, kWidth, /*relu_init=*/true));
+    m.add(std::make_unique<nn::ReLU>());
+  }
+  m.add(std::make_unique<nn::Linear>(kWidth, kClasses));
+  return m;
+}
+
+struct Workload {
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+  nn::ClassificationXent head;
+
+  Workload() {
+    util::Rng rng(3);
+    for (int m = 0; m < kMicroBatches; ++m) {
+      nn::Flow f;
+      f.x = tensor::Tensor({kMicroSize, kWidth});
+      for (std::int64_t i = 0; i < f.x.size(); ++i) {
+        f.x[i] = static_cast<float>(rng.normal());
+      }
+      tensor::Tensor t({kMicroSize});
+      for (int j = 0; j < kMicroSize; ++j) {
+        t[j] = static_cast<float>(rng.randint(kClasses));
+      }
+      inputs.push_back(std::move(f));
+      targets.push_back(std::move(t));
+    }
+  }
+};
+
+hogwild::HogwildConfig bench_config(int workers) {
+  hogwild::HogwildConfig hw;
+  hw.num_stages = kStages;
+  hw.num_microbatches = kMicroBatches;
+  hw.max_delay = 8.0;
+  hw.num_workers = workers;
+  return hw;
+}
+
+template <class Engine>
+void run_step(Engine& engine, const Workload& w) {
+  auto res = engine.forward_backward(w.inputs, w.targets, w.head);
+  benchmark::DoNotOptimize(res);
+  for (std::size_t i = 0; i < engine.weights().size(); ++i) {
+    engine.weights()[i] -= 1e-4F * engine.gradients()[i];
+  }
+  engine.commit_update();
+}
+
+void BM_SequentialHogwildStep(benchmark::State& state) {
+  nn::Model model = make_mlp();
+  hogwild::HogwildEngine engine(model, bench_config(0), 1);
+  Workload w;
+  for (auto _ : state) {
+    run_step(engine, w);
+  }
+  state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
+}
+BENCHMARK(BM_SequentialHogwildStep)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedHogwildStep(benchmark::State& state) {
+  auto workers = static_cast<int>(state.range(0));
+  nn::Model model = make_mlp();
+  hogwild::ThreadedHogwildEngine engine(model, bench_config(workers), 1);
+  Workload w;
+  for (auto _ : state) {
+    run_step(engine, w);
+  }
+  state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
+  state.counters["workers"] = static_cast<double>(engine.num_workers());
+}
+BENCHMARK(BM_ThreadedHogwildStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

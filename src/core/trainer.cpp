@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/hogwild/threaded_hogwild.h"
 #include "src/pipeline/threaded_engine.h"
 
 namespace pipemare::core {
@@ -10,8 +11,28 @@ TrainResult train(const Task& task, TrainerConfig cfg) {
   if (cfg.minibatch_size % cfg.microbatch_size != 0) {
     throw std::invalid_argument("train: minibatch must be a multiple of microbatch");
   }
+  if (cfg.threaded_execution && cfg.hogwild_execution) {
+    throw std::invalid_argument(
+        "train: threaded_execution and hogwild_execution are mutually exclusive");
+  }
   cfg.engine.num_microbatches = cfg.num_microbatches();
   nn::Model model = task.build_model();
+  if (cfg.hogwild_execution) {
+    if (cfg.engine.recompute_segments > 0) {
+      throw std::invalid_argument(
+          "train: activation recomputation is modelled only by the analytic "
+          "PipelineEngine; set recompute_segments = 0 for hogwild_execution");
+    }
+    hogwild::HogwildConfig hw;
+    hw.num_stages = cfg.engine.num_stages;
+    hw.num_microbatches = cfg.engine.num_microbatches;
+    hw.split_bias = cfg.engine.split_bias;
+    hw.max_delay = cfg.hogwild_max_delay;
+    hw.num_workers = cfg.hogwild_workers;
+    hogwild::ThreadedHogwildEngine engine(model, hw, cfg.seed);
+    engine.set_method(cfg.engine.method);
+    return train_loop(task, engine, cfg);
+  }
   if (cfg.threaded_execution) {
     pipeline::ThreadedEngine engine(model, cfg.engine, cfg.seed);
     return train_loop(task, engine, cfg);

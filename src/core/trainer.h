@@ -52,6 +52,17 @@ struct TrainerConfig {
   /// faster on multicore hosts. Incompatible with engine.recompute_segments.
   bool threaded_execution = false;
 
+  /// Execute minibatches on the threaded Hogwild! backend
+  /// (hogwild::ThreadedHogwildEngine, Appendix E): W free-running workers
+  /// with stochastic truncated-exponential per-stage delays instead of the
+  /// pipeline's deterministic schedule. engine.method still selects
+  /// Sync (no delays) vs asynchronous semantics; engine.num_stages /
+  /// split_bias shape the delay profile. Mutually exclusive with
+  /// threaded_execution.
+  bool hogwild_execution = false;
+  double hogwild_max_delay = 16.0;  ///< delay truncation bound (>= 0)
+  int hogwild_workers = 0;          ///< worker threads; 0 = min(cores, N)
+
   std::uint64_t seed = 1;
   double divergence_loss = 1e3;  ///< train loss above this declares divergence
 

@@ -6,26 +6,45 @@
 
 namespace pipemare::hogwild {
 
+void validate_config(const HogwildConfig& cfg) {
+  if (cfg.num_stages < 1) {
+    throw std::invalid_argument("HogwildConfig: num_stages >= 1 required");
+  }
+  if (cfg.num_microbatches < 1) {
+    throw std::invalid_argument("HogwildConfig: num_microbatches >= 1 required");
+  }
+  if (!std::isfinite(cfg.max_delay) || cfg.max_delay < 0.0) {
+    throw std::invalid_argument("HogwildConfig: max_delay must be finite and >= 0");
+  }
+  if (!cfg.mean_delay.empty() &&
+      static_cast<int>(cfg.mean_delay.size()) != cfg.num_stages) {
+    throw std::invalid_argument("HogwildConfig: mean_delay size mismatch");
+  }
+  if (cfg.num_workers < 0) {
+    throw std::invalid_argument("HogwildConfig: num_workers >= 0 required");
+  }
+}
+
+std::vector<double> resolve_mean_delay(const HogwildConfig& cfg) {
+  if (!cfg.mean_delay.empty()) return cfg.mean_delay;
+  // Default profile: the pipeline's stage-dependent expectations
+  // (2(P-i)+1)/N, as used in the paper's Appendix E experiments.
+  std::vector<double> mean(static_cast<std::size_t>(cfg.num_stages));
+  for (int s = 0; s < cfg.num_stages; ++s) {
+    mean[static_cast<std::size_t>(s)] =
+        static_cast<double>(2 * (cfg.num_stages - 1 - s) + 1) /
+        static_cast<double>(cfg.num_microbatches);
+  }
+  return mean;
+}
+
 HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
-      partition_(pipeline::make_partition(model, cfg.num_stages, cfg.split_bias)),
+      partition_((validate_config(cfg), pipeline::make_partition(model, cfg.num_stages,
+                                                                 cfg.split_bias))),
+      mean_delay_(resolve_mean_delay(cfg)),
       delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
-  if (cfg_.mean_delay.empty()) {
-    // Default profile: the pipeline's stage-dependent expectations
-    // (2(P-i)+1)/N, as used in the paper's Appendix E experiments.
-    mean_delay_.resize(static_cast<std::size_t>(cfg_.num_stages));
-    for (int s = 0; s < cfg_.num_stages; ++s) {
-      mean_delay_[static_cast<std::size_t>(s)] =
-          static_cast<double>(2 * (cfg_.num_stages - 1 - s) + 1) /
-          static_cast<double>(std::max(1, cfg_.num_microbatches));
-    }
-  } else {
-    if (static_cast<int>(cfg_.mean_delay.size()) != cfg_.num_stages) {
-      throw std::invalid_argument("HogwildEngine: mean_delay size mismatch");
-    }
-    mean_delay_ = cfg_.mean_delay;
-  }
   live_.assign(static_cast<std::size_t>(model.param_count()), 0.0F);
   util::Rng init_rng(seed);
   model_.init_params(live_, init_rng);
@@ -71,8 +90,12 @@ HogwildEngine::StepResult HogwildEngine::forward_backward(
     nn::Flow out = model_.forward(std::move(input), w, caches);
     auto lr = head.forward_backward(out.x, micro_targets[static_cast<std::size_t>(micro)]);
     if (!std::isfinite(lr.loss)) {
+      // Unified non-finite contract (see pipeline::StepResult): first
+      // non-finite loss, zeroed metrics, gradients unspecified.
       result.finite = false;
       result.loss = lr.loss;
+      result.correct = 0.0;
+      result.count = 0.0;
       return result;
     }
     result.loss += lr.loss / n;
@@ -97,15 +120,7 @@ void HogwildEngine::commit_update() {
 
 std::vector<optim::LrSegment> HogwildEngine::lr_segments(
     double base_lr, std::span<const double> scales) const {
-  std::vector<optim::LrSegment> segs;
-  std::int64_t offset = 0;
-  for (int s = 0; s < cfg_.num_stages; ++s) {
-    std::int64_t size = partition_.stage_param_count[static_cast<std::size_t>(s)];
-    double scale = scales.empty() ? 1.0 : scales[static_cast<std::size_t>(s)];
-    segs.push_back({offset, size, base_lr * scale});
-    offset += size;
-  }
-  return segs;
+  return pipeline::stage_lr_segments(partition_, base_lr, scales);
 }
 
 }  // namespace pipemare::hogwild

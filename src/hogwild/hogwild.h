@@ -23,10 +23,23 @@ struct HogwildConfig {
   int num_stages = 1;
   int num_microbatches = 1;
   bool split_bias = false;
-  double max_delay = 16.0;              ///< truncation bound
+  double max_delay = 16.0;              ///< truncation bound (>= 0)
   std::vector<double> mean_delay;       ///< per-stage expectation; empty =>
                                         ///< PipeMare-profile (2(P-i)+1)/N
+  int num_workers = 0;                  ///< threaded backend only: worker
+                                        ///< threads; 0 = min(cores, N)
 };
+
+/// Validates a HogwildConfig the way the pipeline engines validate theirs:
+/// num_stages >= 1, num_microbatches >= 1, max_delay finite and >= 0,
+/// mean_delay empty or of size num_stages, num_workers >= 0. Throws
+/// std::invalid_argument. Shared by HogwildEngine and ThreadedHogwildEngine.
+void validate_config(const HogwildConfig& cfg);
+
+/// The per-stage delay expectations the config implies: `mean_delay` when
+/// given, otherwise the pipeline profile (2(P-i)+1)/N of Appendix E.
+/// Assumes a validated config.
+std::vector<double> resolve_mean_delay(const HogwildConfig& cfg);
 
 /// Drop-in execution engine with the same surface the core::train_loop
 /// template expects, so Hogwild training reuses the full T1 trainer.

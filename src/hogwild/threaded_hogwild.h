@@ -1,0 +1,148 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hogwild/hogwild.h"
+#include "src/nn/heads.h"
+#include "src/nn/model.h"
+#include "src/optim/optimizer.h"
+#include "src/pipeline/engine.h"
+#include "src/pipeline/partition.h"
+#include "src/pipeline/stage_mailbox.h"
+#include "src/util/rng.h"
+
+namespace pipemare::hogwild {
+
+/// Multithreaded Hogwild! backend (Appendix E): W free-running worker
+/// threads execute the minibatch's microbatches concurrently, each reading
+/// lock-free against the shared `live_` vector / per-stage delayed weight
+/// snapshots and writing its results into per-microbatch slots.
+///
+/// Work distribution reuses the pipeline's StageMailbox (forward lane as a
+/// multi-consumer work queue; credits disabled — credit accounting is a
+/// single-consumer protocol). Delayed snapshots are served from the same
+/// bounded version-history ring HogwildEngine keeps, behind a seqlock-style
+/// epoch: `commit_update` brackets its history write with epoch increments
+/// (odd = writer active) and snapshot readers retry until they observe a
+/// stable even epoch. Within the current trainer the generation barrier
+/// orders commits strictly before worker reads — that barrier, not the
+/// epoch, is what makes the reads race-free (and what ThreadSanitizer
+/// verifies). The epoch is a protocol sketch for future free-running
+/// (commit-while-reading) modes; enabling those additionally requires
+/// race-free slot storage (atomic data words or swapped version buffers),
+/// since a retried plain-copy of bytes a writer is mutating is still a
+/// data race. Each worker assembles its own snapshot view (rather than
+/// sharing one trainer-built buffer, which the barrier would permit)
+/// precisely to keep that read path in place.
+///
+/// Determinism: the per-step stage delays are sampled once on the trainer
+/// thread from the same RNG stream HogwildEngine uses, every worker
+/// assembles the identical delayed weight view from them, and losses /
+/// gradients are written to per-microbatch slots merged in microbatch
+/// order — so the engine is *bitwise reproducible run-to-run* regardless
+/// of thread timing, and matches the sequential HogwildEngine exactly up
+/// to floating-point reassociation across microbatch boundaries in the
+/// gradient sum (modules that accumulate a gradient index more than once
+/// per backward — bias columns, convolutions — see a different addition
+/// order; losses and weight views are otherwise identical). Tests assert
+/// run-to-run bitwise equality and sequential parity to tight tolerance.
+/// The one restriction: models whose modules mutate internal state in
+/// `forward` (Dropout's RNG stream — Module::stateful_forward) are
+/// rejected, since whole-model replicas would race on that state; use
+/// HogwildEngine or the stage-partitioned ThreadedEngine for those.
+///
+/// The surface matches the core::train_loop engine concept, and
+/// TrainerConfig::hogwild_execution selects it next to threaded_execution.
+class ThreadedHogwildEngine {
+ public:
+  using StepResult = pipeline::StepResult;
+
+  ThreadedHogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed);
+  ~ThreadedHogwildEngine();
+
+  ThreadedHogwildEngine(const ThreadedHogwildEngine&) = delete;
+  ThreadedHogwildEngine& operator=(const ThreadedHogwildEngine&) = delete;
+
+  StepResult forward_backward(const std::vector<nn::Flow>& micro_inputs,
+                              const std::vector<tensor::Tensor>& micro_targets,
+                              const nn::LossHead& head);
+
+  std::span<float> weights() { return live_; }
+  std::span<const float> weights() const { return live_; }
+  std::span<float> gradients() { return grads_; }
+
+  /// Publishes the mutated live weights as the next delayed version
+  /// (seqlock-guarded). Call exactly once after each optimizer step.
+  void commit_update();
+
+  /// Sync disables the random delays (used for T3 warmup comparisons).
+  void set_method(pipeline::Method m) { method_ = m; }
+  pipeline::Method method() const { return method_; }
+
+  const nn::Model& model() const { return model_; }
+  const pipeline::Partition& partition() const { return partition_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Per-stage delay expectations (what T1 divides by).
+  std::vector<double> stage_tau_fwd() const { return mean_delay_; }
+
+  std::vector<optim::LrSegment> lr_segments(double base_lr,
+                                            std::span<const double> scales) const;
+
+ private:
+  void worker_loop();
+  void process_micro(int micro, std::vector<float>& w, bool& w_ready);
+  void assemble_delayed_weights(std::vector<float>& w) const;
+  void record_failure(const char* what);
+
+  const nn::Model& model_;
+  HogwildConfig cfg_;
+  pipeline::Partition partition_;
+  pipeline::Method method_ = pipeline::Method::PipeMare;
+  std::vector<double> mean_delay_;
+
+  std::int64_t step_ = 0;
+  int history_depth_ = 1;
+  std::vector<std::vector<float>> history_;
+  std::vector<float> live_;
+  std::vector<float> grads_;
+  util::Rng delay_rng_;
+
+  /// Seqlock epoch around history_ writes: odd while commit_update is
+  /// mutating the ring, even when stable.
+  std::atomic<std::uint64_t> epoch_{0};
+
+  /// Per-unit source version for the current step, sampled by the trainer
+  /// thread in forward_backward (same draws as HogwildEngine).
+  std::vector<std::int64_t> unit_version_;
+
+  // Per-minibatch context; workers read between the go and done barriers.
+  pipeline::StageMailbox work_;  ///< forward lane = multi-consumer work queue
+  const std::vector<nn::Flow>* mb_inputs_ = nullptr;
+  const std::vector<tensor::Tensor>* mb_targets_ = nullptr;
+  const nn::LossHead* mb_head_ = nullptr;
+  std::vector<double> micro_loss_;
+  std::vector<double> micro_correct_;
+  std::vector<double> micro_count_;
+  std::vector<std::vector<float>> micro_grads_;
+  std::vector<std::vector<nn::Cache>> caches_;  ///< per microbatch
+  std::atomic<bool> mb_failed_{false};
+  std::string mb_error_;  ///< first worker exception (guarded by ctrl_m_)
+
+  std::mutex ctrl_m_;
+  std::condition_variable ctrl_go_;
+  std::condition_variable ctrl_done_;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pipemare::hogwild

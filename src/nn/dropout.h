@@ -18,6 +18,7 @@ class Dropout : public Module {
   explicit Dropout(double rate, std::uint64_t seed = 0xd50b0457ULL);
 
   std::string name() const override { return "Dropout"; }
+  bool stateful_forward() const override { return true; }
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
                 std::span<float> grad) const override;

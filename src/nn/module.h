@@ -53,6 +53,12 @@ class Module {
     return {param_count()};
   }
 
+  /// True when `forward` mutates module-owned state (e.g. Dropout's RNG
+  /// stream), making concurrent whole-model forward replicas unsafe.
+  /// Stage-partitioned execution (ThreadedEngine) is always safe: each
+  /// module's forward runs on exactly one worker there.
+  virtual bool stateful_forward() const { return false; }
+
   virtual void init_params(std::span<float> w, util::Rng& rng) const { (void)w, (void)rng; }
 
   virtual Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const = 0;

@@ -147,8 +147,12 @@ PipelineEngine::StepResult PipelineEngine::forward_backward(
 
     nn::LossResult lr = head.forward_backward(out.x, micro_targets[static_cast<std::size_t>(micro)]);
     if (!std::isfinite(lr.loss)) {
+      // Unified non-finite contract (see StepResult): first non-finite
+      // loss, zeroed metrics, gradients unspecified.
       result.finite = false;
       result.loss = lr.loss;
+      result.correct = 0.0;
+      result.count = 0.0;
       return result;
     }
     result.loss += lr.loss / n;

@@ -15,6 +15,15 @@
 namespace pipemare::pipeline {
 
 /// Result of one minibatch forward/backward (shared by all engines).
+///
+/// Non-finite contract (identical across PipelineEngine, ThreadedEngine,
+/// HogwildEngine and ThreadedHogwildEngine): if any microbatch's loss is
+/// non-finite, `finite` is false, `loss` holds the first (in microbatch
+/// order) non-finite loss value, `correct`/`count` are zero — a divergent
+/// step has no meaningful metrics — and the gradient buffer contents are
+/// unspecified. If every loss is finite but the final gradient sweep
+/// finds a non-finite entry, `finite` is false while `loss`, `correct`
+/// and `count` keep their accumulated (valid) values.
 struct StepResult {
   double loss = 0.0;     ///< mean loss over the minibatch
   double correct = 0.0;  ///< summed metric numerator (e.g. #correct)

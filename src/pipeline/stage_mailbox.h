@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <limits>
 #include <mutex>
 
 #include "src/nn/flow.h"
@@ -19,67 +21,144 @@ struct StageItem {
   nn::Flow flow;
 };
 
-/// The bounded mailbox in front of each stage worker: two FIFO lanes, one
-/// fed by the previous stage's forwards (SPSC) and one by the next stage's
-/// backwards (SPSC; together an MPSC inbox). `pop` drains the backward
-/// lane first — the 1F1B priority rule that keeps in-flight activations
-/// bounded and the pipeline draining.
+/// The credit-based bounded mailbox in front of each stage worker: two
+/// FIFO lanes, one fed by the previous stage's forwards and one by the
+/// next stage's backwards. Three rules bound the in-flight activation
+/// footprint to the 1F1B schedule's occupancy (Section 3 / Table 1)
+/// while keeping the worker graph deadlock-free:
 ///
-/// Each lane holds at most `lane_capacity` items; `push_*` blocks while
-/// its lane is full. With lane_capacity >= N (microbatches per minibatch)
-/// pushes can never block mid-minibatch — each lane carries exactly N
-/// items per minibatch — which is the configuration ThreadedEngine uses to
-/// make the worker graph trivially deadlock-free.
+///  1. *Bounded forward lane.* `push_forward` blocks while the lane holds
+///     `fwd_capacity` items, so a fast upstream stage can never buffer
+///     more than `fwd_capacity` activations here.
+///  2. *Non-blocking backward lane.* `push_backward` never blocks: the
+///     pop rule pre-grants its credits. A backward queued here always
+///     corresponds to a forward this stage already admitted (rule 3), and
+///     `pop` drains the backward lane first, so backward occupancy can
+///     never exceed the forward credits — the lane is "unbounded" in code
+///     but bounded by the protocol.
+///  3. *Forward credits.* `pop` admits a forward only while fewer than
+///     `fwd_credits` round trips are in flight (forwards popped whose
+///     backward has not yet been popped / acknowledged). This is the 1F1B
+///     warmup depth: stage s of P admits at most min(N, P - s) microbatches
+///     before insisting on a backward. A stage that runs its backward
+///     without ever popping a Backward item (the tail stage fuses F and B)
+///     returns the credit explicitly via `complete_inflight`.
+///
+/// Deadlock-freedom: a worker only ever blocks in `push_forward` (on its
+/// successor) or in `pop`. The blocking graph is acyclic — stage s's
+/// pushes wait only on stage s+1, and its pops wait only on producers —
+/// and the tail stage never blocks on a push (it pushes only backwards),
+/// so by induction from the tail every stage keeps draining: a full
+/// forward lane implies a poppable item downstream, credits are always
+/// returned because admitted forwards always complete their round trip.
+/// Any fwd_capacity >= 1 and fwd_credits >= 1 is therefore safe; the 1F1B
+/// values merely make the bound tight without throttling the schedule.
+///
+/// Credit accounting assumes a single consumer (the owning stage worker).
+/// Multi-consumer users (the threaded Hogwild work queue) must disable
+/// gating by passing `fwd_credits >= fwd_capacity + pending pushes`, e.g.
+/// `kUnboundedCredits`.
 class StageMailbox {
  public:
-  explicit StageMailbox(std::size_t lane_capacity) : cap_(lane_capacity) {}
+  static constexpr std::size_t kUnboundedCredits =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Peak occupancy observed per lane plus the in-flight round-trip peak;
+  /// tests assert these against the 1F1B bound min(N, P - s + 1).
+  struct LaneStats {
+    std::size_t fwd_high_water = 0;
+    std::size_t bwd_high_water = 0;
+    std::size_t inflight_high_water = 0;
+  };
+
+  StageMailbox(std::size_t fwd_capacity, std::size_t fwd_credits)
+      : cap_(fwd_capacity), credits_(fwd_credits) {}
 
   StageMailbox(const StageMailbox&) = delete;
   StageMailbox& operator=(const StageMailbox&) = delete;
 
+  /// Blocks while the forward lane is full.
   void push_forward(StageItem item) {
     {
       std::unique_lock<std::mutex> lock(m_);
       space_.wait(lock, [&] { return fwd_.size() < cap_; });
       fwd_.push_back(std::move(item));
+      stats_.fwd_high_water = std::max(stats_.fwd_high_water, fwd_.size());
     }
     ready_.notify_one();
   }
 
+  /// Never blocks (rule 2): the 1F1B pop priority pre-grants backward
+  /// credits, so the lane needs no capacity wait.
   void push_backward(StageItem item) {
     {
-      std::unique_lock<std::mutex> lock(m_);
-      space_.wait(lock, [&] { return bwd_.size() < cap_; });
+      std::lock_guard<std::mutex> lock(m_);
       bwd_.push_back(std::move(item));
+      stats_.bwd_high_water = std::max(stats_.bwd_high_water, bwd_.size());
     }
     ready_.notify_one();
   }
 
-  /// Blocks until an item is available; backward lane first.
+  /// Blocks until an admissible item is available; backward lane first,
+  /// forwards only while a round-trip credit is free (rule 3). Popping a
+  /// Backward item implicitly completes that round trip.
   StageItem pop() {
     StageItem item;
+    bool freed_full_fwd = false;
     {
       std::unique_lock<std::mutex> lock(m_);
-      ready_.wait(lock, [&] { return !bwd_.empty() || !fwd_.empty(); });
-      std::deque<StageItem>& lane = bwd_.empty() ? fwd_ : bwd_;
-      item = std::move(lane.front());
-      lane.pop_front();
+      ready_.wait(lock, [&] {
+        return !bwd_.empty() || (!fwd_.empty() && inflight_ < credits_);
+      });
+      if (!bwd_.empty()) {
+        item = std::move(bwd_.front());
+        bwd_.pop_front();
+        if (inflight_ > 0) --inflight_;  // round trip complete
+      } else {
+        // Only a forward pop can open space in the bounded lane; remember
+        // whether it actually did so we wake the producer only on a
+        // full -> non-full transition (it is the sole space_ waiter).
+        freed_full_fwd = fwd_.size() == cap_;
+        item = std::move(fwd_.front());
+        fwd_.pop_front();
+        ++inflight_;
+        stats_.inflight_high_water = std::max(stats_.inflight_high_water, inflight_);
+      }
     }
-    // notify_all, not notify_one: the two producers wait on different
-    // lane-full predicates through this one CV, and a single notify could
-    // wake the producer whose lane is still full while the other sleeps
-    // on a lost wakeup. At most two producers, so the broadcast is cheap.
-    space_.notify_all();
+    if (freed_full_fwd) space_.notify_one();
     return item;
   }
 
+  /// Returns a round-trip credit for a stage that completes backwards
+  /// without popping Backward items (the tail stage fuses each forward
+  /// with its backward). Call once per completed backward.
+  void complete_inflight() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (inflight_ > 0) --inflight_;
+    // No notify: only the owning consumer waits on ready_ for credits,
+    // and it is the caller.
+  }
+
+  LaneStats stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+  }
+
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(m_);
+    stats_ = LaneStats{};
+  }
+
  private:
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable ready_;  ///< signalled on push
-  std::condition_variable space_;  ///< signalled on pop
+  std::condition_variable space_;  ///< signalled on full -> non-full fwd pop
   std::deque<StageItem> fwd_;
   std::deque<StageItem> bwd_;
   std::size_t cap_;
+  std::size_t credits_;
+  std::size_t inflight_ = 0;  ///< forwards admitted, backward not yet done
+  LaneStats stats_;
 };
 
 }  // namespace pipemare::pipeline

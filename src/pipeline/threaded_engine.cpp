@@ -48,11 +48,18 @@ ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::ui
 
   mailboxes_.reserve(static_cast<std::size_t>(p));
   for (int s = 0; s < p; ++s) {
-    // Lane capacity N makes pushes non-blocking (each lane carries exactly
-    // N items per minibatch), which keeps the worker graph deadlock-free;
-    // the 1F1B backward-first pop rule bounds actual occupancy well below
-    // that in steady state.
-    mailboxes_.push_back(std::make_unique<StageMailbox>(static_cast<std::size_t>(n)));
+    // 1F1B memory bound (Table 1 / PipeDream's steady-state occupancy):
+    // stage s of P (0-indexed) admits at most min(N, P - s) in-flight
+    // microbatches (its warmup depth) before insisting on a backward, and
+    // its forward lane never needs to buffer more than min(N, P - s + 1)
+    // activations — the predecessor's credit allowance. Deadlock-freedom
+    // does not depend on these values (any capacity/credits >= 1 works,
+    // see StageMailbox); they make the in-flight activation footprint
+    // O(P - s) per stage instead of the old lane_capacity = N, i.e. O(P)
+    // total instead of O(P * N).
+    auto cap = static_cast<std::size_t>(std::min(n, p - s + 1));
+    auto credits = static_cast<std::size_t>(std::max(1, std::min(n, p - s)));
+    mailboxes_.push_back(std::make_unique<StageMailbox>(cap, credits));
   }
 
   workers_.reserve(static_cast<std::size_t>(p));
@@ -187,6 +194,9 @@ void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
         }
         backward_step(stage, item.micro, std::move(dflow), w_bkwd);
         --bwd_left;
+        // The fused F+B never pops a Backward item, so the round-trip
+        // credit must be returned explicitly.
+        mailboxes_[static_cast<std::size_t>(stage)]->complete_inflight();
       }
     } else {
       backward_step(stage, item.micro, std::move(item.flow), w_bkwd);
@@ -241,8 +251,21 @@ ThreadedEngine::StepResult ThreadedEngine::forward_backward(
       g *= inv_n;
       if (!std::isfinite(g)) result.finite = false;
     }
+  } else {
+    // Unified non-finite contract (see StepResult): a non-finite loss
+    // invalidates the step's metrics, so correct/count are zeroed and the
+    // gradient buffer is left unspecified.
+    result.correct = 0.0;
+    result.count = 0.0;
   }
   return result;
+}
+
+std::vector<StageMailbox::LaneStats> ThreadedEngine::lane_stats() const {
+  std::vector<StageMailbox::LaneStats> stats;
+  stats.reserve(mailboxes_.size());
+  for (const auto& box : mailboxes_) stats.push_back(box->stats());
+  return stats;
 }
 
 nn::LossResult ThreadedEngine::evaluate(const nn::Flow& input, const tensor::Tensor& target,

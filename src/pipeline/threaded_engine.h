@@ -97,6 +97,11 @@ class ThreadedEngine {
   /// Mean forward delay per stage, (2(P-i)+1)/N — the tau vector T1 needs.
   std::vector<double> stage_tau_fwd() const { return stage_tau_fwd_vector(schedule_); }
 
+  /// Per-stage mailbox occupancy statistics (cumulative high-water marks
+  /// since construction). The 1F1B lane bounds make these provably at
+  /// most min(N, P - s + 1) per lane for stage s; tests assert it.
+  std::vector<StageMailbox::LaneStats> lane_stats() const;
+
   /// Per-stage optimizer segments with the given base LR and per-stage
   /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
   std::vector<optim::LrSegment> lr_segments(double base_lr,

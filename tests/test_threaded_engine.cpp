@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "src/core/task.h"
 #include "src/core/trainer.h"
+#include "src/nn/activations.h"
 #include "src/nn/heads.h"
+#include "src/nn/linear.h"
 #include "src/nn/model.h"
 #include "src/nn/resnet.h"
 #include "src/pipeline/engine.h"
@@ -233,7 +240,7 @@ TEST(ThreadedEngine, TrainLoopParityOnTinyTranslation) {
 }
 
 TEST(StageMailbox, PopDrainsBackwardLaneFirst) {
-  StageMailbox box(4);
+  StageMailbox box(4, StageMailbox::kUnboundedCredits);
   StageItem f;
   f.kind = StageItem::Kind::Forward;
   f.micro = 0;
@@ -244,6 +251,204 @@ TEST(StageMailbox, PopDrainsBackwardLaneFirst) {
   box.push_backward(std::move(b));
   EXPECT_EQ(box.pop().kind, StageItem::Kind::Backward);
   EXPECT_EQ(box.pop().kind, StageItem::Kind::Forward);
+}
+
+TEST(StageMailbox, PushBackwardNeverBlocks) {
+  // The backward lane has no capacity wait: pushing far beyond the forward
+  // capacity from the test thread must not deadlock.
+  StageMailbox box(1, 1);
+  for (int i = 0; i < 16; ++i) {
+    box.push_backward({StageItem::Kind::Backward, i, {}});
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(box.pop().micro, i);
+  }
+  EXPECT_EQ(box.stats().bwd_high_water, 16u);
+}
+
+TEST(StageMailbox, CreditGatesForwardPops) {
+  // credits = 1: a second forward is admitted only after the first round
+  // trip completes (a Backward pop or complete_inflight).
+  StageMailbox box(4, 1);
+  box.push_forward({StageItem::Kind::Forward, 0, {}});
+  box.push_forward({StageItem::Kind::Forward, 1, {}});
+  EXPECT_EQ(box.pop().micro, 0);  // in-flight: 1 of 1
+
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    StageItem item = box.pop();  // gated: must wait for the round trip
+    EXPECT_EQ(item.kind, StageItem::Kind::Backward);
+    EXPECT_EQ(item.micro, 7);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(popped.load()) << "forward admitted past the credit bound";
+  // The returning backward is always admissible; popping it completes the
+  // round trip, after which forward 1 becomes admissible too.
+  box.push_backward({StageItem::Kind::Backward, 7, {}});
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(box.pop().micro, 1);
+  EXPECT_EQ(box.stats().inflight_high_water, 1u);
+}
+
+TEST(StageMailbox, CompleteInflightReturnsFusedCredit) {
+  // The tail stage fuses F+B and never pops Backward items; its explicit
+  // credit return must re-admit the next forward (no deadlock).
+  StageMailbox box(4, 1);
+  box.push_forward({StageItem::Kind::Forward, 0, {}});
+  box.push_forward({StageItem::Kind::Forward, 1, {}});
+  EXPECT_EQ(box.pop().micro, 0);
+  box.complete_inflight();  // same-thread consumer: no notify needed
+  EXPECT_EQ(box.pop().micro, 1);
+}
+
+TEST(StageMailbox, BackwardPopCompletesRoundTrip) {
+  StageMailbox box(4, 1);
+  box.push_forward({StageItem::Kind::Forward, 0, {}});
+  box.push_forward({StageItem::Kind::Forward, 1, {}});
+  EXPECT_EQ(box.pop().micro, 0);
+  box.push_backward({StageItem::Kind::Backward, 0, {}});
+  EXPECT_EQ(box.pop().micro, 0);  // backward first; frees the credit
+  EXPECT_EQ(box.pop().micro, 1);  // now admissible without explicit return
+}
+
+TEST(StageMailbox, TracksHighWaterMarks) {
+  StageMailbox box(3, StageMailbox::kUnboundedCredits);
+  box.push_forward({StageItem::Kind::Forward, 0, {}});
+  box.push_forward({StageItem::Kind::Forward, 1, {}});
+  box.push_backward({StageItem::Kind::Backward, 0, {}});
+  auto s = box.stats();
+  EXPECT_EQ(s.fwd_high_water, 2u);
+  EXPECT_EQ(s.bwd_high_water, 1u);
+  (void)box.pop();
+  (void)box.pop();
+  (void)box.pop();
+  s = box.stats();  // high-water marks persist across pops
+  EXPECT_EQ(s.fwd_high_water, 2u);
+  EXPECT_EQ(s.bwd_high_water, 1u);
+  box.reset_stats();
+  EXPECT_EQ(box.stats().fwd_high_water, 0u);
+}
+
+/// A deep MLP of `layers` Linear(+ReLU) blocks: `layers` weight units, so
+/// any P <= layers partitions cleanly; uniform per-layer cost.
+nn::Model make_stress_mlp(int layers, int width, int classes) {
+  nn::Model m;
+  for (int i = 0; i < layers; ++i) {
+    m.add(std::make_unique<nn::Linear>(width, width, /*relu_init=*/true));
+    m.add(std::make_unique<nn::ReLU>());
+  }
+  m.add(std::make_unique<nn::Linear>(width, classes));
+  return m;
+}
+
+TEST(ThreadedEngine, SmallLaneStressSweepHoldsOneFOneBBound) {
+  // Sweep (P, N) in {1..4} x {1..8} with the tight 1F1B lane bounds:
+  // every config must (a) stay bitwise-identical to the sequential
+  // engine (deadlock-freedom + correctness under small lanes) and
+  // (b) keep every per-lane high-water mark within the 1F1B occupancy
+  // bound min(N, P - s + 1) for 0-indexed stage s (the in-flight
+  // round-trip peak within the warmup depth min(N, P - s)).
+  constexpr int kClasses = 6;
+  nn::ClassificationXent head;
+  for (int p = 1; p <= 4; ++p) {
+    for (int n = 1; n <= 8; ++n) {
+      nn::Model model = make_stress_mlp(/*layers=*/4, /*width=*/12, kClasses);
+      util::Rng rng(17);
+      std::vector<nn::Flow> inputs;
+      std::vector<tensor::Tensor> targets;
+      for (int m = 0; m < n; ++m) {
+        nn::Flow f;
+        f.x = tensor::Tensor({2, 12});
+        for (std::int64_t i = 0; i < f.x.size(); ++i) {
+          f.x[i] = static_cast<float>(rng.normal());
+        }
+        tensor::Tensor t({2});
+        for (int j = 0; j < 2; ++j) t[j] = static_cast<float>(rng.randint(kClasses));
+        inputs.push_back(std::move(f));
+        targets.push_back(std::move(t));
+      }
+
+      auto ec = parity_config(Method::PipeMare, p, n);
+      PipelineEngine seq(model, ec, 1);
+      ThreadedEngine thr(model, ec, 1);
+      for (int step = 0; step < 3; ++step) {
+        auto rs = seq.forward_backward(inputs, targets, head);
+        auto rt = thr.forward_backward(inputs, targets, head);
+        ASSERT_DOUBLE_EQ(rs.loss, rt.loss) << "P=" << p << " N=" << n;
+        auto gs = seq.gradients();
+        auto gt = thr.gradients();
+        for (std::size_t i = 0; i < gs.size(); ++i) {
+          ASSERT_EQ(gs[i], gt[i]) << "P=" << p << " N=" << n << " grad " << i;
+        }
+        for (std::size_t i = 0; i < gs.size(); ++i) {
+          seq.weights()[i] -= 0.05F * gs[i];
+          thr.weights()[i] -= 0.05F * gt[i];
+        }
+        seq.commit_update();
+        thr.commit_update();
+      }
+
+      auto stats = thr.lane_stats();
+      ASSERT_EQ(stats.size(), static_cast<std::size_t>(p));
+      for (int s = 0; s < p; ++s) {
+        auto bound = static_cast<std::size_t>(std::min(n, p - s + 1));
+        auto warmup = static_cast<std::size_t>(std::max(1, std::min(n, p - s)));
+        const auto& ls = stats[static_cast<std::size_t>(s)];
+        EXPECT_LE(ls.fwd_high_water, bound) << "P=" << p << " N=" << n << " s=" << s;
+        EXPECT_LE(ls.bwd_high_water, bound) << "P=" << p << " N=" << n << " s=" << s;
+        EXPECT_LE(ls.inflight_high_water, warmup)
+            << "P=" << p << " N=" << n << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ThreadedEngine, NonFiniteLossContractMatchesSequential) {
+  // Unified StepResult contract: first non-finite loss, zeroed metrics.
+  constexpr int kClasses = 6;
+  auto ec = parity_config(Method::PipeMare, 4, 4);
+  // Linear-only chain: ReLU maps NaN to 0 (x > 0 ? x : 0), so an
+  // activation would wash the poison out before it reaches the loss.
+  nn::Model model;
+  for (int i = 0; i < 4; ++i) {
+    model.add(std::make_unique<nn::Linear>(12, 12));
+  }
+  model.add(std::make_unique<nn::Linear>(12, kClasses));
+  nn::ClassificationXent head;
+  util::Rng rng(17);
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+  for (int m = 0; m < ec.num_microbatches; ++m) {
+    nn::Flow f;
+    f.x = tensor::Tensor({2, 12});
+    for (std::int64_t i = 0; i < f.x.size(); ++i) {
+      f.x[i] = static_cast<float>(rng.normal());
+    }
+    tensor::Tensor t({2});
+    for (int j = 0; j < 2; ++j) t[j] = static_cast<float>(rng.randint(kClasses));
+    inputs.push_back(std::move(f));
+    targets.push_back(std::move(t));
+  }
+  // Poison microbatch 2 so earlier microbatches accumulate loss/metrics
+  // that the contract requires the engines to discard. (An MLP propagates
+  // the NaN to the loss; normalization layers could wash out mere infs.)
+  for (std::int64_t i = 0; i < inputs[2].x.size(); ++i) {
+    inputs[2].x[i] = std::numeric_limits<float>::quiet_NaN();
+  }
+  PipelineEngine seq(model, ec, 1);
+  ThreadedEngine thr(model, ec, 1);
+  auto rs = seq.forward_backward(inputs, targets, head);
+  auto rt = thr.forward_backward(inputs, targets, head);
+  EXPECT_FALSE(rs.finite);
+  EXPECT_FALSE(rt.finite);
+  EXPECT_FALSE(std::isfinite(rs.loss));
+  EXPECT_FALSE(std::isfinite(rt.loss));
+  EXPECT_EQ(rs.correct, 0.0);
+  EXPECT_EQ(rs.count, 0.0);
+  EXPECT_EQ(rt.correct, 0.0);
+  EXPECT_EQ(rt.count, 0.0);
 }
 
 }  // namespace
