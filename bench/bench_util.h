@@ -1,15 +1,79 @@
 #pragma once
 
-// Shared printing helpers for the paper-reproduction bench binaries.
+// Shared helpers for the bench binaries: table printing for the
+// paper-reproduction drivers, plus the common MLP workload + backend step
+// the micro benches run against the BackendRegistry.
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/backend.h"
 #include "src/core/experiments.h"
+#include "src/nn/activations.h"
+#include "src/nn/heads.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/util/rng.h"
 #include "src/util/table.h"
 
 namespace pipemare::benchutil {
+
+/// A deep dropout-free MLP with uniform per-layer cost, so an even
+/// weight-unit partition is also an even compute partition and every
+/// registered backend (including threaded_hogwild, which rejects
+/// stateful-forward modules) can run it.
+inline nn::Model make_bench_mlp(int layers, int width, int classes) {
+  nn::Model m;
+  for (int i = 0; i < layers; ++i) {
+    m.add(std::make_unique<nn::Linear>(width, width, /*relu_init=*/true));
+    m.add(std::make_unique<nn::ReLU>());
+  }
+  m.add(std::make_unique<nn::Linear>(width, classes));
+  return m;
+}
+
+/// Deterministic classification minibatch for make_bench_mlp models.
+struct MlpWorkload {
+  std::vector<nn::Flow> inputs;
+  std::vector<tensor::Tensor> targets;
+  nn::ClassificationXent head;
+
+  MlpWorkload(int microbatches, int micro_size, int width, int classes,
+              std::uint64_t seed = 3) {
+    util::Rng rng(seed);
+    for (int m = 0; m < microbatches; ++m) {
+      nn::Flow f;
+      f.x = tensor::Tensor({micro_size, width});
+      for (std::int64_t i = 0; i < f.x.size(); ++i) {
+        f.x[i] = static_cast<float>(rng.normal());
+      }
+      tensor::Tensor t({micro_size});
+      for (int j = 0; j < micro_size; ++j) {
+        t[j] = static_cast<float>(rng.randint(classes));
+      }
+      inputs.push_back(std::move(f));
+      targets.push_back(std::move(t));
+    }
+  }
+};
+
+/// One optimizer-free training step through the ExecutionBackend
+/// interface — the single inner loop shared by the micro benches
+/// (previously copy-pasted per engine type).
+inline pipeline::StepResult backend_step(core::ExecutionBackend& backend,
+                                         const MlpWorkload& w) {
+  auto res = backend.forward_backward(w.inputs, w.targets, w.head);
+  auto weights = backend.weights();
+  auto grads = backend.gradients();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] -= 1e-4F * grads[i];
+  }
+  backend.commit_update();
+  return res;
+}
 
 /// Prints a Table 2 / Table 3-style block of method rows.
 inline void print_rows(const std::string& title, const std::string& metric,
@@ -40,9 +104,12 @@ inline void print_curves(const std::string& title,
   for (std::size_t e = 0; e < max_len; e += static_cast<std::size_t>(stride)) {
     std::vector<std::string> row = {std::to_string(e + 1)};
     for (const auto& r : rows) {
-      row.push_back(e < r.result.curve.size()
-                        ? util::fmt(r.result.curve[e].metric, 1)
-                        : (r.result.diverged ? "div" : "-"));
+      // A trailing divergence record has a NaN metric; print it as the
+      // blow-up marker rather than "nan".
+      row.push_back(e >= r.result.curve.size() ? (r.result.diverged ? "div" : "-")
+                    : r.result.curve[e].is_divergence_record()
+                        ? "div"
+                        : util::fmt(r.result.curve[e].metric, 1));
     }
     t.add_row(std::move(row));
   }

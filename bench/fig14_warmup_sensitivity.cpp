@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     cfg.warmup_epochs = warmup;
     auto res = core::train(*task, cfg);
     double tput = hwmodel::amortized_throughput(
-        warmup, std::max<int>(1, static_cast<int>(res.curve.size())));
+        warmup, std::max<int>(1, res.epochs_completed()));
     double ttb = res.best_epoch > 0 ? res.best_epoch / tput
                                     : std::numeric_limits<double>::infinity();
     t.add_row({std::to_string(warmup), util::fmt(res.best_metric, 1),

@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
     cfg.lr = 0.15;  // tolerated by sync, too hot for large-delay async
     cfg.weight_decay = 5e-4;
     cfg.seed = 3;
+    // Diverging runs end with a divergence record (observed loss, blown-up
+    // ||w||), so "Final |w|" and the trajectory table show the blow-up
+    // point itself rather than a silently truncated curve.
     auto res = core::train(*task, cfg);
     double tau1 = v.method == pipeline::Method::Sync
                       ? 0.0

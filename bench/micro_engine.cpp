@@ -3,6 +3,7 @@
 // full engine training step. google-benchmark targets (not paper tables).
 #include <benchmark/benchmark.h>
 
+#include "src/core/backend.h"
 #include "src/nn/activations.h"
 #include "src/nn/conv2d.h"
 #include "src/nn/heads.h"
@@ -64,13 +65,14 @@ void BM_EngineMinibatchStep(benchmark::State& state) {
   nn::ResNetConfig mc;
   mc.base_channels = 8;
   mc.blocks_per_group = {1, 1};
-  nn::Model model = nn::make_resnet(mc);
   pipeline::EngineConfig ec;
   ec.method = pipeline::Method::PipeMare;
   ec.num_stages = 8;
   ec.num_microbatches = 4;
   ec.discrepancy_correction = true;
-  pipeline::PipelineEngine engine(model, ec, 1);
+  auto engine_ptr = core::BackendRegistry::instance().create(
+      nn::make_resnet(mc), core::BackendConfig{"sequential"}, ec, /*seed=*/1);
+  core::ExecutionBackend& engine = *engine_ptr;
   nn::ClassificationXent head;
   util::Rng rng(3);
   std::vector<nn::Flow> inputs;

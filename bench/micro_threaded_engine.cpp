@@ -1,11 +1,11 @@
-// Wall-clock comparison of the sequential analytic PipelineEngine and the
-// stage-per-thread ThreadedEngine on an identical training step. The two
-// engines produce bitwise-identical results (tests/test_threaded_engine);
-// this benchmark measures the real concurrency the threaded engine adds.
-// On a host with >= P cores the ThreadedEngine rows should show a >= 2x
-// higher items/s at P = 4 once per-stage compute dominates queue overhead;
-// on a single-core host the two degenerate to the same throughput minus
-// scheduling overhead.
+// Wall-clock comparison of the "sequential" (analytic PipelineEngine) and
+// "threaded" (stage-per-thread ThreadedEngine) registry backends on an
+// identical training step. The two produce bitwise-identical results
+// (tests/test_threaded_engine, tests/test_backend_registry); this benchmark
+// measures the real concurrency the threaded backend adds. On a host with
+// >= P cores the threaded rows should show a >= 2x higher items/s at P = 4
+// once per-stage compute dominates queue overhead; on a single-core host
+// the two degenerate to the same throughput minus scheduling overhead.
 //
 // google-benchmark target: bench_micro_threaded_engine
 //   [--benchmark_filter=...] [--benchmark_min_time=...]
@@ -13,15 +13,10 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <memory>
+#include <string>
 
-#include "src/nn/activations.h"
-#include "src/nn/heads.h"
-#include "src/nn/linear.h"
-#include "src/nn/model.h"
-#include "src/pipeline/engine.h"
-#include "src/pipeline/threaded_engine.h"
-#include "src/util/rng.h"
+#include "bench/bench_util.h"
+#include "src/core/engine_backend.h"
 
 namespace {
 
@@ -33,41 +28,6 @@ constexpr int kClasses = 10;
 constexpr int kMicroBatches = 8;
 constexpr int kMicroSize = 4;
 
-/// A deep MLP with uniform per-layer cost, so an even weight-unit
-/// partition is also an even compute partition across stages.
-nn::Model make_mlp() {
-  nn::Model m;
-  for (int i = 0; i < kLayers; ++i) {
-    m.add(std::make_unique<nn::Linear>(kWidth, kWidth, /*relu_init=*/true));
-    m.add(std::make_unique<nn::ReLU>());
-  }
-  m.add(std::make_unique<nn::Linear>(kWidth, kClasses));
-  return m;
-}
-
-struct Workload {
-  std::vector<nn::Flow> inputs;
-  std::vector<tensor::Tensor> targets;
-  nn::ClassificationXent head;
-
-  Workload() {
-    util::Rng rng(3);
-    for (int m = 0; m < kMicroBatches; ++m) {
-      nn::Flow f;
-      f.x = tensor::Tensor({kMicroSize, kWidth});
-      for (std::int64_t i = 0; i < f.x.size(); ++i) {
-        f.x[i] = static_cast<float>(rng.normal());
-      }
-      tensor::Tensor t({kMicroSize});
-      for (int j = 0; j < kMicroSize; ++j) {
-        t[j] = static_cast<float>(rng.randint(kClasses));
-      }
-      inputs.push_back(std::move(f));
-      targets.push_back(std::move(t));
-    }
-  }
-};
-
 pipeline::EngineConfig bench_config(int stages) {
   pipeline::EngineConfig ec;
   ec.method = pipeline::Method::PipeMare;
@@ -76,55 +36,38 @@ pipeline::EngineConfig bench_config(int stages) {
   return ec;
 }
 
-template <class Engine>
-void run_step(Engine& engine, const Workload& w) {
-  auto res = engine.forward_backward(w.inputs, w.targets, w.head);
-  benchmark::DoNotOptimize(res);
-  for (std::size_t i = 0; i < engine.weights().size(); ++i) {
-    engine.weights()[i] -= 1e-4F * engine.gradients()[i];
-  }
-  engine.commit_update();
-}
-
-void BM_SequentialEngineStep(benchmark::State& state) {
+void BM_PipelineBackendStep(benchmark::State& state, const std::string& backend) {
   auto stages = static_cast<int>(state.range(0));
-  nn::Model model = make_mlp();
-  pipeline::PipelineEngine engine(model, bench_config(stages), 1);
-  Workload w;
+  auto be = core::BackendRegistry::instance().create(
+      benchutil::make_bench_mlp(kLayers, kWidth, kClasses),
+      core::BackendConfig{backend}, bench_config(stages), /*seed=*/1);
+  benchutil::MlpWorkload w(kMicroBatches, kMicroSize, kWidth, kClasses);
   for (auto _ : state) {
-    run_step(engine, w);
+    auto res = benchutil::backend_step(*be, w);
+    benchmark::DoNotOptimize(res);
   }
   state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
-}
-BENCHMARK(BM_SequentialEngineStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ThreadedEngineStep(benchmark::State& state) {
-  auto stages = static_cast<int>(state.range(0));
-  nn::Model model = make_mlp();
-  pipeline::ThreadedEngine engine(model, bench_config(stages), 1);
-  Workload w;
-  for (auto _ : state) {
-    run_step(engine, w);
+  // Peak mailbox occupancy across stages (threaded backend only): with the
+  // credit-based 1F1B lane bounds these stay at most min(N, P - s + 1) per
+  // lane for stage s (the old configuration buffered up to N per lane).
+  if (auto* threaded = dynamic_cast<core::ThreadedBackend*>(be.get())) {
+    std::size_t fwd_peak = 0;
+    std::size_t bwd_peak = 0;
+    std::size_t inflight_peak = 0;
+    for (const auto& ls : threaded->engine().lane_stats()) {
+      fwd_peak = std::max(fwd_peak, ls.fwd_high_water);
+      bwd_peak = std::max(bwd_peak, ls.bwd_high_water);
+      inflight_peak = std::max(inflight_peak, ls.inflight_high_water);
+    }
+    state.counters["peak_fwd_lane"] = static_cast<double>(fwd_peak);
+    state.counters["peak_bwd_lane"] = static_cast<double>(bwd_peak);
+    state.counters["peak_inflight"] = static_cast<double>(inflight_peak);
   }
-  state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
-  // Peak mailbox occupancy across stages: with the credit-based 1F1B lane
-  // bounds these stay at most min(N, P - s + 1) per lane for stage s
-  // (the old configuration buffered up to N per lane).
-  std::size_t fwd_peak = 0;
-  std::size_t bwd_peak = 0;
-  std::size_t inflight_peak = 0;
-  for (const auto& ls : engine.lane_stats()) {
-    fwd_peak = std::max(fwd_peak, ls.fwd_high_water);
-    bwd_peak = std::max(bwd_peak, ls.bwd_high_water);
-    inflight_peak = std::max(inflight_peak, ls.inflight_high_water);
-  }
-  state.counters["peak_fwd_lane"] = static_cast<double>(fwd_peak);
-  state.counters["peak_bwd_lane"] = static_cast<double>(bwd_peak);
-  state.counters["peak_inflight"] = static_cast<double>(inflight_peak);
 }
-BENCHMARK(BM_ThreadedEngineStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineBackendStep, sequential, "sequential")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineBackendStep, threaded, "threaded")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

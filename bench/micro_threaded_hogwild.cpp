@@ -1,26 +1,21 @@
-// Wall-clock comparison of the sequential HogwildEngine and the
-// multithreaded ThreadedHogwildEngine on an identical training step
-// (Appendix E stochastic-delay semantics). The threaded backend runs the
-// minibatch's microbatches on W free-running workers sharing the delayed
-// weight snapshots; results are bitwise reproducible run-to-run and match
-// the sequential engine up to gradient-sum reassociation, so the rows
-// measure pure execution overlap. On a host with >= W cores the threaded
-// rows should approach W-fold items/s once per-microbatch compute
+// Wall-clock comparison of the "hogwild" (sequential HogwildEngine) and
+// "threaded_hogwild" (W free-running workers) registry backends on an
+// identical training step (Appendix E stochastic-delay semantics). The
+// threaded backend runs the minibatch's microbatches on W workers sharing
+// the delayed weight snapshots; results are bitwise reproducible run-to-run
+// and match the sequential engine up to gradient-sum reassociation, so the
+// rows measure pure execution overlap. On a host with >= W cores the
+// threaded rows should approach W-fold items/s once per-microbatch compute
 // dominates queue and snapshot-assembly overhead.
 //
 // google-benchmark target: bench_micro_threaded_hogwild
 //   [--benchmark_filter=...] [--benchmark_min_time=...]
 #include <benchmark/benchmark.h>
 
-#include <memory>
+#include <string>
 
-#include "src/hogwild/hogwild.h"
-#include "src/hogwild/threaded_hogwild.h"
-#include "src/nn/activations.h"
-#include "src/nn/heads.h"
-#include "src/nn/linear.h"
-#include "src/nn/model.h"
-#include "src/util/rng.h"
+#include "bench/bench_util.h"
+#include "src/core/engine_backend.h"
 
 namespace {
 
@@ -32,85 +27,47 @@ constexpr int kClasses = 10;
 constexpr int kMicroBatches = 8;
 constexpr int kMicroSize = 4;
 constexpr int kStages = 4;
+constexpr double kMaxDelay = 8.0;
 
-/// A deep dropout-free MLP (the threaded backend rejects stateful-forward
-/// modules); uniform per-layer cost.
-nn::Model make_mlp() {
-  nn::Model m;
-  for (int i = 0; i < kLayers; ++i) {
-    m.add(std::make_unique<nn::Linear>(kWidth, kWidth, /*relu_init=*/true));
-    m.add(std::make_unique<nn::ReLU>());
-  }
-  m.add(std::make_unique<nn::Linear>(kWidth, kClasses));
-  return m;
+pipeline::EngineConfig bench_config() {
+  pipeline::EngineConfig ec;
+  ec.method = pipeline::Method::PipeMare;
+  ec.num_stages = kStages;
+  ec.num_microbatches = kMicroBatches;
+  return ec;
 }
 
-struct Workload {
-  std::vector<nn::Flow> inputs;
-  std::vector<tensor::Tensor> targets;
-  nn::ClassificationXent head;
-
-  Workload() {
-    util::Rng rng(3);
-    for (int m = 0; m < kMicroBatches; ++m) {
-      nn::Flow f;
-      f.x = tensor::Tensor({kMicroSize, kWidth});
-      for (std::int64_t i = 0; i < f.x.size(); ++i) {
-        f.x[i] = static_cast<float>(rng.normal());
-      }
-      tensor::Tensor t({kMicroSize});
-      for (int j = 0; j < kMicroSize; ++j) {
-        t[j] = static_cast<float>(rng.randint(kClasses));
-      }
-      inputs.push_back(std::move(f));
-      targets.push_back(std::move(t));
-    }
+core::BackendConfig backend_config(const std::string& backend, int workers) {
+  if (backend == "threaded_hogwild") {
+    core::ThreadedHogwildOptions opts;
+    opts.max_delay = kMaxDelay;
+    opts.workers = workers;
+    return {backend, opts};
   }
-};
-
-hogwild::HogwildConfig bench_config(int workers) {
-  hogwild::HogwildConfig hw;
-  hw.num_stages = kStages;
-  hw.num_microbatches = kMicroBatches;
-  hw.max_delay = 8.0;
-  hw.num_workers = workers;
-  return hw;
+  core::HogwildOptions opts;
+  opts.max_delay = kMaxDelay;
+  return {backend, opts};
 }
 
-template <class Engine>
-void run_step(Engine& engine, const Workload& w) {
-  auto res = engine.forward_backward(w.inputs, w.targets, w.head);
-  benchmark::DoNotOptimize(res);
-  for (std::size_t i = 0; i < engine.weights().size(); ++i) {
-    engine.weights()[i] -= 1e-4F * engine.gradients()[i];
-  }
-  engine.commit_update();
-}
-
-void BM_SequentialHogwildStep(benchmark::State& state) {
-  nn::Model model = make_mlp();
-  hogwild::HogwildEngine engine(model, bench_config(0), 1);
-  Workload w;
-  for (auto _ : state) {
-    run_step(engine, w);
-  }
-  state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
-}
-BENCHMARK(BM_SequentialHogwildStep)->Unit(benchmark::kMillisecond);
-
-void BM_ThreadedHogwildStep(benchmark::State& state) {
+void BM_HogwildBackendStep(benchmark::State& state, const std::string& backend) {
   auto workers = static_cast<int>(state.range(0));
-  nn::Model model = make_mlp();
-  hogwild::ThreadedHogwildEngine engine(model, bench_config(workers), 1);
-  Workload w;
+  auto be = core::BackendRegistry::instance().create(
+      benchutil::make_bench_mlp(kLayers, kWidth, kClasses),
+      backend_config(backend, workers), bench_config(), /*seed=*/1);
+  benchutil::MlpWorkload w(kMicroBatches, kMicroSize, kWidth, kClasses);
   for (auto _ : state) {
-    run_step(engine, w);
+    auto res = benchutil::backend_step(*be, w);
+    benchmark::DoNotOptimize(res);
   }
   state.SetItemsProcessed(state.iterations() * kMicroBatches * kMicroSize);
-  state.counters["workers"] = static_cast<double>(engine.num_workers());
+  if (auto* threaded = dynamic_cast<core::ThreadedHogwildBackend*>(be.get())) {
+    state.counters["workers"] = static_cast<double>(threaded->engine().num_workers());
+  }
 }
-BENCHMARK(BM_ThreadedHogwildStep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HogwildBackendStep, hogwild, "hogwild")
+    ->Arg(0)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HogwildBackendStep, threaded_hogwild, "threaded_hogwild")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

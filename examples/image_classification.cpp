@@ -4,10 +4,12 @@
 // summary including analytic throughput / memory columns.
 //
 // Usage: example_image_classification [--epochs=10] [--stages=0 (max)] [--seed=1]
+//          [--backend=sequential|threaded|hogwild|threaded_hogwild]
 #include <iostream>
 
 #include "src/core/experiments.h"
 #include "src/core/task.h"
+#include "src/core/trainer.h"
 #include "src/pipeline/partition.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
@@ -23,9 +25,11 @@ int main(int argc, char** argv) {
 
   core::TrainerConfig cfg = core::image_recipe(stages, cli.get_int("epochs", 10));
   cfg.seed = cli.get_int("seed", 1);
+  core::parse_backend_cli(cli, cfg);
 
   std::cout << "Comparing pipeline methods on " << task->name() << " with " << stages
-            << " stages (N = " << cfg.num_microbatches() << " microbatches)\n\n";
+            << " stages (N = " << cfg.num_microbatches() << " microbatches, backend "
+            << cfg.backend.name << ")\n\n";
   auto rows = core::compare_methods(*task, cfg, /*target_gap=*/1.0);
 
   util::Table table({"Method", "Best acc", "Target", "Speedup", "Epochs", "Throughput",

@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   auto task = core::make_cifar10_analog(cli.get_int("seed", 1));
   int stages = pipeline::max_stages(task->build_model(), false);
   int segments = cli.get_int("segments", 3);
+  // This example stays on the "sequential" backend: recomputation is a
+  // memory-model feature of the analytic engine, and every other registered
+  // backend's validate() rejects engine.recompute_segments > 0.
 
   std::cout << "=== PipeMare Recompute on " << task->name() << " (" << stages
             << " stages) ===\n\n";

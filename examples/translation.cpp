@@ -4,6 +4,8 @@
 // beam-search decoding and corpus BLEU.
 //
 // Usage: example_translation [--epochs=10] [--seed=4] [--beam=5]
+//          [--backend=sequential|threaded]  (the Transformer's Dropout is
+//          stateful in forward, which the threaded_hogwild backend rejects)
 #include <chrono>
 #include <iostream>
 
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   cfg.t1 = cli.get_bool("t1", cfg.t1);
   cfg.engine.discrepancy_correction = cli.get_bool("t2", cfg.engine.discrepancy_correction);
   cfg.warmup_epochs = cli.get_int("warmup", cfg.warmup_epochs);
+  core::parse_backend_cli(cli, cfg);
   bool print_curve = cli.get_bool("curve", false);
 
   util::Table table({"Method", "Best BLEU", "Epochs", "Diverged", "Wall (s)"});
@@ -49,10 +52,16 @@ int main(int argc, char** argv) {
     core::TrainResult result = core::train(*task, run_cfg);
     auto secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     table.add_row({pipeline::method_name(method), util::fmt(result.best_metric, 1),
-                   std::to_string(result.curve.size()),
+                   std::to_string(result.epochs_completed()),
                    result.diverged ? "yes" : "no", util::fmt(secs, 1)});
     if (print_curve) {
       for (const auto& rec : result.curve) {
+        if (rec.is_divergence_record()) {
+          std::cout << pipeline::method_name(method) << " epoch " << rec.epoch
+                    << "  DIVERGED at loss " << util::fmt(rec.train_loss, 4)
+                    << "  |w| " << util::fmt(rec.param_norm, 1) << '\n';
+          continue;
+        }
         std::cout << pipeline::method_name(method) << " epoch " << rec.epoch
                   << "  loss " << util::fmt(rec.train_loss, 4) << "  BLEU "
                   << util::fmt(rec.metric, 2) << "  |w| "

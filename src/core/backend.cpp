@@ -1,0 +1,168 @@
+#include "src/core/backend.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/engine_backend.h"
+
+namespace pipemare::core {
+
+std::string_view backend_options_name(const BackendOptions& options) {
+  return std::visit(
+      [](const auto& alt) -> std::string_view {
+        using T = std::decay_t<decltype(alt)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return "(backend defaults)";
+        } else {
+          return T::kName;
+        }
+      },
+      options);
+}
+
+namespace {
+
+/// Extracts the backend's option struct from the tagged variant: monostate
+/// yields defaults, the matching alternative is returned, anything else is
+/// a configuration error.
+template <class Opts>
+Opts options_as(const BackendConfig& cfg) {
+  if (std::holds_alternative<std::monostate>(cfg.options)) return Opts{};
+  if (const Opts* opts = std::get_if<Opts>(&cfg.options)) return *opts;
+  throw std::invalid_argument(
+      "backend '" + cfg.name + "' takes " + std::string(Opts::kName) +
+      " (or no options), but BackendConfig::options holds " +
+      std::string(backend_options_name(cfg.options)));
+}
+
+void reject_recompute(const char* backend, const pipeline::EngineConfig& engine) {
+  if (engine.recompute_segments > 0) {
+    throw std::invalid_argument(
+        std::string("backend '") + backend +
+        "': activation recomputation is modelled only by the analytic "
+        "'sequential' backend; set engine.recompute_segments = 0");
+  }
+}
+
+}  // namespace
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(std::string name, Validator validate,
+                                       Factory create) {
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), Entry{std::move(validate), std::move(create)});
+  if (!inserted) {
+    throw std::invalid_argument("BackendRegistry: backend '" + it->first +
+                                "' is already registered");
+  }
+}
+
+bool BackendRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration order: already sorted
+}
+
+void BackendRegistry::require(const std::string& name) const {
+  if (entries_.find(name) != entries_.end()) return;
+  std::string msg =
+      "BackendRegistry: unknown execution backend '" + name + "'; available backends: ";
+  bool first = true;
+  for (const auto& [known, entry] : entries_) {
+    if (!first) msg += ", ";
+    msg += known;
+    first = false;
+  }
+  throw std::invalid_argument(msg);
+}
+
+void BackendRegistry::validate(const BackendConfig& backend,
+                               const pipeline::EngineConfig& engine) const {
+  require(backend.name);
+  entries_.find(backend.name)->second.validate(backend, engine);
+}
+
+std::unique_ptr<ExecutionBackend> BackendRegistry::create(
+    nn::Model model, const BackendConfig& backend,
+    const pipeline::EngineConfig& engine, std::uint64_t seed) const {
+  validate(backend, engine);
+  auto built = entries_.find(backend.name)->second.create(std::move(model), backend,
+                                                          engine, seed);
+  // engine.method is the single source of truth for the training method;
+  // backends whose own config lacks a method field (the Hogwild family)
+  // pick it up here.
+  built->set_method(engine.method);
+  return built;
+}
+
+BackendRegistry::BackendRegistry() {
+  register_backend(
+      "sequential",
+      [](const BackendConfig& b, const pipeline::EngineConfig&) {
+        options_as<SequentialOptions>(b);
+      },
+      [](nn::Model model, const BackendConfig&, const pipeline::EngineConfig& engine,
+         std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+        return std::make_unique<SequentialBackend>("sequential", std::move(model),
+                                                   engine, seed);
+      });
+
+  register_backend(
+      "threaded",
+      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+        options_as<ThreadedOptions>(b);
+        reject_recompute("threaded", engine);
+      },
+      [](nn::Model model, const BackendConfig&, const pipeline::EngineConfig& engine,
+         std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+        return std::make_unique<ThreadedBackend>("threaded", std::move(model), engine,
+                                                 seed);
+      });
+
+  register_backend(
+      "hogwild",
+      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+        auto opts = options_as<HogwildOptions>(b);
+        reject_recompute("hogwild", engine);
+        hogwild::validate_config(hogwild::from_engine_config(
+            engine, opts.max_delay, /*num_workers=*/0, std::move(opts.mean_delay)));
+      },
+      [](nn::Model model, const BackendConfig& b, const pipeline::EngineConfig& engine,
+         std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+        auto opts = options_as<HogwildOptions>(b);
+        return std::make_unique<HogwildBackend>(
+            "hogwild", std::move(model),
+            hogwild::from_engine_config(engine, opts.max_delay, /*num_workers=*/0,
+                                        std::move(opts.mean_delay)),
+            seed);
+      });
+
+  register_backend(
+      "threaded_hogwild",
+      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+        auto opts = options_as<ThreadedHogwildOptions>(b);
+        reject_recompute("threaded_hogwild", engine);
+        hogwild::validate_config(hogwild::from_engine_config(
+            engine, opts.max_delay, opts.workers, std::move(opts.mean_delay)));
+      },
+      [](nn::Model model, const BackendConfig& b, const pipeline::EngineConfig& engine,
+         std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+        auto opts = options_as<ThreadedHogwildOptions>(b);
+        return std::make_unique<ThreadedHogwildBackend>(
+            "threaded_hogwild", std::move(model),
+            hogwild::from_engine_config(engine, opts.max_delay, opts.workers,
+                                        std::move(opts.mean_delay)),
+            seed);
+      });
+}
+
+}  // namespace pipemare::core

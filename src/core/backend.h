@@ -1,0 +1,201 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/nn/model.h"
+#include "src/optim/optimizer.h"
+#include "src/pipeline/config.h"
+#include "src/pipeline/engine.h"
+
+namespace pipemare::core {
+
+/// The engine concept `core::train_loop` is templated over, as a
+/// first-class polymorphic interface. Every execution substrate — the
+/// analytic sequential pipeline, the stage-per-thread pipeline, and the
+/// sequential / multithreaded Hogwild! backends — implements this surface,
+/// and `core::train` drives whichever one the `BackendRegistry` resolves
+/// from `TrainerConfig::backend`. `train_loop` stays templated, so direct
+/// (devirtualized) engine use keeps working; the virtual path is the
+/// public entry point.
+///
+/// One training step through the interface:
+///
+///   auto res = backend.forward_backward(inputs, targets, head);
+///   opt.step(backend.weights(), backend.gradients(), segments);
+///   backend.commit_update();
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Runs the N microbatches of one minibatch forward and backward,
+  /// accumulating the mean gradient (see pipeline::StepResult for the
+  /// shared non-finite contract).
+  virtual pipeline::StepResult forward_backward(
+      const std::vector<nn::Flow>& micro_inputs,
+      const std::vector<tensor::Tensor>& micro_targets,
+      const nn::LossHead& head) = 0;
+
+  /// Live (most recent) weights; the caller's optimizer mutates these.
+  virtual std::span<float> weights() = 0;
+  virtual std::span<const float> weights() const = 0;
+
+  /// Mean gradient produced by the last forward_backward.
+  virtual std::span<float> gradients() = 0;
+
+  /// Publishes the mutated live weights as the next weight version. Call
+  /// exactly once after each optimizer step.
+  virtual void commit_update() = 0;
+
+  /// Per-stage optimizer segments with the given base LR and per-stage
+  /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
+  virtual std::vector<optim::LrSegment> lr_segments(
+      double base_lr, std::span<const double> scales) const = 0;
+
+  /// Mean forward delay per stage — the tau vector T1 divides by.
+  virtual std::vector<double> stage_tau_fwd() const = 0;
+
+  /// Technique 3 switches from Sync warmup to the async method mid-run.
+  virtual void set_method(pipeline::Method m) = 0;
+  virtual pipeline::Method method() const = 0;
+
+  /// The model this backend trains (owned by the backend).
+  virtual const nn::Model& model() const = 0;
+
+  /// The registry key this backend was created under (e.g. "threaded").
+  virtual std::string_view name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Typed per-backend options. BackendConfig carries them as a tagged variant
+// so each backend's knobs are declared once, next to the backend, instead of
+// as loose fields hand-copied inside core::train.
+// ---------------------------------------------------------------------------
+
+/// "sequential" — the analytic PipelineEngine. No extra knobs; the shared
+/// pipeline::EngineConfig (method / stages / T2 / recompute) covers it.
+struct SequentialOptions {
+  static constexpr std::string_view kName = "SequentialOptions";
+};
+
+/// "threaded" — the stage-per-thread ThreadedEngine. No extra knobs;
+/// rejects engine.recompute_segments > 0 (an analytic-engine feature).
+struct ThreadedOptions {
+  static constexpr std::string_view kName = "ThreadedOptions";
+};
+
+/// "hogwild" — the sequential stochastic-delay HogwildEngine (Appendix E).
+struct HogwildOptions {
+  static constexpr std::string_view kName = "HogwildOptions";
+  double max_delay = 16.0;         ///< delay truncation bound (>= 0)
+  std::vector<double> mean_delay;  ///< per-stage expectation; empty =>
+                                   ///< pipeline profile (2(P-i)+1)/N
+};
+
+/// "threaded_hogwild" — W free-running workers over the same stochastic
+/// delay model (hogwild::ThreadedHogwildEngine).
+struct ThreadedHogwildOptions {
+  static constexpr std::string_view kName = "ThreadedHogwildOptions";
+  double max_delay = 16.0;         ///< delay truncation bound (>= 0)
+  int workers = 0;                 ///< worker threads; 0 = min(cores, N)
+  std::vector<double> mean_delay;  ///< per-stage expectation; empty =>
+                                   ///< pipeline profile (2(P-i)+1)/N
+};
+
+/// Tagged options union. `std::monostate` means "this backend's defaults";
+/// a populated alternative must match the selected backend or the registry
+/// throws (catching e.g. ThreadedHogwildOptions sent to "sequential").
+using BackendOptions = std::variant<std::monostate, SequentialOptions, ThreadedOptions,
+                                    HogwildOptions, ThreadedHogwildOptions>;
+
+/// Human-readable tag of the active alternative (for error messages).
+std::string_view backend_options_name(const BackendOptions& options);
+
+/// Selects an execution backend: a BackendRegistry key plus that backend's
+/// typed options. Implicitly constructible from a name so configuration
+/// reads naturally:
+///
+///   cfg.backend = "threaded";
+///   cfg.backend = {"threaded_hogwild", ThreadedHogwildOptions{.workers = 4}};
+struct BackendConfig {
+  std::string name = "sequential";
+  BackendOptions options{};  ///< monostate = the backend's defaults
+
+  BackendConfig() = default;
+  BackendConfig(std::string backend_name) : name(std::move(backend_name)) {}
+  BackendConfig(const char* backend_name) : name(backend_name) {}
+  BackendConfig(std::string backend_name, BackendOptions backend_options)
+      : name(std::move(backend_name)), options(std::move(backend_options)) {}
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+/// String-keyed factory table mapping backend names to ExecutionBackend
+/// builders. The four in-tree backends ("sequential", "threaded",
+/// "hogwild", "threaded_hogwild") register themselves on first use; new
+/// execution substrates (work-stealing, free-running Hogwild) plug in via
+/// register_backend without touching core::train.
+///
+/// Registration is intended for startup; concurrent register_backend calls
+/// are not synchronized. create/validate afterwards are const lookups.
+class BackendRegistry {
+ public:
+  /// Rejects invalid (backend, engine) combinations by throwing
+  /// std::invalid_argument; each backend's validator is its single
+  /// validation path (the Hogwild backends delegate to
+  /// hogwild::validate_config).
+  using Validator = std::function<void(const BackendConfig& backend,
+                                       const pipeline::EngineConfig& engine)>;
+  /// Builds the backend; the model is moved into (and owned by) it. Only
+  /// called with a validated configuration.
+  using Factory = std::function<std::unique_ptr<ExecutionBackend>(
+      nn::Model model, const BackendConfig& backend,
+      const pipeline::EngineConfig& engine, std::uint64_t seed)>;
+
+  /// The process-wide registry, with the built-in backends pre-registered.
+  static BackendRegistry& instance();
+
+  /// Registers a backend under `name`; throws if the name is taken.
+  void register_backend(std::string name, Validator validate, Factory create);
+
+  bool contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Throws std::invalid_argument listing the registered backends when
+  /// `name` is unknown — the one unknown-backend error everywhere.
+  void require(const std::string& name) const;
+
+  /// Validates without building a model/engine. Unknown names throw
+  /// std::invalid_argument listing the registered backends.
+  void validate(const BackendConfig& backend,
+                const pipeline::EngineConfig& engine) const;
+
+  /// Validates, builds the backend around `model`, and applies
+  /// engine.method (the single source of truth for the training method).
+  std::unique_ptr<ExecutionBackend> create(nn::Model model,
+                                           const BackendConfig& backend,
+                                           const pipeline::EngineConfig& engine,
+                                           std::uint64_t seed) const;
+
+ private:
+  BackendRegistry();
+
+  struct Entry {
+    Validator validate;
+    Factory create;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace pipemare::core

@@ -51,7 +51,7 @@ MethodRow run_variant(const Task& task, TrainerConfig cfg, std::string label) {
       cfg.engine.method, cfg.engine.num_stages, n, optimizer_state_copies(cfg), t2);
   double base_tp = hwmodel::normalized_throughput_budget(cfg.engine.method);
   if (cfg.engine.method == Method::PipeMare && cfg.warmup_epochs > 0) {
-    int epochs = std::max<int>(1, static_cast<int>(row.result.curve.size()));
+    int epochs = std::max<int>(1, row.result.epochs_completed());
     row.throughput = hwmodel::amortized_throughput(cfg.warmup_epochs, epochs);
   } else {
     row.throughput = base_tp;

@@ -1,44 +1,142 @@
 #include "src/core/trainer.h"
 
+#include <atomic>
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
 
-#include "src/hogwild/threaded_hogwild.h"
-#include "src/pipeline/threaded_engine.h"
+#include "src/util/cli.h"
 
 namespace pipemare::core {
 
-TrainResult train(const Task& task, TrainerConfig cfg) {
-  if (cfg.minibatch_size % cfg.microbatch_size != 0) {
-    throw std::invalid_argument("train: minibatch must be a multiple of microbatch");
+EpochTimer::EpochTimer() : epoch_start_(std::chrono::steady_clock::now()) {}
+
+void EpochTimer::on_epoch(EpochRecord& record) {
+  auto now = std::chrono::steady_clock::now();
+  record.seconds = std::chrono::duration<double>(now - epoch_start_).count();
+  epoch_start_ = now;
+}
+
+namespace {
+
+std::atomic<bool> warned_threaded{false};
+std::atomic<bool> warned_hogwild{false};
+
+void warn_deprecated_once(std::atomic<bool>& flag, const char* field,
+                          const char* replacement) {
+  if (!flag.exchange(true)) {
+    std::fprintf(stderr,
+                 "pipemare: TrainerConfig::%s is deprecated and will be removed "
+                 "next release; set %s instead\n",
+                 field, replacement);
   }
+}
+
+}  // namespace
+
+BackendConfig resolve_backend_config(const TrainerConfig& cfg) {
   if (cfg.threaded_execution && cfg.hogwild_execution) {
     throw std::invalid_argument(
         "train: threaded_execution and hogwild_execution are mutually exclusive");
   }
-  cfg.engine.num_microbatches = cfg.num_microbatches();
-  nn::Model model = task.build_model();
-  if (cfg.hogwild_execution) {
-    if (cfg.engine.recompute_segments > 0) {
-      throw std::invalid_argument(
-          "train: activation recomputation is modelled only by the analytic "
-          "PipelineEngine; set recompute_segments = 0 for hogwild_execution");
-    }
-    hogwild::HogwildConfig hw;
-    hw.num_stages = cfg.engine.num_stages;
-    hw.num_microbatches = cfg.engine.num_microbatches;
-    hw.split_bias = cfg.engine.split_bias;
-    hw.max_delay = cfg.hogwild_max_delay;
-    hw.num_workers = cfg.hogwild_workers;
-    hogwild::ThreadedHogwildEngine engine(model, hw, cfg.seed);
-    engine.set_method(cfg.engine.method);
-    return train_loop(task, engine, cfg);
-  }
+  BackendConfig backend = cfg.backend;
+  const bool explicit_backend = backend.name != "sequential";
   if (cfg.threaded_execution) {
-    pipeline::ThreadedEngine engine(model, cfg.engine, cfg.seed);
-    return train_loop(task, engine, cfg);
+    if (explicit_backend && backend.name != "threaded") {
+      throw std::invalid_argument(
+          "train: deprecated threaded_execution=true conflicts with backend '" +
+          backend.name + "'");
+    }
+    warn_deprecated_once(warned_threaded, "threaded_execution",
+                         "cfg.backend = \"threaded\"");
+    backend.name = "threaded";
   }
-  pipeline::PipelineEngine engine(model, cfg.engine, cfg.seed);
-  return train_loop(task, engine, cfg);
+  if (cfg.hogwild_execution) {
+    if (explicit_backend && backend.name != "threaded_hogwild") {
+      throw std::invalid_argument(
+          "train: deprecated hogwild_execution=true conflicts with backend '" +
+          backend.name + "'");
+    }
+    warn_deprecated_once(
+        warned_hogwild, "hogwild_execution",
+        "cfg.backend = {\"threaded_hogwild\", ThreadedHogwildOptions{...}}");
+    backend.name = "threaded_hogwild";
+    if (std::holds_alternative<std::monostate>(backend.options)) {
+      ThreadedHogwildOptions opts;
+      opts.max_delay = cfg.hogwild_max_delay;
+      opts.workers = cfg.hogwild_workers;
+      backend.options = std::move(opts);
+    }
+  }
+  return backend;
+}
+
+void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
+  const std::string name = cli.get("backend", cfg.backend.name);
+  BackendRegistry::instance().require(name);
+  cfg.backend.name = name;
+  if (name == "hogwild") {
+    if (cli.has("workers")) {
+      throw std::invalid_argument(
+          "parse_backend_cli: --workers applies to the threaded_hogwild backend; "
+          "pass --backend=threaded_hogwild (the \"hogwild\" backend is "
+          "single-threaded)");
+    }
+    HogwildOptions opts;
+    if (const auto* prev = std::get_if<HogwildOptions>(&cfg.backend.options)) {
+      opts = *prev;
+    } else if (const auto* prev_thr =
+                   std::get_if<ThreadedHogwildOptions>(&cfg.backend.options)) {
+      opts.max_delay = prev_thr->max_delay;
+      opts.mean_delay = prev_thr->mean_delay;
+    }
+    opts.max_delay = cli.get_double("max-delay", opts.max_delay);
+    cfg.backend.options = std::move(opts);
+  } else if (name == "threaded_hogwild") {
+    ThreadedHogwildOptions opts;
+    if (const auto* prev = std::get_if<ThreadedHogwildOptions>(&cfg.backend.options)) {
+      opts = *prev;
+    } else if (const auto* prev_seq = std::get_if<HogwildOptions>(&cfg.backend.options)) {
+      opts.max_delay = prev_seq->max_delay;
+      opts.mean_delay = prev_seq->mean_delay;
+    }
+    opts.max_delay = cli.get_double("max-delay", opts.max_delay);
+    opts.workers = cli.get_int("workers", opts.workers);
+    cfg.backend.options = std::move(opts);
+  } else if (name == "sequential" || name == "threaded") {
+    if (cli.has("max-delay") || cli.has("workers")) {
+      throw std::invalid_argument(
+          "parse_backend_cli: --max-delay/--workers apply to the hogwild "
+          "backends; pass --backend=hogwild or --backend=threaded_hogwild");
+    }
+    // A --backend switch must not leave another backend's preset options
+    // behind (e.g. a driver presets {"hogwild", HogwildOptions{...}} and
+    // the user passes --backend=threaded); drop anything that is not the
+    // target backend's own option struct. Custom registered backends are
+    // left untouched — their options are the caller's business.
+    const bool matches =
+        std::holds_alternative<std::monostate>(cfg.backend.options) ||
+        (name == "sequential" &&
+         std::holds_alternative<SequentialOptions>(cfg.backend.options)) ||
+        (name == "threaded" &&
+         std::holds_alternative<ThreadedOptions>(cfg.backend.options));
+    if (!matches) cfg.backend.options = {};
+  }
+}
+
+TrainResult train(const Task& task, TrainerConfig cfg,
+                  std::span<StepObserver* const> observers) {
+  if (cfg.minibatch_size % cfg.microbatch_size != 0) {
+    throw std::invalid_argument("train: minibatch must be a multiple of microbatch");
+  }
+  cfg.engine.num_microbatches = cfg.num_microbatches();
+  const BackendConfig backend = resolve_backend_config(cfg);
+  // Validate before build_model so a bad configuration fails fast instead
+  // of constructing (and discarding) a potentially large model first.
+  BackendRegistry::instance().validate(backend, cfg.engine);
+  auto engine = BackendRegistry::instance().create(task.build_model(), backend,
+                                                  cfg.engine, cfg.seed);
+  return train_loop(task, *engine, cfg, observers);
 }
 
 }  // namespace pipemare::core

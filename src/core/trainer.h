@@ -1,10 +1,14 @@
 #pragma once
 
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/core/backend.h"
 #include "src/core/task.h"
 #include "src/optim/optimizer.h"
 #include "src/optim/schedule.h"
@@ -12,12 +16,26 @@
 #include "src/pipeline/engine.h"
 #include "src/util/stats.h"
 
+namespace pipemare::util {
+class Cli;
+}
+
 namespace pipemare::core {
 
 /// Full training configuration: engine (method / stages / T2 / recompute),
-/// optimizer, base LR schedule, T1 annealing and T3 warmup.
+/// execution backend, optimizer, base LR schedule, T1 annealing and T3
+/// warmup.
 struct TrainerConfig {
   pipeline::EngineConfig engine;
+
+  /// Execution backend selection: a BackendRegistry key ("sequential",
+  /// "threaded", "hogwild", "threaded_hogwild") plus that backend's typed
+  /// options. core::train resolves it through the registry:
+  ///
+  ///   cfg.backend = "threaded";
+  ///   cfg.backend = {"threaded_hogwild",
+  ///                  ThreadedHogwildOptions{.max_delay = 8.0, .workers = 4}};
+  BackendConfig backend;
 
   int epochs = 20;
   int minibatch_size = 64;
@@ -46,22 +64,20 @@ struct TrainerConfig {
   /// Technique 3: synchronous (GPipe-style) epochs before going async.
   int warmup_epochs = 0;
 
-  /// Execute minibatches on the multithreaded stage-per-worker engine
-  /// (pipeline::ThreadedEngine) instead of the sequential analytic engine.
-  /// Statistically identical (same weight-version store); wall-clock
-  /// faster on multicore hosts. Incompatible with engine.recompute_segments.
+  /// DEPRECATED (one-release shim): set `backend = "threaded"` instead.
+  /// When true, resolves to the "threaded" registry backend with identical
+  /// training curves; prints a deprecation warning once per process.
   bool threaded_execution = false;
 
-  /// Execute minibatches on the threaded Hogwild! backend
-  /// (hogwild::ThreadedHogwildEngine, Appendix E): W free-running workers
-  /// with stochastic truncated-exponential per-stage delays instead of the
-  /// pipeline's deterministic schedule. engine.method still selects
-  /// Sync (no delays) vs asynchronous semantics; engine.num_stages /
-  /// split_bias shape the delay profile. Mutually exclusive with
-  /// threaded_execution.
+  /// DEPRECATED (one-release shim): set
+  /// `backend = {"threaded_hogwild", ThreadedHogwildOptions{...}}` instead.
+  /// When true, resolves to the "threaded_hogwild" registry backend (with
+  /// hogwild_max_delay / hogwild_workers below as its options) with
+  /// identical training curves; prints a deprecation warning once per
+  /// process. Mutually exclusive with threaded_execution.
   bool hogwild_execution = false;
-  double hogwild_max_delay = 16.0;  ///< delay truncation bound (>= 0)
-  int hogwild_workers = 0;          ///< worker threads; 0 = min(cores, N)
+  double hogwild_max_delay = 16.0;  ///< DEPRECATED with hogwild_execution
+  int hogwild_workers = 0;          ///< DEPRECATED with hogwild_execution
 
   std::uint64_t seed = 1;
   double divergence_loss = 1e3;  ///< train loss above this declares divergence
@@ -75,6 +91,57 @@ struct EpochRecord {
   double metric = 0.0;     ///< task quality metric after this epoch
   double param_norm = 0.0; ///< ||w||_2, the Figure 7 divergence probe
   double base_lr = 0.0;
+  double seconds = 0.0;    ///< wall-clock of this epoch (train + eval),
+                           ///< stamped by the built-in EpochTimer observer
+
+  /// When a run diverges mid-epoch the curve ends with a divergence
+  /// record: train_loss holds the observed blow-up loss, param_norm the
+  /// blown-up ||w||_2, and metric is NaN (no evaluation is run).
+  bool is_divergence_record() const { return std::isnan(metric); }
+};
+
+/// Training-step context delivered to StepObserver::on_step after each
+/// optimizer step commits.
+struct StepInfo {
+  int epoch = 0;                  ///< 1-based epoch the step belongs to
+  std::int64_t step = 0;          ///< 0-based global optimizer-step index
+  bool async = false;             ///< engine was in an asynchronous method
+  double loss = 0.0;              ///< minibatch mean loss
+  double base_lr = 0.0;           ///< schedule LR used for this step
+  pipeline::StepResult result{};  ///< full step result
+};
+
+/// Hook interface threaded through train_loop. Default implementations are
+/// no-ops, so observers override only what they need.
+///
+/// Call order per epoch: on_step after every committed optimizer step
+/// (divergent steps abort before committing and produce no on_step);
+/// on_epoch after the epoch's record is assembled and *before* it is
+/// appended to the curve — observers may annotate the record (that is how
+/// the built-in EpochTimer stamps EpochRecord::seconds). on_method_switch
+/// fires whenever train_loop changes the engine's method: once when T3
+/// warmup engages Sync before epoch 1 (epoch = 0) and once at the
+/// mid-training switch back to the asynchronous method.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepInfo& /*info*/) {}
+  virtual void on_epoch(EpochRecord& /*record*/) {}
+  virtual void on_method_switch(pipeline::Method /*from*/, pipeline::Method /*to*/,
+                                int /*epoch*/) {}
+};
+
+/// Built-in observer that stamps EpochRecord::seconds with the wall-clock
+/// duration of each epoch (training steps plus evaluation). train_loop
+/// always installs one ahead of user observers, so BENCH_*.json-style
+/// consumers can read real per-backend throughput off the curve.
+class EpochTimer final : public StepObserver {
+ public:
+  EpochTimer();
+  void on_epoch(EpochRecord& record) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_start_;
 };
 
 struct TrainResult {
@@ -91,18 +158,48 @@ struct TrainResult {
     }
     return -1;
   }
+
+  /// Fully completed epochs — excludes a trailing divergence record, so
+  /// "epochs run" consumers (amortized-throughput math, table columns) do
+  /// not count the partial blow-up epoch.
+  int epochs_completed() const {
+    int n = 0;
+    for (const auto& r : curve) {
+      if (!r.is_divergence_record()) ++n;
+    }
+    return n;
+  }
+
+  /// Total wall-clock seconds over the curve (stamped by EpochTimer).
+  double total_seconds() const {
+    double secs = 0.0;
+    for (const auto& r : curve) secs += r.seconds;
+    return secs;
+  }
 };
 
-/// Core training loop, templated over the execution engine so the
-/// pipeline engine (fixed schedule delays) and the Hogwild engine
-/// (stochastic delays, Appendix E) share identical training logic.
+/// Core training loop, templated over the execution engine so direct
+/// (devirtualized) engine use stays zero-cost; core::train drives it
+/// through the polymorphic ExecutionBackend instead.
 ///
-/// Engine concept: forward_backward, weights, gradients, commit_update,
-/// lr_segments, stage_tau_fwd, set_method, method, model.
+/// Engine concept (== the ExecutionBackend interface): forward_backward,
+/// weights, gradients, commit_update, lr_segments, stage_tau_fwd,
+/// set_method, method, model.
 template <class Engine>
-TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cfg) {
+TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cfg,
+                       std::span<StepObserver* const> observers = {}) {
   TrainResult result;
   result.method = pipeline::method_name(cfg.engine.method);
+
+  // The built-in epoch timer runs ahead of user observers so they already
+  // see EpochRecord::seconds filled in.
+  EpochTimer timer;
+  std::vector<StepObserver*> obs;
+  obs.reserve(observers.size() + 1);
+  obs.push_back(&timer);
+  for (StepObserver* o : observers) {
+    if (o != nullptr) obs.push_back(o);
+  }
 
   std::unique_ptr<optim::Optimizer> opt;
   if (cfg.optimizer == TrainerConfig::Opt::SgdMomentum) {
@@ -132,7 +229,11 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
   // T3: begin synchronously, switch to the configured (async) method later.
   pipeline::Method final_method = cfg.engine.method;
   if (cfg.warmup_epochs > 0 && final_method == pipeline::Method::PipeMare) {
+    pipeline::Method from = engine.method();
     engine.set_method(pipeline::Method::Sync);
+    for (StepObserver* o : obs) {
+      o->on_method_switch(from, pipeline::Method::Sync, 0);
+    }
   }
 
   // Default annealing horizon K when unspecified, following the paper's
@@ -157,13 +258,18 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
   for (int epoch = 1; epoch <= cfg.epochs; ++epoch) {
     if (cfg.warmup_epochs > 0 && epoch == cfg.warmup_epochs + 1 &&
         final_method == pipeline::Method::PipeMare) {
+      pipeline::Method from = engine.method();
       engine.set_method(final_method);
+      for (StepObserver* o : obs) {
+        o->on_method_switch(from, final_method, epoch);
+      }
     }
     bool async_phase = engine.method() != pipeline::Method::Sync;
 
     shuffle_rng.shuffle(order);
     double epoch_loss = 0.0;
     int epoch_batches = 0;
+    double divergent_loss = 0.0;
     for (int start = 0; start + cfg.minibatch_size <= task.train_size();
          start += cfg.minibatch_size) {
       std::vector<int> idx(order.begin() + start,
@@ -172,6 +278,7 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
       auto res = engine.forward_backward(mb.inputs, mb.targets, task.loss());
       if (!res.finite || res.loss > cfg.divergence_loss) {
         result.diverged = true;
+        divergent_loss = res.loss;
         break;
       }
       epoch_loss += res.loss;
@@ -188,10 +295,33 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
       auto segments = engine.lr_segments(base_lr, scales);
       opt->step(engine.weights(), engine.gradients(), segments);
       engine.commit_update();
+
+      StepInfo info;
+      info.epoch = epoch;
+      info.step = step;
+      info.async = async_phase;
+      info.loss = res.loss;
+      info.base_lr = base_lr;
+      info.result = res;
       ++step;
       if (async_phase) ++async_step;
+      for (StepObserver* o : obs) o->on_step(info);
     }
-    if (result.diverged) break;
+    if (result.diverged) {
+      // Keep the blow-up point: a mid-epoch divergence still emits a final
+      // record (observed loss + blown-up ||w||, metric = NaN) so Figure
+      // 7-style divergence probes see where the run exploded instead of a
+      // silently truncated curve.
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.train_loss = divergent_loss;
+      rec.metric = std::numeric_limits<double>::quiet_NaN();
+      rec.param_norm = util::l2_norm(engine.weights());
+      rec.base_lr = sched->lr(step);
+      for (StepObserver* o : obs) o->on_epoch(rec);
+      result.curve.push_back(rec);
+      break;
+    }
 
     EpochRecord rec;
     rec.epoch = epoch;
@@ -199,19 +329,45 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
     rec.metric = task.evaluate(engine.model(), engine.weights());
     rec.param_norm = util::l2_norm(engine.weights());
     rec.base_lr = sched->lr(step);
+    for (StepObserver* o : obs) o->on_epoch(rec);
     if (rec.metric > result.best_metric) {
       result.best_metric = rec.metric;
       result.best_epoch = epoch;
     }
     result.curve.push_back(rec);
   }
-  if (result.curve.empty()) result.best_metric = 0.0;
+  if (result.best_epoch < 0) result.best_metric = 0.0;
   return result;
 }
 
-/// Convenience wrapper: builds the model and pipeline engine, then runs
-/// the loop. The returned result's curve covers `cfg.epochs` epochs unless
-/// training diverged.
-TrainResult train(const Task& task, TrainerConfig cfg);
+/// Resolves TrainerConfig's backend selection, applying the deprecated
+/// threaded_execution / hogwild_execution shims onto `cfg.backend` (with a
+/// one-per-process deprecation warning). Throws std::invalid_argument when
+/// the bools conflict with each other or with an explicitly non-default
+/// backend name. Note an explicit `backend = "sequential"` is
+/// indistinguishable from the default and is therefore overridden by a set
+/// bool — exactly the pre-registry semantics of a config that only ever
+/// set the bools.
+BackendConfig resolve_backend_config(const TrainerConfig& cfg);
+
+/// Applies the shared backend CLI flags onto `cfg.backend` (the one
+/// parser all examples and bench drivers use):
+///   --backend=<name>     BackendRegistry key; unknown names throw with
+///                        the available list in the message
+///   --max-delay=<float>  hogwild family: delay truncation bound
+///   --workers=<int>      threaded_hogwild: worker thread count
+/// Absent flags keep the configuration already in `cfg.backend`; switching
+/// between the two hogwild backends carries max_delay / mean_delay over,
+/// and a flag the selected built-in backend cannot honor (e.g. --workers
+/// with "hogwild") throws instead of being silently dropped.
+void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg);
+
+/// Convenience wrapper: builds the model, resolves cfg.backend through the
+/// BackendRegistry, and runs train_loop on the resulting ExecutionBackend.
+/// The returned result's curve covers `cfg.epochs` epochs unless training
+/// diverged (in which case it ends with a divergence record). Optional
+/// observers receive the train_loop hooks.
+TrainResult train(const Task& task, TrainerConfig cfg,
+                  std::span<StepObserver* const> observers = {});
 
 }  // namespace pipemare::core

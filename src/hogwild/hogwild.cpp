@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace pipemare::hogwild {
 
@@ -36,6 +37,19 @@ std::vector<double> resolve_mean_delay(const HogwildConfig& cfg) {
         static_cast<double>(cfg.num_microbatches);
   }
   return mean;
+}
+
+HogwildConfig from_engine_config(const pipeline::EngineConfig& engine,
+                                 double max_delay, int num_workers,
+                                 std::vector<double> mean_delay) {
+  HogwildConfig hw;
+  hw.num_stages = engine.num_stages;
+  hw.num_microbatches = engine.num_microbatches;
+  hw.split_bias = engine.split_bias;
+  hw.max_delay = max_delay;
+  hw.mean_delay = std::move(mean_delay);
+  hw.num_workers = num_workers;
+  return hw;
 }
 
 HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed)

@@ -41,8 +41,18 @@ void validate_config(const HogwildConfig& cfg);
 /// Assumes a validated config.
 std::vector<double> resolve_mean_delay(const HogwildConfig& cfg);
 
+/// Builds a HogwildConfig from the shared pipeline EngineConfig (stages /
+/// microbatches / split_bias) plus the Hogwild-specific knobs. This is the
+/// single translation point the BackendRegistry factories use — previously
+/// the fields were hand-copied inside core::train. Pair with
+/// validate_config, the single validation path for both Hogwild engines.
+HogwildConfig from_engine_config(const pipeline::EngineConfig& engine,
+                                 double max_delay, int num_workers,
+                                 std::vector<double> mean_delay = {});
+
 /// Drop-in execution engine with the same surface the core::train_loop
 /// template expects, so Hogwild training reuses the full T1 trainer.
+/// Registered with the core::BackendRegistry as "hogwild".
 class HogwildEngine {
  public:
   HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed);

@@ -58,8 +58,11 @@ namespace pipemare::hogwild {
 /// rejected, since whole-model replicas would race on that state; use
 /// HogwildEngine or the stage-partitioned ThreadedEngine for those.
 ///
-/// The surface matches the core::train_loop engine concept, and
-/// TrainerConfig::hogwild_execution selects it next to threaded_execution.
+/// The surface matches the core::train_loop engine concept / the
+/// core::ExecutionBackend interface; it is registered with the
+/// BackendRegistry as "threaded_hogwild" (selected via
+/// TrainerConfig::backend; the old hogwild_execution bool remains as a
+/// deprecated shim).
 class ThreadedHogwildEngine {
  public:
   using StepResult = pipeline::StepResult;

@@ -49,7 +49,8 @@ nn::LossResult evaluate_forward(const nn::Model& model, std::span<const float> p
                                 const nn::Flow& input, const tensor::Tensor& target,
                                 const nn::LossHead& head);
 
-/// Executes pipeline-parallel training *statistically exactly*: every
+/// Executes pipeline-parallel training *statistically exactly* (registered
+/// with the core::BackendRegistry as "sequential"): every
 /// microbatch's forward/backward uses the precise weight version that the
 /// 1F1B tick schedule would expose (see Schedule), while the computation
 /// itself runs sequentially on one host. Throughput is modelled

@@ -21,7 +21,8 @@
 
 namespace pipemare::pipeline {
 
-/// Truly concurrent pipeline-parallel execution: one persistent worker
+/// Truly concurrent pipeline-parallel execution (registered with the
+/// core::BackendRegistry as "threaded"): one persistent worker
 /// thread per stage, connected by bounded two-lane mailboxes, running the
 /// 1F1B schedule with real wall-clock overlap (PipeDream-style pipelined
 /// workers; the first step toward "as fast as the hardware allows").

@@ -114,6 +114,85 @@ TEST(Trainer, WarmupEpochsMatchSyncPrefix) {
   }
 }
 
+/// Records every train_loop hook invocation.
+struct CountingObserver final : StepObserver {
+  int steps = 0;
+  int epochs = 0;
+  std::vector<std::pair<pipeline::Method, pipeline::Method>> switches;
+  std::vector<int> switch_epochs;
+  std::vector<double> seconds;
+  StepInfo last_step;
+
+  void on_step(const StepInfo& info) override {
+    ++steps;
+    last_step = info;
+  }
+  void on_epoch(EpochRecord& rec) override {
+    ++epochs;
+    seconds.push_back(rec.seconds);
+  }
+  void on_method_switch(pipeline::Method from, pipeline::Method to,
+                        int epoch) override {
+    switches.emplace_back(from, to);
+    switch_epochs.push_back(epoch);
+  }
+};
+
+TEST(Trainer, StepObserverSeesStepsEpochsAndMethodSwitches) {
+  auto task = tiny_image_task();
+  auto cfg = tiny_config(pipeline::Method::PipeMare, 4, 3);
+  cfg.warmup_epochs = 1;  // T3: Sync engage at epoch 0, async switch at epoch 2
+  CountingObserver obs;
+  StepObserver* observers[] = {&obs};
+  auto result = train(*task, cfg, observers);
+  ASSERT_FALSE(result.diverged);
+
+  int steps_per_epoch = 256 / cfg.minibatch_size;
+  EXPECT_EQ(obs.steps, steps_per_epoch * 3);
+  EXPECT_EQ(obs.epochs, 3);
+  EXPECT_EQ(obs.last_step.epoch, 3);
+  EXPECT_EQ(obs.last_step.step, steps_per_epoch * 3 - 1);
+  EXPECT_TRUE(obs.last_step.async);
+  EXPECT_TRUE(std::isfinite(obs.last_step.loss));
+
+  ASSERT_EQ(obs.switches.size(), 2u);
+  EXPECT_EQ(obs.switches[0].second, pipeline::Method::Sync);
+  EXPECT_EQ(obs.switch_epochs[0], 0);
+  EXPECT_EQ(obs.switches[1].first, pipeline::Method::Sync);
+  EXPECT_EQ(obs.switches[1].second, pipeline::Method::PipeMare);
+  EXPECT_EQ(obs.switch_epochs[1], 2);
+
+  // The built-in EpochTimer runs ahead of user observers, so every record
+  // the observer saw (and the returned curve) carries wall-clock seconds.
+  ASSERT_EQ(obs.seconds.size(), result.curve.size());
+  for (std::size_t e = 0; e < result.curve.size(); ++e) {
+    EXPECT_GT(obs.seconds[e], 0.0);
+    EXPECT_EQ(obs.seconds[e], result.curve[e].seconds);
+  }
+}
+
+TEST(Trainer, MidEpochDivergenceEmitsFinalEpochRecord) {
+  // Force divergence on the first minibatch of epoch 1 by declaring any
+  // loss divergent; the curve must still end with a divergence record so
+  // Figure 7-style probes see the blow-up point.
+  auto task = tiny_image_task();
+  auto cfg = tiny_config(pipeline::Method::PipeMare, 4, 3);
+  cfg.divergence_loss = 1e-12;
+  auto result = train(*task, cfg);
+  ASSERT_TRUE(result.diverged);
+  ASSERT_EQ(result.curve.size(), 1u);
+  const EpochRecord& last = result.curve.back();
+  EXPECT_TRUE(last.is_divergence_record());
+  EXPECT_EQ(last.epoch, 1);
+  EXPECT_GT(last.train_loss, cfg.divergence_loss);  // the observed loss
+  EXPECT_GT(last.param_norm, 0.0);
+  // No finished epoch: the divergence record must not affect best_metric
+  // or the completed-epoch count.
+  EXPECT_EQ(result.epochs_completed(), 0);
+  EXPECT_EQ(result.best_epoch, -1);
+  EXPECT_EQ(result.best_metric, 0.0);
+}
+
 TEST(Trainer, EpochsToTarget) {
   TrainResult r;
   r.curve = {{1, 1.0, 50.0, 0.0, 0.0}, {2, 0.5, 70.0, 0.0, 0.0}, {3, 0.3, 70.5, 0.0, 0.0}};
