@@ -46,8 +46,8 @@ void run_block(const core::Task& task, const util::Cli& cli, core::TrainerConfig
       t.add_row({t1 ? "Hogwild! + T1" : "Hogwild!", util::fmt(res.best_metric, 1),
                  res.diverged ? "yes" : "no"});
     } catch (const std::invalid_argument& e) {
-      // e.g. threaded_hogwild rejecting a stateful-forward (Dropout) model
-      // when the Transformer analog is configured with dropout > 0.
+      // e.g. threaded_hogwild rejecting a (user-supplied) stateful-forward
+      // model; in-tree Dropout is counter-based and no longer trips this.
       t.add_row({t1 ? "Hogwild! + T1" : "Hogwild!", "n/a", "-"});
       std::cerr << "fig19: " << cfg.backend.name << " run skipped: " << e.what()
                 << '\n';

@@ -5,6 +5,7 @@
 //
 // Usage: example_quickstart [--epochs=8] [--seed=1]
 //          [--backend=sequential|threaded|hogwild|threaded_hogwild]
+//          [--partition=uniform|balanced[,measured]]
 //          [--max-delay=16 (hogwild family)] [--workers=0 (threaded_hogwild)]
 #include <iostream>
 

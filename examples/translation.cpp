@@ -4,8 +4,10 @@
 // beam-search decoding and corpus BLEU.
 //
 // Usage: example_translation [--epochs=10] [--seed=4] [--beam=5]
-//          [--backend=sequential|threaded]  (the Transformer's Dropout is
-//          stateful in forward, which the threaded_hogwild backend rejects)
+//          [--backend=sequential|threaded|hogwild|threaded_hogwild]
+//          [--partition=uniform|balanced[,measured]]
+//          (Dropout masks are counter-based, so every backend — including
+//          threaded_hogwild's whole-model replicas — runs the Transformer)
 #include <chrono>
 #include <iostream>
 

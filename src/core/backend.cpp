@@ -88,13 +88,20 @@ void BackendRegistry::require(const std::string& name) const {
 void BackendRegistry::validate(const BackendConfig& backend,
                                const pipeline::EngineConfig& engine) const {
   require(backend.name);
-  entries_.find(backend.name)->second.validate(backend, engine);
+  entries_.find(backend.name)->second.validate(backend, engine, nullptr);
+}
+
+void BackendRegistry::validate(const BackendConfig& backend,
+                               const pipeline::EngineConfig& engine,
+                               const nn::Model& model) const {
+  require(backend.name);
+  entries_.find(backend.name)->second.validate(backend, engine, &model);
 }
 
 std::unique_ptr<ExecutionBackend> BackendRegistry::create(
     nn::Model model, const BackendConfig& backend,
     const pipeline::EngineConfig& engine, std::uint64_t seed) const {
-  validate(backend, engine);
+  validate(backend, engine, model);
   auto built = entries_.find(backend.name)->second.create(std::move(model), backend,
                                                           engine, seed);
   // engine.method is the single source of truth for the training method;
@@ -105,10 +112,21 @@ std::unique_ptr<ExecutionBackend> BackendRegistry::create(
 }
 
 BackendRegistry::BackendRegistry() {
+  // Every built-in backend shares the partition validation (strategy /
+  // probe consistency, and — when the model is known — the stage-count
+  // bound naming max_stages).
+  auto check_partition = [](const char* name, const pipeline::EngineConfig& engine,
+                            const nn::Model* model) {
+    pipeline::validate_partition_config(name, model, engine.num_stages,
+                                        engine.split_bias, engine.partition);
+  };
+
   register_backend(
       "sequential",
-      [](const BackendConfig& b, const pipeline::EngineConfig&) {
+      [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
+                        const nn::Model* model) {
         options_as<SequentialOptions>(b);
+        check_partition("sequential", engine, model);
       },
       [](nn::Model model, const BackendConfig&, const pipeline::EngineConfig& engine,
          std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
@@ -118,9 +136,11 @@ BackendRegistry::BackendRegistry() {
 
   register_backend(
       "threaded",
-      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+      [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
+                        const nn::Model* model) {
         options_as<ThreadedOptions>(b);
         reject_recompute("threaded", engine);
+        check_partition("threaded", engine, model);
       },
       [](nn::Model model, const BackendConfig&, const pipeline::EngineConfig& engine,
          std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
@@ -130,9 +150,11 @@ BackendRegistry::BackendRegistry() {
 
   register_backend(
       "hogwild",
-      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+      [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
+                        const nn::Model* model) {
         auto opts = options_as<HogwildOptions>(b);
         reject_recompute("hogwild", engine);
+        check_partition("hogwild", engine, model);
         hogwild::validate_config(hogwild::from_engine_config(
             engine, opts.max_delay, /*num_workers=*/0, std::move(opts.mean_delay)));
       },
@@ -148,9 +170,11 @@ BackendRegistry::BackendRegistry() {
 
   register_backend(
       "threaded_hogwild",
-      [](const BackendConfig& b, const pipeline::EngineConfig& engine) {
+      [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
+                        const nn::Model* model) {
         auto opts = options_as<ThreadedHogwildOptions>(b);
         reject_recompute("threaded_hogwild", engine);
+        check_partition("threaded_hogwild", engine, model);
         hogwild::validate_config(hogwild::from_engine_config(
             engine, opts.max_delay, opts.workers, std::move(opts.mean_delay)));
       },

@@ -152,9 +152,14 @@ class BackendRegistry {
   /// Rejects invalid (backend, engine) combinations by throwing
   /// std::invalid_argument; each backend's validator is its single
   /// validation path (the Hogwild backends delegate to
-  /// hogwild::validate_config).
+  /// hogwild::validate_config). `model` is the model about to be trained
+  /// when available (create passes it; the model-free validate overload
+  /// passes nullptr) — validators use it for model-dependent checks such
+  /// as num_stages <= max_stages, surfacing them as proper configuration
+  /// errors instead of exceptions from deep inside engine construction.
   using Validator = std::function<void(const BackendConfig& backend,
-                                       const pipeline::EngineConfig& engine)>;
+                                       const pipeline::EngineConfig& engine,
+                                       const nn::Model* model)>;
   /// Builds the backend; the model is moved into (and owned by) it. Only
   /// called with a validated configuration.
   using Factory = std::function<std::unique_ptr<ExecutionBackend>(
@@ -176,10 +181,16 @@ class BackendRegistry {
   /// `name` is unknown — the one unknown-backend error everywhere.
   void require(const std::string& name) const;
 
-  /// Validates without building a model/engine. Unknown names throw
-  /// std::invalid_argument listing the registered backends.
+  /// Validates without a model (model-dependent checks are skipped).
+  /// Unknown names throw std::invalid_argument listing the registered
+  /// backends.
   void validate(const BackendConfig& backend,
                 const pipeline::EngineConfig& engine) const;
+
+  /// Validates including model-dependent checks (stage count vs
+  /// max_stages). This is what create() runs before building the engine.
+  void validate(const BackendConfig& backend, const pipeline::EngineConfig& engine,
+                const nn::Model& model) const;
 
   /// Validates, builds the backend around `model`, and applies
   /// engine.method (the single source of truth for the training method).

@@ -1,0 +1,91 @@
+#pragma once
+
+// StepObserver that turns ThreadedEngine's per-stage busy/idle/mailbox-wait
+// counters into per-epoch load records — the measurement side of the
+// partition cost model (predicted stage cost vs observed busy time) and
+// the substrate a future work-stealing backend will balance at runtime.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine_backend.h"
+#include "src/core/trainer.h"
+
+namespace pipemare::core {
+
+/// Samples ThreadedEngine::stage_stats() at every epoch boundary.
+///
+/// Attach to a backend created by the registry (activates only when the
+/// backend actually wraps a ThreadedEngine — other backends have no stage
+/// workers to measure) or to a ThreadedEngine directly, then pass to
+/// train_loop's observer list:
+///
+///   auto backend = BackendRegistry::instance().create(...);
+///   StageLoadObserver load(*backend);
+///   StepObserver* obs[] = {&load};
+///   core::train_loop(task, *backend, cfg, obs);
+///   if (load.active()) report(load.epoch_stats().back());
+class StageLoadObserver final : public StepObserver {
+ public:
+  using StageStats = pipeline::ThreadedEngine::StageStats;
+
+  explicit StageLoadObserver(ExecutionBackend& backend) {
+    if (auto* threaded = dynamic_cast<ThreadedBackend*>(&backend)) {
+      engine_ = &threaded->engine();
+    }
+  }
+  explicit StageLoadObserver(const pipeline::ThreadedEngine& engine)
+      : engine_(&engine) {}
+
+  /// False when the observed backend has no stage workers (not threaded).
+  bool active() const { return engine_ != nullptr; }
+
+  void on_epoch(EpochRecord& /*record*/) override {
+    if (engine_ == nullptr) return;
+    auto cumulative = engine_->stage_stats();
+    auto delta = cumulative;
+    if (!last_.empty()) {
+      // Counters are cumulative and monotone unless someone called
+      // reset_stage_stats() mid-epoch; a regressed counter means the
+      // baseline is stale, and the cumulative value IS the epoch's delta.
+      auto since = [](std::uint64_t now, std::uint64_t before) {
+        return now >= before ? now - before : now;
+      };
+      for (std::size_t s = 0; s < delta.size(); ++s) {
+        delta[s].busy_ns = since(cumulative[s].busy_ns, last_[s].busy_ns);
+        delta[s].pop_wait_ns = since(cumulative[s].pop_wait_ns, last_[s].pop_wait_ns);
+        delta[s].push_wait_ns =
+            since(cumulative[s].push_wait_ns, last_[s].push_wait_ns);
+        delta[s].items = since(cumulative[s].items, last_[s].items);
+      }
+    }
+    last_ = std::move(cumulative);
+    epoch_stats_.push_back(std::move(delta));
+  }
+
+  /// Per-epoch per-stage load deltas, one entry per observed epoch.
+  const std::vector<std::vector<StageStats>>& epoch_stats() const {
+    return epoch_stats_;
+  }
+
+  /// Cumulative stats at the last observed epoch boundary.
+  const std::vector<StageStats>& totals() const { return last_; }
+
+  /// Busy-time imbalance of a stats vector: max busy / mean busy (1.0 =
+  /// perfectly balanced). The wall-clock analogue of
+  /// Partition::balance_ratio, computed by the same helper.
+  static double busy_spread(const std::vector<StageStats>& stats) {
+    std::vector<double> busy;
+    busy.reserve(stats.size());
+    for (const auto& s : stats) busy.push_back(static_cast<double>(s.busy_ns));
+    return pipeline::balance_ratio(busy);
+  }
+
+ private:
+  const pipeline::ThreadedEngine* engine_ = nullptr;
+  std::vector<StageStats> last_;
+  std::vector<std::vector<StageStats>> epoch_stats_;
+};
+
+}  // namespace pipemare::core

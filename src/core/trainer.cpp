@@ -75,6 +75,23 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
   const std::string name = cli.get("backend", cfg.backend.name);
   BackendRegistry::instance().require(name);
   cfg.backend.name = name;
+  if (cli.has("partition")) {
+    const std::string spec = cli.get("partition", "uniform");
+    if (spec == "uniform") {
+      cfg.engine.partition.strategy = pipeline::PartitionStrategy::Uniform;
+      cfg.engine.partition.measured = false;
+    } else if (spec == "balanced") {
+      cfg.engine.partition.strategy = pipeline::PartitionStrategy::Balanced;
+      cfg.engine.partition.measured = false;
+    } else if (spec == "balanced,measured") {
+      cfg.engine.partition.strategy = pipeline::PartitionStrategy::Balanced;
+      cfg.engine.partition.measured = true;
+    } else {
+      throw std::invalid_argument(
+          "parse_backend_cli: --partition='" + spec +
+          "' is not recognized; use uniform, balanced, or balanced,measured");
+    }
+  }
   if (name == "hogwild") {
     if (cli.has("workers")) {
       throw std::invalid_argument(
@@ -131,8 +148,23 @@ TrainResult train(const Task& task, TrainerConfig cfg,
   }
   cfg.engine.num_microbatches = cfg.num_microbatches();
   const BackendConfig backend = resolve_backend_config(cfg);
+  // Balanced partitioning wants a probe microbatch for cost profiling
+  // (shape-aware analytic estimates, or the timed reps of measured mode);
+  // the task's first training microbatch is a representative sample. A
+  // training set smaller than one microbatch still probes with whatever
+  // examples exist (per-stage cost *ratios* barely move with row count).
+  const int probe_rows = std::min(cfg.microbatch_size, task.train_size());
+  if (cfg.engine.partition.strategy == pipeline::PartitionStrategy::Balanced &&
+      !cfg.engine.partition.probe && probe_rows > 0) {
+    std::vector<int> idx(static_cast<std::size_t>(probe_rows));
+    for (int i = 0; i < probe_rows; ++i) idx[static_cast<std::size_t>(i)] = i;
+    auto probe_mb = task.minibatch(idx, probe_rows);
+    cfg.engine.partition.probe =
+        std::make_shared<const nn::Flow>(std::move(probe_mb.inputs.at(0)));
+  }
   // Validate before build_model so a bad configuration fails fast instead
-  // of constructing (and discarding) a potentially large model first.
+  // of constructing (and discarding) a potentially large model first;
+  // create() re-validates with the model for the stage-count bound.
   BackendRegistry::instance().validate(backend, cfg.engine);
   auto engine = BackendRegistry::instance().create(task.build_model(), backend,
                                                   cfg.engine, cfg.seed);

@@ -350,10 +350,14 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
 /// set the bools.
 BackendConfig resolve_backend_config(const TrainerConfig& cfg);
 
-/// Applies the shared backend CLI flags onto `cfg.backend` (the one
-/// parser all examples and bench drivers use):
+/// Applies the shared backend CLI flags onto `cfg.backend` /
+/// `cfg.engine.partition` (the one parser all examples and bench drivers
+/// use):
 ///   --backend=<name>     BackendRegistry key; unknown names throw with
 ///                        the available list in the message
+///   --partition=uniform|balanced[,measured]
+///                        stage-partition strategy (any backend); measured
+///                        micro-profiles module costs on a probe batch
 ///   --max-delay=<float>  hogwild family: delay truncation bound
 ///   --workers=<int>      threaded_hogwild: worker thread count
 /// Absent flags keep the configuration already in `cfg.backend`; switching

@@ -46,6 +46,7 @@ HogwildConfig from_engine_config(const pipeline::EngineConfig& engine,
   hw.num_stages = engine.num_stages;
   hw.num_microbatches = engine.num_microbatches;
   hw.split_bias = engine.split_bias;
+  hw.partition = engine.partition;
   hw.max_delay = max_delay;
   hw.mean_delay = std::move(mean_delay);
   hw.num_workers = num_workers;
@@ -55,10 +56,14 @@ HogwildConfig from_engine_config(const pipeline::EngineConfig& engine,
 HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
-      partition_((validate_config(cfg), pipeline::make_partition(model, cfg.num_stages,
-                                                                 cfg.split_bias))),
+      partition_((validate_config(cfg),
+                  pipeline::make_partition(model, cfg.num_stages, cfg.split_bias,
+                                           cfg.partition))),
       mean_delay_(resolve_mean_delay(cfg)),
       delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  // The probe microbatch is consumed by make_partition above; don't keep
+  // its tensors alive for the whole engine lifetime.
+  cfg_.partition.probe.reset();
   live_.assign(static_cast<std::size_t>(model.param_count()), 0.0F);
   util::Rng init_rng(seed);
   model_.init_params(live_, init_rng);
@@ -101,6 +106,8 @@ HogwildEngine::StepResult HogwildEngine::forward_backward(
   for (int micro = 0; micro < n; ++micro) {
     nn::Flow input = micro_inputs[static_cast<std::size_t>(micro)];
     input.training = true;
+    input.micro = micro;
+    input.step = step_;
     nn::Flow out = model_.forward(std::move(input), w, caches);
     auto lr = head.forward_backward(out.x, micro_targets[static_cast<std::size_t>(micro)]);
     if (!std::isfinite(lr.loss)) {

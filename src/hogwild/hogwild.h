@@ -23,6 +23,7 @@ struct HogwildConfig {
   int num_stages = 1;
   int num_microbatches = 1;
   bool split_bias = false;
+  pipeline::PartitionSpec partition;    ///< stage-partitioning strategy
   double max_delay = 16.0;              ///< truncation bound (>= 0)
   std::vector<double> mean_delay;       ///< per-stage expectation; empty =>
                                         ///< PipeMare-profile (2(P-i)+1)/N

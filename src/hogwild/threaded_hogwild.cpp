@@ -21,8 +21,9 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
                                              std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
-      partition_((validate_config(cfg), pipeline::make_partition(model, cfg.num_stages,
-                                                                 cfg.split_bias))),
+      partition_((validate_config(cfg),
+                  pipeline::make_partition(model, cfg.num_stages, cfg.split_bias,
+                                           cfg.partition))),
       mean_delay_(resolve_mean_delay(cfg)),
       delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
       // Forward lane as a plain multi-consumer work queue: items are bare
@@ -31,6 +32,9 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
       // gating is a single-consumer protocol and stays disabled.
       work_(static_cast<std::size_t>(cfg.num_microbatches),
             pipeline::StageMailbox::kUnboundedCredits) {
+  // The probe microbatch is consumed by make_partition above; don't keep
+  // its tensors alive for the whole engine lifetime.
+  cfg_.partition.probe.reset();
   for (int m = 0; m < model_.num_modules(); ++m) {
     if (model_.module(m).stateful_forward()) {
       throw std::invalid_argument(
@@ -126,6 +130,8 @@ void ThreadedHogwildEngine::process_micro(int micro, std::vector<float>& w,
     auto idx = static_cast<std::size_t>(micro);
     nn::Flow input = (*mb_inputs_)[idx];
     input.training = true;
+    input.micro = micro;
+    input.step = step_;
     nn::Flow out = model_.forward(std::move(input), w, caches_[idx]);
     auto lr = mb_head_->forward_backward(out.x, (*mb_targets_)[idx]);
     micro_loss_[idx] = lr.loss;

@@ -54,9 +54,12 @@ namespace pipemare::hogwild {
 /// order; losses and weight views are otherwise identical). Tests assert
 /// run-to-run bitwise equality and sequential parity to tight tolerance.
 /// The one restriction: models whose modules mutate internal state in
-/// `forward` (Dropout's RNG stream — Module::stateful_forward) are
-/// rejected, since whole-model replicas would race on that state; use
-/// HogwildEngine or the stage-partitioned ThreadedEngine for those.
+/// `forward` (Module::stateful_forward) are rejected, since whole-model
+/// replicas would race on that state. No in-tree module trips it anymore:
+/// Dropout derives its masks from counter-based streams (pure functions
+/// of module seed / step / microbatch / element, stamped on the Flow), so
+/// the Transformer analogs run here with masks bitwise-identical to the
+/// sequential HogwildEngine's.
 ///
 /// The surface matches the core::train_loop engine concept / the
 /// core::ExecutionBackend interface; it is registered with the

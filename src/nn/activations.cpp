@@ -7,6 +7,33 @@ namespace pipemare::nn {
 
 using tensor::Tensor;
 
+namespace {
+
+/// Elementwise / pooling cost: a couple of flops per input element.
+ModuleCost elementwise_cost(const CostShapes& shapes, double flops_per_elem) {
+  auto elems = static_cast<double>(shapes.in_elems());
+  ModuleCost c;
+  c.fwd_flops = flops_per_elem * elems;
+  c.bkwd_flops = flops_per_elem * elems;
+  c.fwd_bytes = 8.0 * elems;
+  c.bkwd_bytes = 8.0 * elems;
+  return c;
+}
+
+}  // namespace
+
+ModuleCost ReLU::cost(const CostShapes& shapes) const {
+  return elementwise_cost(shapes, 1.0);
+}
+
+ModuleCost MaxPool2x2::cost(const CostShapes& shapes) const {
+  return elementwise_cost(shapes, 1.0);
+}
+
+ModuleCost GlobalAvgPool::cost(const CostShapes& shapes) const {
+  return elementwise_cost(shapes, 1.0);
+}
+
 Flow ReLU::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
   (void)w;
   cache.saved = {in.x};

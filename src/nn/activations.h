@@ -8,6 +8,7 @@ namespace pipemare::nn {
 class ReLU : public Module {
  public:
   std::string name() const override { return "ReLU"; }
+  ModuleCost cost(const CostShapes& shapes) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
                 std::span<float> grad) const override;
@@ -17,6 +18,7 @@ class ReLU : public Module {
 class MaxPool2x2 : public Module {
  public:
   std::string name() const override { return "MaxPool2x2"; }
+  ModuleCost cost(const CostShapes& shapes) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
                 std::span<float> grad) const override;
@@ -27,6 +29,7 @@ class MaxPool2x2 : public Module {
 class GlobalAvgPool : public Module {
  public:
   std::string name() const override { return "GlobalAvgPool"; }
+  ModuleCost cost(const CostShapes& shapes) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
                 std::span<float> grad) const override;

@@ -82,6 +82,29 @@ std::vector<std::int64_t> MultiHeadAttention::param_unit_sizes(bool split_bias) 
   return {mat, d_model_, mat, d_model_, mat, d_model_, mat, d_model_};
 }
 
+ModuleCost MultiHeadAttention::cost(const CostShapes& shapes) const {
+  // Four D x D projections over rows = B*S tokens, plus the two
+  // S-dependent score matmuls (Q K^T and A V) and the row softmax. The
+  // probe shape [B, S, D] supplies rows and S; without it assume one
+  // token, which keeps the (dominant) projection costs comparable.
+  double rows = 1.0;
+  double seq = 1.0;
+  if (shapes.in_shape.size() == 3) {
+    rows = static_cast<double>(shapes.in_shape[0]) * shapes.in_shape[1];
+    seq = shapes.in_shape[1];
+  }
+  double d = d_model_;
+  double proj = 4.0 * rows * (2.0 * d * d + d);
+  double scores = 4.0 * rows * seq * d;  // QK^T + AV, 2 flops per mac
+  double softmax = 5.0 * rows * seq;
+  ModuleCost c;
+  c.fwd_flops = proj + scores + softmax;
+  c.bkwd_flops = 2.0 * c.fwd_flops;
+  c.fwd_bytes = 4.0 * (7.0 * rows * d + rows * seq * heads_ + param_count());
+  c.bkwd_bytes = 2.0 * c.fwd_bytes;
+  return c;
+}
+
 void MultiHeadAttention::init_params(std::span<float> w, util::Rng& rng) const {
   std::size_t unit = static_cast<std::size_t>(d_model_) * d_model_ + d_model_;
   for (int p = 0; p < 4; ++p) {

@@ -31,6 +31,31 @@ std::vector<std::int64_t> Conv2d::param_unit_sizes(bool split_bias) const {
   return {param_count() - spec_.out_channels, spec_.out_channels};
 }
 
+ModuleCost Conv2d::cost(const CostShapes& shapes) const {
+  // im2col + matmul: each output position costs 2 * Cin * K^2 macs per
+  // output channel. Output positions come from the probe shape; without
+  // one, assume a single position (relative conv-vs-conv costs then track
+  // parameter counts, losing only the spatial-shrink factor).
+  double positions = 1.0;
+  if (shapes.out_shape.size() == 4) {
+    positions = static_cast<double>(shapes.out_shape[0]) * shapes.out_shape[2] *
+                shapes.out_shape[3];
+  }
+  double k2cin = static_cast<double>(spec_.kernel) * spec_.kernel * spec_.in_channels;
+  double per_position = spec_.out_channels * (2.0 * k2cin + 1.0);
+  ModuleCost c;
+  c.fwd_flops = positions * per_position;
+  // Backward: dx (col2im of dy W) and dW (dy^T cols) each replay the
+  // forward matmul volume.
+  c.bkwd_flops = 2.0 * positions * per_position;
+  double im2col_elems = positions * k2cin;
+  c.fwd_bytes =
+      4.0 * (static_cast<double>(shapes.in_elems()) + shapes.out_elems() +
+             im2col_elems + param_count());
+  c.bkwd_bytes = 2.0 * c.fwd_bytes;
+  return c;
+}
+
 void Conv2d::init_params(std::span<float> w, util::Rng& rng) const {
   int fan_in = spec_.in_channels * spec_.kernel * spec_.kernel;
   auto weight = w.subspan(0, static_cast<std::size_t>(param_count() - spec_.out_channels));

@@ -8,10 +8,23 @@ namespace pipemare::nn {
 
 using tensor::Tensor;
 
-Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), seed_(seed) {
   if (rate < 0.0 || rate >= 1.0) {
     throw std::invalid_argument("Dropout: rate in [0, 1) required");
   }
+}
+
+ModuleCost Dropout::cost(const CostShapes& shapes) const {
+  // ~10 integer mixing ops per element for the counter hash, plus the
+  // multiply; identity (and free) at evaluation, but the partitioner
+  // budgets for the training path.
+  auto elems = static_cast<double>(shapes.in_elems());
+  ModuleCost c;
+  c.fwd_flops = 12.0 * elems;
+  c.bkwd_flops = elems;
+  c.fwd_bytes = 12.0 * elems;
+  c.bkwd_bytes = 8.0 * elems;
+  return c;
 }
 
 Flow Dropout::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
@@ -25,7 +38,9 @@ Flow Dropout::forward(const Flow& in, std::span<const float> w, Cache& cache) co
   Tensor mask(in.x.shape());
   out.x = in.x;
   for (std::int64_t i = 0; i < out.x.size(); ++i) {
-    bool keep = rng_.uniform() >= rate_;
+    bool keep = util::counter_uniform(seed_, static_cast<std::uint64_t>(in.step),
+                                      static_cast<std::uint64_t>(in.micro),
+                                      static_cast<std::uint64_t>(i)) >= rate_;
     mask[i] = keep ? keep_scale : 0.0F;
     out.x[i] *= mask[i];
   }

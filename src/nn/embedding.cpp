@@ -79,6 +79,28 @@ void TokenEmbedding::init_params(std::span<float> w, util::Rng& rng) const {
   normal_init(w, 1.0 / std::sqrt(static_cast<double>(d_model_)), rng);
 }
 
+namespace {
+
+/// Shared embedding-layer cost: lookup + sqrt(D) scale + positional add
+/// per output element; backward is a scatter-add of the same volume. The
+/// table itself is never swept.
+ModuleCost embedding_cost(const CostShapes& shapes, int d_model) {
+  double out_elems = shapes.out_elems() > 0 ? static_cast<double>(shapes.out_elems())
+                                            : static_cast<double>(d_model);
+  ModuleCost c;
+  c.fwd_flops = 2.0 * out_elems;
+  c.bkwd_flops = out_elems;
+  c.fwd_bytes = 4.0 * 3.0 * out_elems;
+  c.bkwd_bytes = 4.0 * 2.0 * out_elems;
+  return c;
+}
+
+}  // namespace
+
+ModuleCost TokenEmbedding::cost(const CostShapes& shapes) const {
+  return embedding_cost(shapes, d_model_);
+}
+
 Flow TokenEmbedding::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
   cache.saved = {in.x};  // token ids, needed for the scatter in backward
   Flow out = in;
@@ -115,12 +137,17 @@ void DecoderBridge::init_params(std::span<float> w, util::Rng& rng) const {
   normal_init(w, 1.0 / std::sqrt(static_cast<double>(d_model_)), rng);
 }
 
+ModuleCost DecoderBridge::cost(const CostShapes& shapes) const {
+  return embedding_cost(shapes, d_model_);
+}
+
 Flow DecoderBridge::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
   if (in.aux.empty()) {
     throw std::invalid_argument("DecoderBridge: decoder tokens missing from aux");
   }
   cache.saved = {in.aux};
   Flow out;
+  out.copy_bookkeeping(in);  // training/micro/step must survive the bridge
   out.ctx = in.x;  // encoder memory becomes the context
   out.x = embed_tokens(in.aux, w, vocab_, d_model_, max_len_);
   return out;

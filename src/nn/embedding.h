@@ -17,6 +17,7 @@ class TokenEmbedding : public Module {
 
   std::string name() const override { return "TokenEmbedding"; }
   std::int64_t param_count() const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
@@ -42,6 +43,7 @@ class DecoderBridge : public Module {
 
   std::string name() const override { return "DecoderBridge"; }
   std::int64_t param_count() const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,

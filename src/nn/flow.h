@@ -28,6 +28,24 @@ struct Flow {
   /// True during training forward passes (set by the execution engines);
   /// stochastic-regularization modules (Dropout) are identity when false.
   bool training = false;
+
+  /// Counter-stream coordinates, stamped by the execution engines at
+  /// injection: which microbatch of the minibatch this flow carries and
+  /// the optimizer-step index the minibatch belongs to. Stochastic modules
+  /// (Dropout) derive their masks as pure functions of (module seed, step,
+  /// micro, element), so masks are identical across sequential, threaded
+  /// and Hogwild execution regardless of thread timing or draw order.
+  int micro = 0;
+  std::int64_t step = 0;
+
+  /// Copies the non-tensor bookkeeping (training/micro/step) from another
+  /// flow. For modules that build their output Flow from scratch instead
+  /// of copying the input (e.g. DecoderBridge).
+  void copy_bookkeeping(const Flow& from) {
+    training = from.training;
+    micro = from.micro;
+    step = from.step;
+  }
 };
 
 }  // namespace pipemare::nn

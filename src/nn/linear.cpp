@@ -25,6 +25,22 @@ std::vector<std::int64_t> Linear::param_unit_sizes(bool split_bias) const {
   return {static_cast<std::int64_t>(in_) * out_, out_};
 }
 
+ModuleCost Linear::cost(const CostShapes& shapes) const {
+  // y = x W^T + b over `rows` input rows (1 when no probe shape is known,
+  // which keeps relative costs exact for fixed-row stacks like MLPs).
+  double rows = shapes.in_elems() > 0
+                    ? static_cast<double>(shapes.in_elems()) / in_
+                    : 1.0;
+  double wflops = 2.0 * static_cast<double>(in_) * out_;
+  ModuleCost c;
+  c.fwd_flops = rows * (wflops + out_);
+  // Backward: dx (x W) and dW (dy^T x) are each a full matmul, db a sum.
+  c.bkwd_flops = rows * (2.0 * wflops + out_);
+  c.fwd_bytes = 4.0 * (rows * (in_ + out_) + param_count());
+  c.bkwd_bytes = 4.0 * (rows * (in_ + out_) + 2.0 * param_count());
+  return c;
+}
+
 void Linear::init_params(std::span<float> w, util::Rng& rng) const {
   auto weight = w.subspan(0, static_cast<std::size_t>(in_) * out_);
   auto bias = w.subspan(static_cast<std::size_t>(in_) * out_);

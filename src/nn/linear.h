@@ -15,6 +15,7 @@ class Linear : public Module {
   std::string name() const override { return "Linear"; }
   std::int64_t param_count() const override;
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,

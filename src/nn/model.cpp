@@ -4,6 +4,20 @@
 
 namespace pipemare::nn {
 
+ModuleCost Module::cost(const CostShapes& shapes) const {
+  // Conservative fallback for modules without a bespoke estimate: touch
+  // every input element once and every parameter twice, with backward
+  // costing double the forward (the usual dx + dw decomposition).
+  auto elems = static_cast<double>(shapes.in_elems());
+  auto params = static_cast<double>(param_count());
+  ModuleCost c;
+  c.fwd_flops = elems + 2.0 * params;
+  c.bkwd_flops = 2.0 * c.fwd_flops;
+  c.fwd_bytes = 4.0 * (elems + params);
+  c.bkwd_bytes = 2.0 * c.fwd_bytes;
+  return c;
+}
+
 int Model::add(ModulePtr module) {
   offsets_.push_back(total_params_);
   total_params_ += module->param_count();

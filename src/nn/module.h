@@ -17,6 +17,44 @@ struct Cache {
   void clear() { saved.clear(); }
 };
 
+/// Per-microbatch cost estimate of one module, the currency of the stage
+/// partitioner's cost model (PipeDream-style balanced splits). Flops count
+/// multiply-adds as two operations; bytes count parameter + activation
+/// traffic at float32. Only *relative* magnitudes matter to the
+/// partitioner, so rough estimates are fine as long as they are rough in
+/// the same way for every layer.
+struct ModuleCost {
+  double fwd_flops = 0.0;
+  double bkwd_flops = 0.0;
+  double fwd_bytes = 0.0;
+  double bkwd_bytes = 0.0;
+
+  /// The scalar the partitioner balances: one microbatch's round trip
+  /// through the module (forward + backward compute).
+  double total_flops() const { return fwd_flops + bkwd_flops; }
+};
+
+/// Shape context for Module::cost — the activation shapes observed for
+/// this module on a probe microbatch. When no probe ran both shapes are
+/// empty and modules fall back to a batch-free intrinsic estimate (exact
+/// relative costs for fixed-width stacks like MLPs; spatial/sequence
+/// scaling is then invisible, which is what the probe fixes).
+struct CostShapes {
+  std::vector<int> in_shape;
+  std::vector<int> out_shape;
+
+  std::int64_t in_elems() const { return elems(in_shape); }
+  std::int64_t out_elems() const { return elems(out_shape); }
+
+ private:
+  static std::int64_t elems(const std::vector<int>& shape) {
+    if (shape.empty()) return 0;
+    std::int64_t n = 1;
+    for (int d : shape) n *= d;
+    return n;
+  }
+};
+
 /// Base class for all layers.
 ///
 /// The central design requirement comes from the paper's asynchronous
@@ -53,11 +91,17 @@ class Module {
     return {param_count()};
   }
 
-  /// True when `forward` mutates module-owned state (e.g. Dropout's RNG
-  /// stream), making concurrent whole-model forward replicas unsafe.
-  /// Stage-partitioned execution (ThreadedEngine) is always safe: each
-  /// module's forward runs on exactly one worker there.
+  /// True when `forward` mutates module-owned state, making concurrent
+  /// whole-model forward replicas unsafe. No in-tree module is stateful
+  /// anymore (Dropout moved to counter-based mask streams), but the gate
+  /// stays for user modules; ThreadedHogwildEngine rejects them.
   virtual bool stateful_forward() const { return false; }
+
+  /// Analytic per-microbatch cost estimate (see ModuleCost). The default
+  /// charges one flop per input element plus two per parameter; every
+  /// in-tree layer overrides it with a FLOP count derived from its actual
+  /// kernel. `shapes` comes from a probe forward when available.
+  virtual ModuleCost cost(const CostShapes& shapes) const;
 
   virtual void init_params(std::span<float> w, util::Rng& rng) const { (void)w, (void)rng; }
 

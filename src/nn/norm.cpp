@@ -22,6 +22,27 @@ std::vector<std::int64_t> BatchNorm2d::param_unit_sizes(bool split_bias) const {
   return {channels_, channels_};
 }
 
+namespace {
+
+/// Shared normalization-layer cost: mean/var reduction, normalize, affine
+/// (~8 flops per element forward), with the usual 2x backward.
+ModuleCost norm_cost(const CostShapes& shapes, std::int64_t params) {
+  auto elems = static_cast<double>(shapes.in_elems());
+  if (elems <= 0.0) elems = static_cast<double>(params);
+  ModuleCost c;
+  c.fwd_flops = 8.0 * elems;
+  c.bkwd_flops = 16.0 * elems;
+  c.fwd_bytes = 4.0 * (2.0 * elems + static_cast<double>(params));
+  c.bkwd_bytes = 2.0 * c.fwd_bytes;
+  return c;
+}
+
+}  // namespace
+
+ModuleCost BatchNorm2d::cost(const CostShapes& shapes) const {
+  return norm_cost(shapes, param_count());
+}
+
 void BatchNorm2d::init_params(std::span<float> w, util::Rng& rng) const {
   (void)rng;
   constant_init(w.subspan(0, static_cast<std::size_t>(channels_)), 1.0F);
@@ -120,6 +141,10 @@ GroupNorm2d::GroupNorm2d(int channels, int groups, double eps)
 std::vector<std::int64_t> GroupNorm2d::param_unit_sizes(bool split_bias) const {
   if (!split_bias) return {param_count()};
   return {channels_, channels_};
+}
+
+ModuleCost GroupNorm2d::cost(const CostShapes& shapes) const {
+  return norm_cost(shapes, param_count());
 }
 
 void GroupNorm2d::init_params(std::span<float> w, util::Rng& rng) const {
@@ -229,6 +254,10 @@ LayerNorm::LayerNorm(int features, double eps) : features_(features), eps_(eps) 
 std::vector<std::int64_t> LayerNorm::param_unit_sizes(bool split_bias) const {
   if (!split_bias) return {param_count()};
   return {features_, features_};
+}
+
+ModuleCost LayerNorm::cost(const CostShapes& shapes) const {
+  return norm_cost(shapes, param_count());
 }
 
 void LayerNorm::init_params(std::span<float> w, util::Rng& rng) const {

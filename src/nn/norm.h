@@ -19,6 +19,7 @@ class BatchNorm2d : public Module {
   std::string name() const override { return "BatchNorm2d"; }
   std::int64_t param_count() const override { return 2LL * channels_; }
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
@@ -42,6 +43,7 @@ class GroupNorm2d : public Module {
   std::string name() const override { return "GroupNorm2d"; }
   std::int64_t param_count() const override { return 2LL * channels_; }
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
@@ -62,6 +64,7 @@ class LayerNorm : public Module {
   std::string name() const override { return "LayerNorm"; }
   std::int64_t param_count() const override { return 2LL * features_; }
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,

@@ -8,6 +8,15 @@ namespace pipemare::nn {
 
 using tensor::Tensor;
 
+ModuleCost ResidualOpen::cost(const CostShapes& shapes) const {
+  auto elems = static_cast<double>(shapes.in_elems());
+  ModuleCost c;
+  c.fwd_bytes = 8.0 * elems;  // one activation copy
+  c.bkwd_flops = elems;       // gradient fan-in add
+  c.bkwd_bytes = 8.0 * elems;
+  return c;
+}
+
 Flow ResidualOpen::forward(const Flow& in, std::span<const float> w, Cache& cache) const {
   (void)w, (void)cache;
   if (!in.skip.empty()) {
@@ -47,6 +56,28 @@ std::vector<std::int64_t> ResidualClose::param_unit_sizes(bool split_bias) const
 
 void ResidualClose::init_params(std::span<float> w, util::Rng& rng) const {
   if (projection_) projection_->init_params(w, rng);
+}
+
+ModuleCost ResidualClose::cost(const CostShapes& shapes) const {
+  auto elems = static_cast<double>(shapes.out_elems());
+  ModuleCost c;
+  c.fwd_flops = elems;  // skip add
+  c.bkwd_flops = elems;
+  c.fwd_bytes = 12.0 * elems;
+  c.bkwd_bytes = 12.0 * elems;
+  if (projection_) {
+    // The 1x1 projection convolves the *skip* tensor; its output matches
+    // this module's output shape, which is all Conv2d::cost needs.
+    CostShapes proj;
+    proj.in_shape = shapes.in_shape;
+    proj.out_shape = shapes.out_shape;
+    ModuleCost p = projection_->cost(proj);
+    c.fwd_flops += p.fwd_flops;
+    c.bkwd_flops += p.bkwd_flops;
+    c.fwd_bytes += p.fwd_bytes;
+    c.bkwd_bytes += p.bkwd_bytes;
+  }
+  return c;
 }
 
 Flow ResidualClose::forward(const Flow& in, std::span<const float> w, Cache& cache) const {

@@ -14,6 +14,7 @@ namespace pipemare::nn {
 class ResidualOpen : public Module {
  public:
   std::string name() const override { return "ResidualOpen"; }
+  ModuleCost cost(const CostShapes& shapes) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
                 std::span<float> grad) const override;
@@ -34,6 +35,7 @@ class ResidualClose : public Module {
   std::string name() const override { return "ResidualClose"; }
   std::int64_t param_count() const override;
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
+  ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,

@@ -1,6 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
+
+namespace pipemare::nn {
+struct Flow;
+}
 
 namespace pipemare::pipeline {
 
@@ -13,11 +18,52 @@ enum class Method {
 
 std::string method_name(Method m);
 
+/// How weight units are assigned to pipeline stages.
+enum class PartitionStrategy {
+  /// The paper's Section 4.1 rule: divide the units evenly *by count* into
+  /// P contiguous groups. The default; bitwise-identical to the pre-cost-
+  /// model behaviour.
+  Uniform,
+  /// PipeDream-style balanced split: minimize the maximum per-stage cost
+  /// over all contiguous unit splits (dynamic program), with per-unit
+  /// costs from the cost model (see cost_model.h).
+  Balanced,
+};
+
+std::string partition_strategy_name(PartitionStrategy s);
+
+/// Partitioning configuration shared by every execution backend.
+struct PartitionSpec {
+  PartitionStrategy strategy = PartitionStrategy::Uniform;
+
+  /// Balanced only: micro-profile each module's forward/backward on the
+  /// probe microbatch (a few timed reps) instead of the analytic FLOP
+  /// model. Requires `probe`. Caveat: wall-clock timings vary run to run
+  /// and engine to engine, so the chosen split — and with it stage
+  /// placement, the delay schedule, and training curves — is *not*
+  /// reproducible the way the analytic mode is; when two engines must
+  /// agree bitwise (parity tests, resumable runs), profile once and hand
+  /// both the same cost vector via make_partition(model, P, split_bias,
+  /// costs), or stay analytic.
+  bool measured = false;
+  int measure_reps = 3;  ///< timing reps per module in measured mode
+
+  /// Sample microbatch for cost profiling: the analytic model reads
+  /// per-module activation shapes off one probe forward, the measured mode
+  /// times real passes on it. Optional for analytic (falls back to
+  /// batch-free intrinsic estimates), required for measured. core::train
+  /// fills it with the task's first microbatch automatically.
+  std::shared_ptr<const nn::Flow> probe;
+};
+
 struct EngineConfig {
   Method method = Method::PipeMare;
   int num_stages = 1;
   int num_microbatches = 1;  ///< N = microbatches per minibatch
   bool split_bias = false;   ///< the paper's "2x stages" weight/bias split
+
+  /// Stage-partitioning strategy (uniform-by-count vs cost-balanced).
+  PartitionSpec partition;
 
   /// Technique 2 — discrepancy correction (applies to PipeMare): approximate
   /// the forward weights in the backward pass as

@@ -1,0 +1,152 @@
+#include "src/pipeline/cost_model.h"
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/nn/flow.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace pipemare::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A gradient flow matching `out`: ones in every tensor channel the
+/// module's backward consumes (x always; ctx/skip when the forward
+/// produced them).
+nn::Flow make_dout(const nn::Flow& out) {
+  nn::Flow dout;
+  dout.x = tensor::Tensor(out.x.shape());
+  dout.x.fill(1.0F);
+  if (!out.ctx.empty()) {
+    dout.ctx = tensor::Tensor(out.ctx.shape());
+    dout.ctx.fill(1.0F);
+  }
+  if (!out.skip.empty()) {
+    dout.skip = tensor::Tensor(out.skip.shape());
+    dout.skip.fill(1.0F);
+  }
+  return dout;
+}
+
+}  // namespace
+
+std::vector<nn::ModuleCost> profile_module_costs(const nn::Model& model,
+                                                 const PartitionSpec& spec) {
+  const int m = model.num_modules();
+  std::vector<nn::ModuleCost> costs(static_cast<std::size_t>(m));
+  if (spec.measured && !spec.probe) {
+    throw std::invalid_argument(
+        "profile_module_costs: measured partitioning needs a probe microbatch "
+        "(PartitionSpec::probe); core::train supplies one automatically");
+  }
+
+  if (!spec.probe) {
+    // No probe: batch-free intrinsic estimates.
+    nn::CostShapes empty;
+    for (int i = 0; i < m; ++i) costs[static_cast<std::size_t>(i)] = model.module(i).cost(empty);
+    return costs;
+  }
+
+  // One probe forward through the chain records every module's in/out
+  // activation shapes (and, for measured mode, the per-module input flows
+  // and backward caches). The probe runs in training mode so dropout masks
+  // and their cost are included; counters stay at (step 0, micro 0).
+  std::vector<float> params(static_cast<std::size_t>(model.param_count()));
+  util::Rng init_rng(0x9e3779b97f4a7c15ULL);
+  model.init_params(params, init_rng);
+
+  std::vector<nn::Flow> inputs(static_cast<std::size_t>(m));
+  std::vector<nn::Flow> outputs(static_cast<std::size_t>(m));
+  auto caches = model.make_caches();
+  nn::Flow cur = *spec.probe;
+  cur.training = true;
+  cur.micro = 0;
+  cur.step = 0;
+  for (int i = 0; i < m; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    inputs[idx] = cur;
+    caches[idx].clear();
+    cur = model.module(i).forward(cur, model.module_params(i, std::span<const float>(params)),
+                                  caches[idx]);
+    outputs[idx] = cur;
+  }
+
+  if (!spec.measured) {
+    for (int i = 0; i < m; ++i) {
+      auto idx = static_cast<std::size_t>(i);
+      nn::CostShapes shapes;
+      if (!inputs[idx].x.empty()) shapes.in_shape = inputs[idx].x.shape();
+      if (!outputs[idx].x.empty()) shapes.out_shape = outputs[idx].x.shape();
+      costs[idx] = model.module(i).cost(shapes);
+    }
+    return costs;
+  }
+
+  // Measured mode: minimum-of-reps wall time per module, forward and
+  // backward separately. Nanoseconds land in the flops fields — the
+  // partitioner only consumes relative magnitudes.
+  const int reps = std::max(1, spec.measure_reps);
+  std::vector<float> grads(params.size(), 0.0F);
+  for (int i = 0; i < m; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    auto w = model.module_params(i, std::span<const float>(params));
+    auto g = model.module_params(i, std::span<float>(grads));
+
+    double fwd_ns = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+      nn::Cache scratch;
+      nn::Flow in = inputs[idx];
+      auto t0 = Clock::now();
+      (void)model.module(i).forward(in, w, scratch);
+      fwd_ns = std::min(fwd_ns,
+                        static_cast<double>(util::ns_between(t0, Clock::now())));
+    }
+
+    double bkwd_ns = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+      nn::Flow dout = make_dout(outputs[idx]);
+      auto t0 = Clock::now();
+      (void)model.module(i).backward(dout, w, caches[idx], g);
+      bkwd_ns = std::min(bkwd_ns,
+                         static_cast<double>(util::ns_between(t0, Clock::now())));
+    }
+
+    costs[idx].fwd_flops = fwd_ns;
+    costs[idx].bkwd_flops = bkwd_ns;
+  }
+  return costs;
+}
+
+std::vector<double> unit_costs(const nn::Model& model,
+                               const std::vector<nn::WeightUnit>& units,
+                               const std::vector<nn::ModuleCost>& module_costs) {
+  std::vector<double> costs(units.size(), 0.0);
+  if (units.empty()) return costs;
+  std::size_t next_unit = 0;   // first unit not yet assigned to a module
+  std::size_t attach_to = 0;   // where parameter-free module cost lands
+  for (int mod = 0; mod < model.num_modules(); ++mod) {
+    if (next_unit < units.size() && units[next_unit].module == mod) {
+      // A module executes wholly on the stage of its first unit, so all
+      // its compute attaches there; later units of the same module add no
+      // compute (they only carry parameter state).
+      attach_to = next_unit;
+      while (next_unit < units.size() && units[next_unit].module == mod) ++next_unit;
+    }
+    costs[attach_to] += module_costs[static_cast<std::size_t>(mod)].total_flops();
+  }
+  return costs;
+}
+
+std::vector<double> profile_unit_costs(const nn::Model& model,
+                                       const std::vector<nn::WeightUnit>& units,
+                                       const PartitionSpec& spec) {
+  return unit_costs(model, units, profile_module_costs(model, spec));
+}
+
+}  // namespace pipemare::pipeline

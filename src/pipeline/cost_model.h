@@ -1,0 +1,48 @@
+#pragma once
+
+// Per-module cost profiling for the stage partitioner (PipeDream / BaPipe
+// style): the paper's Section 4.1 rule splits weight units evenly *by
+// count*, which silently assumes every unit costs the same. This file
+// turns Module::cost (analytic FLOP/byte estimates) or timed
+// micro-profiles into the per-unit cost vector the balanced partition
+// strategy feeds its dynamic program.
+
+#include <vector>
+
+#include "src/nn/model.h"
+#include "src/pipeline/config.h"
+
+namespace pipemare::pipeline {
+
+/// Per-module costs for a whole model.
+///
+/// Analytic mode (measured = false): when `probe` is non-null, one forward
+/// pass on the probe microbatch records every module's activation shapes,
+/// and each module's `cost()` hook turns them into FLOP/byte estimates.
+/// Without a probe the hooks fall back to batch-free intrinsic estimates
+/// (exact relative costs for fixed-row stacks like MLPs).
+///
+/// Measured mode (measured = true, probe required): times each module's
+/// forward and backward over `measure_reps` reps on the probe microbatch
+/// (minimum-of-reps, steady clock) and reports nanoseconds as the flops
+/// fields — the partitioner only consumes relative magnitudes, so the two
+/// modes are interchangeable downstream.
+std::vector<nn::ModuleCost> profile_module_costs(const nn::Model& model,
+                                                 const PartitionSpec& spec);
+
+/// Collapses module costs onto weight units, mirroring how the executors
+/// actually place work: a module runs entirely on the stage of its *first*
+/// unit, so its whole round-trip cost attaches there (later units of a
+/// multi-unit module carry parameter state, not compute); parameter-free
+/// modules attach to the nearest preceding unit (unit 0 before any weights
+/// appear) — the same inheritance rule Partition::module_stage uses.
+std::vector<double> unit_costs(const nn::Model& model,
+                               const std::vector<nn::WeightUnit>& units,
+                               const std::vector<nn::ModuleCost>& module_costs);
+
+/// Convenience: profile_module_costs + unit_costs for the given unit list.
+std::vector<double> profile_unit_costs(const nn::Model& model,
+                                       const std::vector<nn::WeightUnit>& units,
+                                       const PartitionSpec& spec);
+
+}  // namespace pipemare::pipeline

@@ -41,9 +41,12 @@ std::vector<double> stage_tau_fwd_vector(const Schedule& schedule) {
 PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
-      partition_(make_partition(model, cfg.num_stages, cfg.split_bias)),
+      partition_(make_partition(model, cfg.num_stages, cfg.split_bias, cfg.partition)),
       schedule_(cfg.num_stages, cfg.num_microbatches),
       store_(model, cfg_, partition_, schedule_, seed) {
+  // The probe microbatch is consumed by make_partition above; don't keep
+  // its tensors alive for the whole engine lifetime.
+  cfg_.partition.probe.reset();
   grads_.assign(store_.live().size(), 0.0F);
 
   if (cfg_.recompute_segments > 0) {
@@ -132,6 +135,8 @@ PipelineEngine::StepResult PipelineEngine::forward_backward(
 
     nn::Flow input = micro_inputs[static_cast<std::size_t>(micro)];
     input.training = true;
+    input.micro = micro;
+    input.step = store_.step();
     nn::Flow out;
     std::vector<nn::Flow> checkpoints;  // segment input snapshots
     if (segments_.empty()) {

@@ -1,15 +1,25 @@
 #include "src/pipeline/threaded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/stats.h"
+
 namespace pipemare::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using util::ns_between;
+
+}  // namespace
 
 ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
     : model_(model),
       cfg_(cfg),
-      partition_(make_partition(model, cfg.num_stages, cfg.split_bias)),
+      partition_(make_partition(model, cfg.num_stages, cfg.split_bias, cfg.partition)),
       schedule_(cfg.num_stages, cfg.num_microbatches),
       store_(model, cfg_, partition_, schedule_, seed) {
   if (cfg_.recompute_segments > 0) {
@@ -17,7 +27,11 @@ ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::ui
         "ThreadedEngine: activation recomputation is modelled only by the "
         "analytic PipelineEngine; set recompute_segments = 0");
   }
+  // The probe microbatch is consumed by make_partition above; don't keep
+  // its tensors alive for the whole engine lifetime.
+  cfg_.partition.probe.reset();
   grads_.assign(store_.live().size(), 0.0F);
+  stats_.assign(static_cast<std::size_t>(cfg_.num_stages), StageStats{});
 
   // Stage -> module/unit ranges. module_stage and the units' module ids are
   // both non-decreasing, so each stage owns a contiguous slice of each.
@@ -123,13 +137,16 @@ void ThreadedEngine::worker_loop(int stage) {
 void ThreadedEngine::backward_step(int stage, int micro, nn::Flow dflow,
                                    std::vector<float>& w_bkwd) {
   const StageRange& r = ranges_[static_cast<std::size_t>(stage)];
+  StageStats& stats = stats_[static_cast<std::size_t>(stage)];
   nn::Flow din;
   if (!mb_failed_.load(std::memory_order_relaxed)) {
     try {
+      auto t0 = Clock::now();
       store_.assemble_backward_units(r.unit_first, r.unit_last, micro, w_bkwd);
       din = model_.backward_range(r.module_first, r.module_last, std::move(dflow),
                                   w_bkwd, caches_[static_cast<std::size_t>(micro)],
                                   grads_);
+      stats.busy_ns += ns_between(t0, Clock::now());
     } catch (const std::exception& e) {
       record_failure(e.what());
     }
@@ -144,6 +161,7 @@ void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
                                    std::vector<float>& w_bkwd) {
   const int n = cfg_.num_microbatches;
   const StageRange& r = ranges_[static_cast<std::size_t>(stage)];
+  StageStats& stats = stats_[static_cast<std::size_t>(stage)];
   const bool last = stage == cfg_.num_stages - 1;
   int fwd_left = n;
   int bwd_left = n;
@@ -152,31 +170,40 @@ void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
   // items skip compute and empty flows keep the chains draining so every
   // worker still reaches its 2N-item quota.
   while (fwd_left > 0 || bwd_left > 0) {
+    auto t_pop = Clock::now();
     StageItem item = mailboxes_[static_cast<std::size_t>(stage)]->pop();
+    stats.pop_wait_ns += ns_between(t_pop, Clock::now());
+    ++stats.items;
     if (item.kind == StageItem::Kind::Forward) {
       --fwd_left;
       nn::Flow out;
       if (!mb_failed_.load(std::memory_order_relaxed)) {
         try {
+          auto t0 = Clock::now();
           store_.assemble_forward_units(r.unit_first, r.unit_last, item.micro, w_fwd);
           out = model_.forward_range(r.module_first, r.module_last,
                                      std::move(item.flow), w_fwd,
                                      caches_[static_cast<std::size_t>(item.micro)]);
+          stats.busy_ns += ns_between(t0, Clock::now());
         } catch (const std::exception& e) {
           record_failure(e.what());
         }
       }
       if (!last) {
+        auto t_push = Clock::now();
         mailboxes_[static_cast<std::size_t>(stage + 1)]->push_forward(
             {StageItem::Kind::Forward, item.micro, std::move(out)});
+        stats.push_wait_ns += ns_between(t_push, Clock::now());
       } else {
         // Tail stage: loss, then the microbatch's backward immediately
         // (its F and B are adjacent ticks in the 1F1B schedule).
         nn::Flow dflow;
         if (!mb_failed_.load(std::memory_order_relaxed)) {
           try {
+            auto t0 = Clock::now();
             nn::LossResult lr = mb_head_->forward_backward(
                 out.x, (*mb_targets_)[static_cast<std::size_t>(item.micro)]);
+            stats.busy_ns += ns_between(t0, Clock::now());
             if (!std::isfinite(lr.loss)) {
               if (mb_result_.finite) {
                 mb_result_.finite = false;
@@ -231,6 +258,8 @@ ThreadedEngine::StepResult ThreadedEngine::forward_backward(
     item.micro = m;
     item.flow = micro_inputs[static_cast<std::size_t>(m)];
     item.flow.training = true;
+    item.flow.micro = m;
+    item.flow.step = store_.step();
     mailboxes_[0]->push_forward(std::move(item));
   }
   StepResult result;
@@ -266,6 +295,14 @@ std::vector<StageMailbox::LaneStats> ThreadedEngine::lane_stats() const {
   stats.reserve(mailboxes_.size());
   for (const auto& box : mailboxes_) stats.push_back(box->stats());
   return stats;
+}
+
+std::vector<ThreadedEngine::StageStats> ThreadedEngine::stage_stats() const {
+  return stats_;
+}
+
+void ThreadedEngine::reset_stage_stats() {
+  stats_.assign(stats_.size(), StageStats{});
 }
 
 nn::LossResult ThreadedEngine::evaluate(const nn::Flow& input, const tensor::Tensor& target,

@@ -35,8 +35,9 @@ namespace pipemare::pipeline {
 /// thread timing. Combined with three ordering facts —
 ///   1. each stage worker processes its microbatches in FIFO order,
 ///   2. stages own disjoint module (and hence gradient and cache) ranges,
-///   3. each Dropout module's RNG is drawn by exactly one worker, in
-///      microbatch order —
+///   3. Dropout masks are counter-based — pure functions of (module seed,
+///      step, microbatch, element) — so they are independent of draw order
+///      entirely —
 /// every float is produced by the same operations in the same order as in
 /// the sequential engine, making loss trajectories and gradients bitwise
 /// equal (see tests/test_threaded_engine.cpp).
@@ -103,6 +104,25 @@ class ThreadedEngine {
   /// most min(N, P - s + 1) per lane for stage s; tests assert it.
   std::vector<StageMailbox::LaneStats> lane_stats() const;
 
+  /// Per-stage load counters, cumulative since construction (or the last
+  /// reset_stage_stats). This is the measurement substrate the partition
+  /// cost model is validated against — and what a future work-stealing
+  /// backend will balance at runtime: a stage whose busy share dwarfs the
+  /// others is the pipeline's bottleneck, and its siblings' pop_wait is
+  /// the headroom stealing could reclaim.
+  struct StageStats {
+    std::uint64_t busy_ns = 0;       ///< compute (forward/backward/loss)
+    std::uint64_t pop_wait_ns = 0;   ///< blocked in mailbox pop (idle/starved)
+    std::uint64_t push_wait_ns = 0;  ///< blocked in push_forward (backpressure)
+    std::uint64_t items = 0;         ///< forward + backward items processed
+  };
+
+  /// Snapshot of the per-stage counters. Call between minibatches (the
+  /// engine's external-synchronization contract); the minibatch completion
+  /// barrier orders worker writes before this read.
+  std::vector<StageStats> stage_stats() const;
+  void reset_stage_stats();
+
   /// Per-stage optimizer segments with the given base LR and per-stage
   /// scale factors (from the T1 rescheduler). Scales may be empty (all 1).
   std::vector<optim::LrSegment> lr_segments(double base_lr,
@@ -137,6 +157,10 @@ class ThreadedEngine {
   std::vector<float> grads_;
 
   std::vector<StageRange> ranges_;  ///< per stage
+  /// Per-stage load counters. Each slot is written only by its stage's
+  /// worker; readers run between minibatches, ordered by the completion
+  /// barrier (ctrl_m_ release/acquire), so plain fields suffice.
+  std::vector<StageStats> stats_;   ///< per stage
   std::vector<std::unique_ptr<StageMailbox>> mailboxes_;  ///< per stage
   std::vector<std::vector<nn::Cache>> caches_;  ///< per microbatch, full model
 

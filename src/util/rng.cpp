@@ -11,6 +11,25 @@ constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
 constexpr std::uint64_t kIncrement = 1442695040888963407ULL;
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31U);
+}
+
+double counter_uniform(std::uint64_t key, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  // Chained SplitMix64 finalizers: each input is fully mixed before the
+  // next is folded in, so nearby counter tuples decorrelate completely.
+  std::uint64_t h = mix64(key);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  // Top 53 bits -> [0, 1) with full double resolution.
+  return static_cast<double>(h >> 11U) * 0x1.0p-53;
+}
+
 Rng::Rng(std::uint64_t seed) : state_(seed + kIncrement) { next_u32(); }
 
 std::uint32_t Rng::next_u32() {

@@ -5,6 +5,20 @@
 
 namespace pipemare::util {
 
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function. The
+/// building block of the library's *counter-based* (stateless) random
+/// streams — every output is a pure function of its inputs, so concurrent
+/// consumers need no shared generator state (Philox-style, Salmon et al.).
+std::uint64_t mix64(std::uint64_t x);
+
+/// Uniform double in [0, 1) derived from a counter tuple: a pure function
+/// of (key, a, b, c). Used by Dropout's per-microbatch mask streams, where
+/// the four arguments are (module seed, optimizer step, microbatch index,
+/// element index) — identical inputs give identical masks on every
+/// thread, on every platform.
+double counter_uniform(std::uint64_t key, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c);
+
 /// Deterministic 64-bit PCG (PCG-XSH-RR) random number generator.
 ///
 /// All randomness in the library flows through this class so that every

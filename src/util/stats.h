@@ -1,9 +1,19 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace pipemare::util {
+
+/// Nanoseconds between two steady-clock points (the shared timing helper
+/// of the per-stage load counters and the measured cost profiler).
+inline std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                                std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
 
 /// Arithmetic mean; returns 0 for an empty span.
 double mean(std::span<const double> xs);

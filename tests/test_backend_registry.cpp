@@ -247,7 +247,9 @@ TEST(BackendRegistry, NonSequentialBackendsRejectRecompute) {
 
 TEST(BackendRegistry, DuplicateRegistrationThrows) {
   EXPECT_THROW(BackendRegistry::instance().register_backend(
-                   "sequential", [](const BackendConfig&, const pipeline::EngineConfig&) {},
+                   "sequential",
+                   [](const BackendConfig&, const pipeline::EngineConfig&,
+                      const nn::Model*) {},
                    [](nn::Model, const BackendConfig&, const pipeline::EngineConfig&,
                       std::uint64_t) -> std::unique_ptr<ExecutionBackend> {
                      return nullptr;

@@ -9,6 +9,7 @@
 #include "src/core/task.h"
 #include "src/core/trainer.h"
 #include "src/data/regression_data.h"
+#include "src/data/translation_data.h"
 #include "src/hogwild/hogwild.h"
 #include "src/hogwild/threaded_hogwild.h"
 #include "src/nn/activations.h"
@@ -16,6 +17,7 @@
 #include "src/nn/heads.h"
 #include "src/nn/linear.h"
 #include "src/nn/model.h"
+#include "src/nn/transformer.h"
 #include "src/util/rng.h"
 
 namespace pipemare::hogwild {
@@ -88,15 +90,97 @@ TEST(HogwildValidation, RejectsBadConfigs) {
   EXPECT_THROW(ThreadedHogwildEngine(fx.model, bad_workers, 1), std::invalid_argument);
 }
 
+namespace {
+
+/// A module that really does mutate state in forward, to keep the
+/// whole-model-replica safety gate honest now that no in-tree module
+/// trips it.
+class StatefulProbe : public nn::Linear {
+ public:
+  StatefulProbe() : nn::Linear(8, 8) {}
+  std::string name() const override { return "StatefulProbe"; }
+  bool stateful_forward() const override { return true; }
+};
+
+}  // namespace
+
 TEST(ThreadedHogwild, RejectsStatefulForwardModules) {
+  nn::Model model;
+  model.add(std::make_unique<nn::Linear>(8, 8));
+  model.add(std::make_unique<StatefulProbe>());
+  model.add(std::make_unique<nn::Linear>(8, 4));
+  EXPECT_THROW(ThreadedHogwildEngine(model, base_config(2, 2), 1),
+               std::invalid_argument);
+  // The sequential engine keeps supporting stateful-forward models.
+  EXPECT_NO_THROW(HogwildEngine(model, base_config(2, 2), 1));
+}
+
+TEST(ThreadedHogwild, AcceptsDropoutModels) {
+  // Dropout masks are counter-based (pure functions of seed/step/micro/
+  // element), so concurrent whole-model replicas are safe and the
+  // Transformer analogs can run on this backend (the ROADMAP item the
+  // old stateful RNG stream blocked).
   nn::Model model;
   model.add(std::make_unique<nn::Linear>(8, 8));
   model.add(std::make_unique<nn::Dropout>(0.3));
   model.add(std::make_unique<nn::Linear>(8, 4));
-  EXPECT_THROW(ThreadedHogwildEngine(model, base_config(2, 2), 1),
-               std::invalid_argument);
-  // The sequential engine keeps supporting dropout models.
-  EXPECT_NO_THROW(HogwildEngine(model, base_config(2, 2), 1));
+  EXPECT_NO_THROW(ThreadedHogwildEngine(model, base_config(2, 2), 1));
+}
+
+TEST(ThreadedHogwild, TransformerDropoutBitwiseAcrossWorkerCounts) {
+  // The ROADMAP item this PR closes: the Transformer analogs (with active
+  // Dropout) run on the threaded Hogwild backend, and because masks are
+  // counter-based, thread timing cannot leak into them — two identically
+  // seeded runs with different worker counts stay bitwise equal, and both
+  // match the sequential HogwildEngine's losses exactly (identical weight
+  // views, identical masks; only gradient accumulation reassociates).
+  data::TranslationConfig d;
+  d.vocab = 12;
+  d.seq_len = 5;
+  d.train_size = 16;
+  d.test_size = 4;
+  d.seed = 3;
+  nn::TransformerConfig mc;
+  mc.d_model = 16;
+  mc.heads = 2;
+  mc.enc_layers = 1;
+  mc.dec_layers = 1;
+  mc.ffn_hidden = 24;
+  mc.dropout = 0.3;
+  core::TranslationTask task(d, mc, "tiny-dropout", /*eval=*/4);
+  nn::Model model = task.build_model();
+
+  auto hw = base_config(3, 2);
+  HogwildEngine seq(model, hw, 11);
+  ThreadedHogwildEngine a(model, hw, 11);
+  hw.num_workers = 2;
+  ThreadedHogwildEngine b(model, hw, 11);
+
+  auto mb = task.minibatch({0, 1, 2, 3}, 2);
+  for (int step = 0; step < 3; ++step) {
+    auto rs = seq.forward_backward(mb.inputs, mb.targets, task.loss());
+    auto ra = a.forward_backward(mb.inputs, mb.targets, task.loss());
+    auto rb = b.forward_backward(mb.inputs, mb.targets, task.loss());
+    ASSERT_DOUBLE_EQ(ra.loss, rb.loss) << "step " << step;
+    // Sequential comparison is tight but not bitwise: gradient
+    // accumulation reassociates across microbatch boundaries, so weights
+    // (and with them later losses) drift by float rounding after step 0.
+    ASSERT_NEAR(rs.loss, ra.loss, 1e-5 * (1.0 + std::abs(rs.loss)))
+        << "step " << step;
+    auto ga = a.gradients();
+    auto gb = b.gradients();
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      ASSERT_EQ(ga[i], gb[i]) << "grad " << i << " at step " << step;
+    }
+    auto apply = [](auto& engine) {
+      auto g = engine.gradients();
+      for (std::size_t i = 0; i < g.size(); ++i) engine.weights()[i] -= 0.05F * g[i];
+      engine.commit_update();
+    };
+    apply(seq);
+    apply(a);
+    apply(b);
+  }
 }
 
 TEST(ThreadedHogwild, ResolvesWorkerCount) {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/stage_load.h"
 #include "src/core/task.h"
 #include "src/core/trainer.h"
 #include "src/nn/activations.h"
@@ -124,12 +125,99 @@ TEST(ThreadedEngine, SingleStageDegeneratesToSequential) {
   expect_bitwise_parity(parity_config(Method::PipeMare, 1, 4), 3);
 }
 
+TEST(ThreadedEngine, BitwiseParityWithBalancedPartition) {
+  // Both engines derive the same cost-balanced partition from the shared
+  // spec, so the parity guarantee is strategy-independent.
+  ParityFixture fx(4);
+  auto ec = parity_config(Method::PipeMare, 4, 4);
+  ec.partition.strategy = PartitionStrategy::Balanced;
+  ec.partition.probe = std::make_shared<const nn::Flow>(fx.inputs.at(0));
+  PipelineEngine seq(fx.model, ec, 1);
+  ThreadedEngine thr(fx.model, ec, 1);
+  EXPECT_EQ(seq.partition().unit_stage, thr.partition().unit_stage);
+  EXPECT_EQ(thr.partition().strategy, PartitionStrategy::Balanced);
+  for (int step = 0; step < 3; ++step) {
+    auto rs = seq.forward_backward(fx.inputs, fx.targets, fx.head);
+    auto rt = thr.forward_backward(fx.inputs, fx.targets, fx.head);
+    ASSERT_DOUBLE_EQ(rs.loss, rt.loss) << "step " << step;
+    auto gs = seq.gradients();
+    auto gt = thr.gradients();
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      ASSERT_EQ(gs[i], gt[i]) << "grad " << i << " at step " << step;
+    }
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      seq.weights()[i] -= 0.05F * gs[i];
+      thr.weights()[i] -= 0.05F * gt[i];
+    }
+    seq.commit_update();
+    thr.commit_update();
+  }
+}
+
+TEST(ThreadedEngine, StageStatsTrackPerStageLoad) {
+  const int stages = 3;
+  const int micro = 4;
+  ParityFixture fx(micro);
+  ThreadedEngine thr(fx.model, parity_config(Method::PipeMare, stages, micro), 1);
+
+  auto before = thr.stage_stats();
+  ASSERT_EQ(before.size(), static_cast<std::size_t>(stages));
+  for (const auto& s : before) {
+    EXPECT_EQ(s.busy_ns, 0u);
+    EXPECT_EQ(s.items, 0u);
+  }
+
+  const int steps = 2;
+  for (int step = 0; step < steps; ++step) {
+    (void)thr.forward_backward(fx.inputs, fx.targets, fx.head);
+    thr.commit_update();
+  }
+
+  auto after = thr.stage_stats();
+  for (int s = 0; s < stages; ++s) {
+    const auto& st = after[static_cast<std::size_t>(s)];
+    EXPECT_GT(st.busy_ns, 0u) << "stage " << s;
+    // The tail stage fuses F+B and pops only its N forwards; every other
+    // stage pops N forwards + N backwards per minibatch.
+    auto expected_items =
+        static_cast<std::uint64_t>(steps * micro * (s == stages - 1 ? 1 : 2));
+    EXPECT_EQ(st.items, expected_items) << "stage " << s;
+  }
+
+  thr.reset_stage_stats();
+  for (const auto& s : thr.stage_stats()) {
+    EXPECT_EQ(s.busy_ns, 0u);
+    EXPECT_EQ(s.pop_wait_ns, 0u);
+    EXPECT_EQ(s.push_wait_ns, 0u);
+    EXPECT_EQ(s.items, 0u);
+  }
+}
+
+TEST(ThreadedEngine, StageLoadObserverSamplesEpochDeltas) {
+  ParityFixture fx(2);
+  ThreadedEngine thr(fx.model, parity_config(Method::PipeMare, 2, 2), 1);
+  core::StageLoadObserver load(thr);
+  ASSERT_TRUE(load.active());
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    (void)thr.forward_backward(fx.inputs, fx.targets, fx.head);
+    thr.commit_update();
+    core::EpochRecord rec;
+    load.on_epoch(rec);
+  }
+  ASSERT_EQ(load.epoch_stats().size(), 2u);
+  for (const auto& epoch : load.epoch_stats()) {
+    ASSERT_EQ(epoch.size(), 2u);
+    for (const auto& s : epoch) EXPECT_GT(s.items, 0u);
+  }
+  EXPECT_GE(core::StageLoadObserver::busy_spread(load.totals()), 1.0);
+}
+
 TEST(ThreadedEngine, BitwiseParityWithDropoutStreams) {
-  // Each Dropout module owns a deterministic RNG stream consumed in
-  // microbatch order; with one worker per stage the threaded engine must
-  // consume every stream in the same order as the sequential engine. Each
-  // engine gets its own (identically seeded) model so the streams stay
-  // independent across engines.
+  // Dropout masks are counter-based: pure functions of (module seed, step,
+  // micro, element) stamped on the Flow, so the threaded engine reproduces
+  // the sequential engine's masks bitwise regardless of worker timing.
+  // Each engine gets its own (identically seeded) model; with stateless
+  // modules even sharing one model would be safe.
   data::TranslationConfig d;
   d.vocab = 12;
   d.seq_len = 5;
