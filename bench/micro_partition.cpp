@@ -41,22 +41,9 @@ constexpr int kNarrow = 16;
 constexpr int kNarrowLayers = 8;
 constexpr int kClasses = 10;
 
-/// Two wide layers, a funnel, then a tail of narrow layers: 12 weight
-/// units whose costs differ by ~64x end to end.
+/// The shared skewed model (bench_util.h); micro_steal runs the same one.
 nn::Model make_skewed_mlp() {
-  nn::Model m;
-  m.add(std::make_unique<nn::Linear>(kWide, kWide, /*relu_init=*/true));
-  m.add(std::make_unique<nn::ReLU>());
-  m.add(std::make_unique<nn::Linear>(kWide, kWide, /*relu_init=*/true));
-  m.add(std::make_unique<nn::ReLU>());
-  m.add(std::make_unique<nn::Linear>(kWide, kNarrow, /*relu_init=*/true));
-  m.add(std::make_unique<nn::ReLU>());
-  for (int i = 0; i < kNarrowLayers; ++i) {
-    m.add(std::make_unique<nn::Linear>(kNarrow, kNarrow, /*relu_init=*/true));
-    m.add(std::make_unique<nn::ReLU>());
-  }
-  m.add(std::make_unique<nn::Linear>(kNarrow, kClasses));
-  return m;
+  return benchutil::make_skewed_mlp(kWide, kNarrow, kNarrowLayers, kClasses);
 }
 
 struct RunResult {

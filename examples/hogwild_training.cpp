@@ -6,7 +6,8 @@
 // the W-worker threaded variant with no other changes.
 //
 // Usage: example_hogwild_training [--epochs=8] [--max-delay=12] [--seed=2]
-//          [--backend=hogwild|threaded_hogwild] [--workers=0]
+//          + the shared backend flags (--help prints them with the
+//          registered-backend list; this driver presets --backend=hogwild).
 #include <iostream>
 
 #include "src/core/experiments.h"
@@ -19,6 +20,12 @@
 int main(int argc, char** argv) {
   using namespace pipemare;
   util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "Usage: example_hogwild_training [--epochs=8] [--max-delay=12] "
+                 "[--seed=2]\n"
+              << core::backend_cli_help();
+    return 0;
+  }
 
   auto task = core::make_cifar10_analog(cli.get_int("seed", 2));
   nn::Model probe = task->build_model();

@@ -3,8 +3,9 @@
 // PipeMare) on the synthetic CIFAR10 analog and prints a Table 2-style
 // summary including analytic throughput / memory columns.
 //
-// Usage: example_image_classification [--epochs=10] [--stages=0 (max)] [--seed=1]
-//          [--backend=sequential|threaded|hogwild|threaded_hogwild]
+// Usage: example_image_classification [--epochs=10] [--stages=0 (max)]
+//          [--seed=1] + the shared backend flags (--help prints them with
+//          the registered-backend list).
 #include <iostream>
 
 #include "src/core/experiments.h"
@@ -17,6 +18,12 @@
 int main(int argc, char** argv) {
   using namespace pipemare;
   util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "Usage: example_image_classification [--epochs=10] "
+                 "[--stages=0 (max)] [--seed=1]\n"
+              << core::backend_cli_help();
+    return 0;
+  }
 
   auto task = core::make_cifar10_analog(cli.get_int("seed", 1));
   nn::Model probe = task->build_model();

@@ -3,10 +3,8 @@
 // GPipe-style synchronous execution. The execution substrate is picked
 // from the BackendRegistry, so the same comparison runs on any backend.
 //
-// Usage: example_quickstart [--epochs=8] [--seed=1]
-//          [--backend=sequential|threaded|hogwild|threaded_hogwild]
-//          [--partition=uniform|balanced[,measured]]
-//          [--max-delay=16 (hogwild family)] [--workers=0 (threaded_hogwild)]
+// Usage: example_quickstart [--epochs=8] [--seed=1] + the shared backend
+// flags (--help prints them with the registered-backend list).
 #include <iostream>
 
 #include "src/core/experiments.h"
@@ -19,6 +17,11 @@
 int main(int argc, char** argv) {
   using namespace pipemare;
   util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "Usage: example_quickstart [--epochs=8] [--seed=1]\n"
+              << core::backend_cli_help();
+    return 0;
+  }
 
   auto task = core::make_cifar10_analog(cli.get_int("seed", 1));
   nn::Model probe = task->build_model();

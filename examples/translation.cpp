@@ -3,11 +3,11 @@
 // paper's IWSLT14 analog), with all three PipeMare techniques, followed by
 // beam-search decoding and corpus BLEU.
 //
-// Usage: example_translation [--epochs=10] [--seed=4] [--beam=5]
-//          [--backend=sequential|threaded|hogwild|threaded_hogwild]
-//          [--partition=uniform|balanced[,measured]]
-//          (Dropout masks are counter-based, so every backend — including
-//          threaded_hogwild's whole-model replicas — runs the Transformer)
+// Usage: example_translation [--epochs=10] [--seed=4] [--beam=5] + the
+//          shared backend flags (--help prints them with the
+//          registered-backend list). Dropout masks are counter-based, so
+//          every backend — including threaded_hogwild's whole-model
+//          replicas — runs the Transformer.
 #include <chrono>
 #include <iostream>
 
@@ -23,6 +23,11 @@
 int main(int argc, char** argv) {
   using namespace pipemare;
   util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "Usage: example_translation [--epochs=10] [--seed=4] [--beam=5]\n"
+              << core::backend_cli_help();
+    return 0;
+  }
 
   auto task = core::make_iwslt_analog(cli.get_int("seed", 4));
   nn::Model probe = task->build_model();

@@ -169,6 +169,32 @@ BackendRegistry::BackendRegistry() {
       });
 
   register_backend(
+      "threaded_steal",
+      [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
+                        const nn::Model* model) {
+        auto opts = options_as<StealOptions>(b);
+        reject_recompute("threaded_steal", engine);
+        check_partition("threaded_steal", engine, model);
+        if (opts.workers < 0) {
+          throw std::invalid_argument(
+              "backend 'threaded_steal': workers must be >= 0 (0 = "
+              "min(cores, num_stages))");
+        }
+      },
+      [](nn::Model model, const BackendConfig& b, const pipeline::EngineConfig& engine,
+         std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+        auto opts = options_as<StealOptions>(b);
+        sched::StealConfig cfg;
+        cfg.engine = engine;
+        cfg.workers = opts.workers;
+        cfg.mode = opts.mode;
+        cfg.record_log = opts.record_log;
+        return std::make_unique<ThreadedStealBackend>("threaded_steal",
+                                                      std::move(model),
+                                                      std::move(cfg), seed);
+      });
+
+  register_backend(
       "threaded_hogwild",
       [check_partition](const BackendConfig& b, const pipeline::EngineConfig& engine,
                         const nn::Model* model) {

@@ -14,6 +14,8 @@
 #include "src/optim/optimizer.h"
 #include "src/pipeline/config.h"
 #include "src/pipeline/engine.h"
+#include "src/pipeline/stage_stats.h"
+#include "src/sched/steal_policy.h"
 
 namespace pipemare::core {
 
@@ -71,6 +73,15 @@ class ExecutionBackend {
 
   /// The registry key this backend was created under (e.g. "threaded").
   virtual std::string_view name() const = 0;
+
+  /// Per-slot load counters (a slot is a stage for the stage-partitioned
+  /// engines, a worker for the Hogwild backend — see
+  /// pipeline::StageStats), cumulative since construction or the last
+  /// reset. Empty when the backend has no per-slot instrumentation (the
+  /// default); StageLoadObserver uses that to deactivate itself. Call
+  /// between minibatches.
+  virtual std::vector<pipeline::StageStats> stage_stats() const { return {}; }
+  virtual void reset_stage_stats() {}
 };
 
 // ---------------------------------------------------------------------------
@@ -109,11 +120,26 @@ struct ThreadedHogwildOptions {
                                    ///< pipeline profile (2(P-i)+1)/N
 };
 
+/// "threaded_steal" — the work-stealing worker-pool runtime
+/// (sched::StealingEngine): W workers drain per-stage deques of ready
+/// forward/backward tasks, idle workers stealing from the busy-share
+/// leader while stolen tasks keep the owner stage's weight version
+/// (PipeMare's delay distribution is unchanged; curves are bitwise equal
+/// to "threaded" in every mode).
+struct StealOptions {
+  static constexpr std::string_view kName = "StealOptions";
+  int workers = 0;  ///< worker threads; 0 = min(cores, num_stages)
+  sched::StealMode mode = sched::StealMode::LoadAware;
+  bool record_log = false;  ///< keep the per-step steal log (deterministic
+                            ///< modes log regardless)
+};
+
 /// Tagged options union. `std::monostate` means "this backend's defaults";
 /// a populated alternative must match the selected backend or the registry
 /// throws (catching e.g. ThreadedHogwildOptions sent to "sequential").
 using BackendOptions = std::variant<std::monostate, SequentialOptions, ThreadedOptions,
-                                    HogwildOptions, ThreadedHogwildOptions>;
+                                    HogwildOptions, ThreadedHogwildOptions,
+                                    StealOptions>;
 
 /// Human-readable tag of the active alternative (for error messages).
 std::string_view backend_options_name(const BackendOptions& options);
@@ -140,9 +166,9 @@ struct BackendConfig {
 // ---------------------------------------------------------------------------
 
 /// String-keyed factory table mapping backend names to ExecutionBackend
-/// builders. The four in-tree backends ("sequential", "threaded",
-/// "hogwild", "threaded_hogwild") register themselves on first use; new
-/// execution substrates (work-stealing, free-running Hogwild) plug in via
+/// builders. The five in-tree backends ("sequential", "threaded",
+/// "hogwild", "threaded_hogwild", "threaded_steal") register themselves on
+/// first use; new execution substrates (free-running Hogwild) plug in via
 /// register_backend without touching core::train.
 ///
 /// Registration is intended for startup; concurrent register_backend calls

@@ -20,6 +20,7 @@
 #include "src/hogwild/threaded_hogwild.h"
 #include "src/pipeline/engine.h"
 #include "src/pipeline/threaded_engine.h"
+#include "src/sched/stealing_engine.h"
 
 namespace pipemare::core {
 
@@ -55,6 +56,23 @@ class EngineBackend final : public ExecutionBackend {
   const nn::Model& model() const override { return model_; }
   std::string_view name() const override { return name_; }
 
+  /// Engines expose load instrumentation by providing stage_stats() /
+  /// reset_stage_stats(); engines without it (the analytic sequential
+  /// pipeline, the single-threaded Hogwild engine) fall back to the
+  /// interface default (empty = uninstrumented).
+  std::vector<pipeline::StageStats> stage_stats() const override {
+    if constexpr (requires(const Engine& e) { e.stage_stats(); }) {
+      return engine_.stage_stats();
+    } else {
+      return {};
+    }
+  }
+  void reset_stage_stats() override {
+    if constexpr (requires(Engine& e) { e.reset_stage_stats(); }) {
+      engine_.reset_stage_stats();
+    }
+  }
+
   /// The wrapped engine, for callers needing its concrete surface
   /// (e.g. ThreadedEngine::lane_stats in the micro benches).
   Engine& engine() { return engine_; }
@@ -74,5 +92,6 @@ using ThreadedBackend = EngineBackend<pipeline::ThreadedEngine, pipeline::Engine
 using HogwildBackend = EngineBackend<hogwild::HogwildEngine, hogwild::HogwildConfig>;
 using ThreadedHogwildBackend =
     EngineBackend<hogwild::ThreadedHogwildEngine, hogwild::HogwildConfig>;
+using ThreadedStealBackend = EngineBackend<sched::StealingEngine, sched::StealConfig>;
 
 }  // namespace pipemare::core

@@ -1,9 +1,12 @@
 #pragma once
 
-// StepObserver that turns ThreadedEngine's per-stage busy/idle/mailbox-wait
-// counters into per-epoch load records — the measurement side of the
-// partition cost model (predicted stage cost vs observed busy time) and
-// the substrate a future work-stealing backend will balance at runtime.
+// StepObserver that turns a backend's per-slot busy/idle/wait counters
+// into per-epoch load records — the measurement side of the partition cost
+// model (predicted stage cost vs observed busy time) and the refinement
+// input of the work-stealing runtime's victim policy. A slot is a stage
+// for "threaded" / "threaded_steal" and a worker for "threaded_hogwild"
+// (see pipeline::StageStats); the steal counters ride along, so steal
+// counts per stage surface on every epoch record.
 
 #include <algorithm>
 #include <cstdint>
@@ -14,12 +17,13 @@
 
 namespace pipemare::core {
 
-/// Samples ThreadedEngine::stage_stats() at every epoch boundary.
+/// Samples the observed backend's stage_stats() at every epoch boundary.
 ///
-/// Attach to a backend created by the registry (activates only when the
-/// backend actually wraps a ThreadedEngine — other backends have no stage
-/// workers to measure) or to a ThreadedEngine directly, then pass to
-/// train_loop's observer list:
+/// Works over any ExecutionBackend: backends without per-slot
+/// instrumentation (sequential, hogwild) report empty stats and the
+/// observer deactivates itself. Attach to a backend created by the
+/// registry, or to a ThreadedEngine directly, then pass to train_loop's
+/// observer list:
 ///
 ///   auto backend = BackendRegistry::instance().create(...);
 ///   StageLoadObserver load(*backend);
@@ -28,22 +32,19 @@ namespace pipemare::core {
 ///   if (load.active()) report(load.epoch_stats().back());
 class StageLoadObserver final : public StepObserver {
  public:
-  using StageStats = pipeline::ThreadedEngine::StageStats;
+  using StageStats = pipeline::StageStats;
 
-  explicit StageLoadObserver(ExecutionBackend& backend) {
-    if (auto* threaded = dynamic_cast<ThreadedBackend*>(&backend)) {
-      engine_ = &threaded->engine();
-    }
-  }
+  explicit StageLoadObserver(const ExecutionBackend& backend)
+      : backend_(&backend) {}
   explicit StageLoadObserver(const pipeline::ThreadedEngine& engine)
       : engine_(&engine) {}
 
-  /// False when the observed backend has no stage workers (not threaded).
-  bool active() const { return engine_ != nullptr; }
+  /// False when the observed backend has no per-slot instrumentation.
+  bool active() const { return !sample().empty(); }
 
   void on_epoch(EpochRecord& /*record*/) override {
-    if (engine_ == nullptr) return;
-    auto cumulative = engine_->stage_stats();
+    auto cumulative = sample();
+    if (cumulative.empty()) return;
     auto delta = cumulative;
     if (!last_.empty()) {
       // Counters are cumulative and monotone unless someone called
@@ -58,13 +59,15 @@ class StageLoadObserver final : public StepObserver {
         delta[s].push_wait_ns =
             since(cumulative[s].push_wait_ns, last_[s].push_wait_ns);
         delta[s].items = since(cumulative[s].items, last_[s].items);
+        delta[s].stolen_items = since(cumulative[s].stolen_items, last_[s].stolen_items);
+        delta[s].stolen_ns = since(cumulative[s].stolen_ns, last_[s].stolen_ns);
       }
     }
     last_ = std::move(cumulative);
     epoch_stats_.push_back(std::move(delta));
   }
 
-  /// Per-epoch per-stage load deltas, one entry per observed epoch.
+  /// Per-epoch per-slot load deltas, one entry per observed epoch.
   const std::vector<std::vector<StageStats>>& epoch_stats() const {
     return epoch_stats_;
   }
@@ -83,6 +86,12 @@ class StageLoadObserver final : public StepObserver {
   }
 
  private:
+  std::vector<StageStats> sample() const {
+    if (engine_ != nullptr) return engine_->stage_stats();
+    return backend_->stage_stats();
+  }
+
+  const ExecutionBackend* backend_ = nullptr;
   const pipeline::ThreadedEngine* engine_ = nullptr;
   std::vector<StageStats> last_;
   std::vector<std::vector<StageStats>> epoch_stats_;

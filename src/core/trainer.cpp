@@ -71,10 +71,34 @@ BackendConfig resolve_backend_config(const TrainerConfig& cfg) {
   return backend;
 }
 
+std::string backend_cli_help() {
+  std::string names;
+  for (const auto& name : BackendRegistry::instance().names()) {
+    if (!names.empty()) names += '|';
+    names += name;
+  }
+  return "  --backend=<" + names +
+         ">\n"
+         "  --partition=uniform|balanced[,measured]\n"
+         "  --max-delay=<float>   (hogwild family: delay truncation bound)\n"
+         "  --workers=<int>       (threaded_hogwild, threaded_steal)\n"
+         "  --steal=off|load|det|forced --steal-log=0|1 (threaded_steal)\n";
+}
+
 void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
   const std::string name = cli.get("backend", cfg.backend.name);
   BackendRegistry::instance().require(name);
   cfg.backend.name = name;
+  // Custom registered backends are left untouched (their flags are the
+  // caller's business); the built-in non-steal backends reject the steal
+  // flags instead of silently dropping them.
+  if ((cli.has("steal") || cli.has("steal-log")) &&
+      (name == "sequential" || name == "threaded" || name == "hogwild" ||
+       name == "threaded_hogwild")) {
+    throw std::invalid_argument(
+        "parse_backend_cli: --steal/--steal-log apply to the threaded_steal "
+        "backend; pass --backend=threaded_steal");
+  }
   if (cli.has("partition")) {
     const std::string spec = cli.get("partition", "uniform");
     if (spec == "uniform") {
@@ -116,9 +140,31 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
     } else if (const auto* prev_seq = std::get_if<HogwildOptions>(&cfg.backend.options)) {
       opts.max_delay = prev_seq->max_delay;
       opts.mean_delay = prev_seq->mean_delay;
+    } else if (const auto* prev_steal = std::get_if<StealOptions>(&cfg.backend.options)) {
+      // Worker counts carry between the worker-pool backends.
+      opts.workers = prev_steal->workers;
     }
     opts.max_delay = cli.get_double("max-delay", opts.max_delay);
     opts.workers = cli.get_int("workers", opts.workers);
+    cfg.backend.options = std::move(opts);
+  } else if (name == "threaded_steal") {
+    if (cli.has("max-delay")) {
+      throw std::invalid_argument(
+          "parse_backend_cli: --max-delay applies to the hogwild backends; "
+          "pass --backend=hogwild or --backend=threaded_hogwild");
+    }
+    StealOptions opts;
+    if (const auto* prev = std::get_if<StealOptions>(&cfg.backend.options)) {
+      opts = *prev;
+    } else if (const auto* prev_thr =
+                   std::get_if<ThreadedHogwildOptions>(&cfg.backend.options)) {
+      opts.workers = prev_thr->workers;
+    }
+    opts.workers = cli.get_int("workers", opts.workers);
+    if (cli.has("steal")) {
+      opts.mode = sched::parse_steal_mode(cli.get("steal", "load"));
+    }
+    opts.record_log = cli.get_bool("steal-log", opts.record_log);
     cfg.backend.options = std::move(opts);
   } else if (name == "sequential" || name == "threaded") {
     if (cli.has("max-delay") || cli.has("workers")) {
@@ -149,12 +195,18 @@ TrainResult train(const Task& task, TrainerConfig cfg,
   cfg.engine.num_microbatches = cfg.num_microbatches();
   const BackendConfig backend = resolve_backend_config(cfg);
   // Balanced partitioning wants a probe microbatch for cost profiling
-  // (shape-aware analytic estimates, or the timed reps of measured mode);
-  // the task's first training microbatch is a representative sample. A
-  // training set smaller than one microbatch still probes with whatever
-  // examples exist (per-stage cost *ratios* barely move with row count).
+  // (shape-aware analytic estimates, or the timed reps of measured mode),
+  // and the work-stealing backend wants one even under a uniform split —
+  // its StealPolicy victim ranking is seeded from cost-model predictions,
+  // and without a probe the shape-blind intrinsic fallback can rank a
+  // shape-dependent model's stages wrongly for the whole run in the
+  // fixed-order (det/forced) modes. The task's first training microbatch
+  // is a representative sample. A training set smaller than one
+  // microbatch still probes with whatever examples exist (per-stage cost
+  // *ratios* barely move with row count).
   const int probe_rows = std::min(cfg.microbatch_size, task.train_size());
-  if (cfg.engine.partition.strategy == pipeline::PartitionStrategy::Balanced &&
+  if ((cfg.engine.partition.strategy == pipeline::PartitionStrategy::Balanced ||
+       backend.name == "threaded_steal") &&
       !cfg.engine.partition.probe && probe_rows > 0) {
     std::vector<int> idx(static_cast<std::size_t>(probe_rows));
     for (int i = 0; i < probe_rows; ++i) idx[static_cast<std::size_t>(i)] = i;

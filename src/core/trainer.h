@@ -29,8 +29,9 @@ struct TrainerConfig {
   pipeline::EngineConfig engine;
 
   /// Execution backend selection: a BackendRegistry key ("sequential",
-  /// "threaded", "hogwild", "threaded_hogwild") plus that backend's typed
-  /// options. core::train resolves it through the registry:
+  /// "threaded", "hogwild", "threaded_hogwild", "threaded_steal") plus
+  /// that backend's typed options. core::train resolves it through the
+  /// registry:
   ///
   ///   cfg.backend = "threaded";
   ///   cfg.backend = {"threaded_hogwild",
@@ -359,12 +360,21 @@ BackendConfig resolve_backend_config(const TrainerConfig& cfg);
 ///                        stage-partition strategy (any backend); measured
 ///                        micro-profiles module costs on a probe batch
 ///   --max-delay=<float>  hogwild family: delay truncation bound
-///   --workers=<int>      threaded_hogwild: worker thread count
+///   --workers=<int>      threaded_hogwild / threaded_steal: worker threads
+///   --steal=off|load|det|forced
+///                        threaded_steal: steal mode (see sched::StealMode)
+///   --steal-log=0|1      threaded_steal: keep the per-step steal log
 /// Absent flags keep the configuration already in `cfg.backend`; switching
-/// between the two hogwild backends carries max_delay / mean_delay over,
-/// and a flag the selected built-in backend cannot honor (e.g. --workers
-/// with "hogwild") throws instead of being silently dropped.
+/// between the two hogwild backends carries max_delay / mean_delay over
+/// (and worker counts carry between the worker-pool backends), while a
+/// flag the selected built-in backend cannot honor (e.g. --workers with
+/// "hogwild") throws instead of being silently dropped.
 void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg);
+
+/// The shared-flag usage block for --help text, with the backend list
+/// built from the BackendRegistry — new backends appear in every binary's
+/// help automatically instead of drifting hardcoded name lists.
+std::string backend_cli_help();
 
 /// Convenience wrapper: builds the model, resolves cfg.backend through the
 /// BackendRegistry, and runs train_loop on the resulting ExecutionBackend.

@@ -1,12 +1,18 @@
 #include "src/hogwild/threaded_hogwild.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "src/util/stats.h"
 
 namespace pipemare::hogwild {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+using util::ns_between;
 
 int resolve_worker_count(const HogwildConfig& cfg) {
   if (cfg.num_workers > 0) return cfg.num_workers;
@@ -55,10 +61,11 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
   unit_version_.assign(static_cast<std::size_t>(partition_.num_units()), 0);
 
   int w = resolve_worker_count(cfg_);
+  stats_.assign(static_cast<std::size_t>(w), pipeline::StageStats{});
   workers_.reserve(static_cast<std::size_t>(w));
   try {
     for (int i = 0; i < w; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (...) {
     // Same partial-spawn recovery as ThreadedEngine: join what started so
@@ -148,8 +155,9 @@ void ThreadedHogwildEngine::process_micro(int micro, std::vector<float>& w,
   }
 }
 
-void ThreadedHogwildEngine::worker_loop() {
+void ThreadedHogwildEngine::worker_loop(int worker) {
   std::vector<float> w(live_.size());
+  pipeline::StageStats& stats = stats_[static_cast<std::size_t>(worker)];
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -160,9 +168,16 @@ void ThreadedHogwildEngine::worker_loop() {
     }
     bool w_ready = false;
     for (;;) {
+      // Pop wait measures in-minibatch starvation only (the wait for the
+      // next generation is between-minibatch idle, not queue contention).
+      auto t_pop = Clock::now();
       pipeline::StageItem item = work_.pop();
+      stats.pop_wait_ns += ns_between(t_pop, Clock::now());
       if (item.micro < 0) break;  // one sentinel per worker per minibatch
+      auto t0 = Clock::now();
       process_micro(item.micro, w, w_ready);
+      stats.busy_ns += ns_between(t0, Clock::now());
+      ++stats.items;
     }
     {
       std::lock_guard<std::mutex> lock(ctrl_m_);

@@ -16,6 +16,7 @@
 #include "src/pipeline/engine.h"
 #include "src/pipeline/partition.h"
 #include "src/pipeline/stage_mailbox.h"
+#include "src/pipeline/stage_stats.h"
 #include "src/util/rng.h"
 
 namespace pipemare::hogwild {
@@ -99,11 +100,23 @@ class ThreadedHogwildEngine {
   /// Per-stage delay expectations (what T1 divides by).
   std::vector<double> stage_tau_fwd() const { return mean_delay_; }
 
+  /// Per-*worker* load counters (this backend has no stage workers; its
+  /// unit of execution parallelism is the free-running worker thread):
+  /// busy_ns = compute of the microbatches the worker processed,
+  /// pop_wait_ns = blocked in the work-queue pop (idle/starved), items =
+  /// microbatches processed. Cumulative since construction (or the last
+  /// reset); the same shape ThreadedEngine reports per stage, so
+  /// core::StageLoadObserver samples every multithreaded backend
+  /// uniformly. Call between minibatches (the generation barrier orders
+  /// worker writes before the read).
+  std::vector<pipeline::StageStats> stage_stats() const { return stats_; }
+  void reset_stage_stats() { stats_.assign(stats_.size(), pipeline::StageStats{}); }
+
   std::vector<optim::LrSegment> lr_segments(double base_lr,
                                             std::span<const double> scales) const;
 
  private:
-  void worker_loop();
+  void worker_loop(int worker);
   void process_micro(int micro, std::vector<float>& w, bool& w_ready);
   void assemble_delayed_weights(std::vector<float>& w) const;
   void record_failure(const char* what);
@@ -141,6 +154,11 @@ class ThreadedHogwildEngine {
   std::vector<std::vector<nn::Cache>> caches_;  ///< per microbatch
   std::atomic<bool> mb_failed_{false};
   std::string mb_error_;  ///< first worker exception (guarded by ctrl_m_)
+
+  /// Per-worker load counters. Each slot is written only by its worker;
+  /// readers run between minibatches, ordered by the completion barrier
+  /// (ctrl_m_ release/acquire), so plain fields suffice.
+  std::vector<pipeline::StageStats> stats_;
 
   std::mutex ctrl_m_;
   std::condition_variable ctrl_go_;

@@ -17,6 +17,7 @@
 #include "src/pipeline/partition.h"
 #include "src/pipeline/schedule.h"
 #include "src/pipeline/stage_mailbox.h"
+#include "src/pipeline/stage_stats.h"
 #include "src/pipeline/weight_versions.h"
 
 namespace pipemare::pipeline {
@@ -106,16 +107,13 @@ class ThreadedEngine {
 
   /// Per-stage load counters, cumulative since construction (or the last
   /// reset_stage_stats). This is the measurement substrate the partition
-  /// cost model is validated against — and what a future work-stealing
-  /// backend will balance at runtime: a stage whose busy share dwarfs the
-  /// others is the pipeline's bottleneck, and its siblings' pop_wait is
-  /// the headroom stealing could reclaim.
-  struct StageStats {
-    std::uint64_t busy_ns = 0;       ///< compute (forward/backward/loss)
-    std::uint64_t pop_wait_ns = 0;   ///< blocked in mailbox pop (idle/starved)
-    std::uint64_t push_wait_ns = 0;  ///< blocked in push_forward (backpressure)
-    std::uint64_t items = 0;         ///< forward + backward items processed
-  };
+  /// cost model is validated against — and what the work-stealing backend
+  /// ("threaded_steal", src/sched/) balances at runtime: a stage whose
+  /// busy share dwarfs the others is the pipeline's bottleneck, and its
+  /// siblings' pop_wait is the headroom stealing reclaims. The struct is
+  /// shared across all instrumented backends (stage_stats.h); this
+  /// engine's slots are stages and its stolen_* fields stay 0.
+  using StageStats = pipeline::StageStats;
 
   /// Snapshot of the per-stage counters. Call between minibatches (the
   /// engine's external-synchronization contract); the minibatch completion

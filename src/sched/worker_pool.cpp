@@ -1,0 +1,62 @@
+#include "src/sched/worker_pool.h"
+
+#include <utility>
+
+namespace pipemare::sched {
+
+WorkerPool::WorkerPool(int workers, Body body) : body_(std::move(body)) {
+  threads_.reserve(static_cast<std::size_t>(workers));
+  try {
+    for (int w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { thread_loop(w); });
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      shutdown_ = true;
+    }
+    go_.notify_all();
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = true;
+  }
+  go_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::thread_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      go_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    body_(worker);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      ++done_count_;
+    }
+    done_.notify_one();
+  }
+}
+
+void WorkerPool::run_generation() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    done_count_ = 0;
+    ++generation_;
+  }
+  go_.notify_all();
+  std::unique_lock<std::mutex> lock(m_);
+  done_.wait(lock, [&] { return done_count_ == static_cast<int>(threads_.size()); });
+}
+
+}  // namespace pipemare::sched

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipemare::sched {
+
+/// A persistent pool of W worker threads driven in *generations*: the
+/// owner calls run_generation(), every worker runs the body exactly once
+/// (with its worker index), and run_generation returns when all W bodies
+/// have finished. This is the release/collect barrier ThreadedEngine and
+/// ThreadedHogwildEngine each hand-roll, extracted so the stealing engine
+/// (and future substrates) can reuse it.
+///
+/// The barrier also carries the memory-ordering contract the engines rely
+/// on: everything the owner writes before run_generation() is visible to
+/// every body, and everything the bodies write is visible to the owner
+/// after run_generation() returns — so per-minibatch context and plain
+/// (non-atomic) single-writer counters need no further synchronization.
+///
+/// The body must not throw (engines catch worker-side exceptions and
+/// record them; see StealingEngine::record_failure).
+class WorkerPool {
+ public:
+  using Body = std::function<void(int worker)>;
+
+  /// Spawns `workers` threads running `body` once per generation. If
+  /// thread creation fails partway, the started threads are shut down and
+  /// joined before the exception propagates (destroying joinable
+  /// std::threads would std::terminate).
+  WorkerPool(int workers, Body body);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Releases all workers for one generation and blocks until every
+  /// body has returned.
+  void run_generation();
+
+ private:
+  void thread_loop(int worker);
+
+  Body body_;
+  std::mutex m_;
+  std::condition_variable go_;
+  std::condition_variable done_;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pipemare::sched

@@ -76,7 +76,8 @@ void expect_curves_bitwise_equal(const TrainResult& a, const TrainResult& b,
 TEST(BackendRegistry, EnumeratesAllBuiltinBackends) {
   auto names = BackendRegistry::instance().names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  for (const char* expected : {"hogwild", "sequential", "threaded", "threaded_hogwild"}) {
+  for (const char* expected : {"hogwild", "sequential", "threaded", "threaded_hogwild",
+                               "threaded_steal"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing backend: " << expected;
     EXPECT_TRUE(BackendRegistry::instance().contains(expected)) << expected;
@@ -99,6 +100,17 @@ TEST(BackendRegistry, UnknownBackendThrowsWithAvailableNames) {
           << "error should list '" << name << "': " << msg;
     }
   }
+}
+
+TEST(BackendRegistry, CliHelpListsEveryRegisteredBackend) {
+  // The --help block is built from the registry, so a newly registered
+  // backend shows up in every binary's usage text automatically.
+  std::string help = backend_cli_help();
+  for (const auto& name : BackendRegistry::instance().names()) {
+    EXPECT_NE(help.find(name), std::string::npos)
+        << "help should list '" << name << "': " << help;
+  }
+  EXPECT_NE(help.find("--steal="), std::string::npos) << help;
 }
 
 TEST(BackendRegistry, EveryRegisteredBackendTrainsTinyTask) {
@@ -237,7 +249,7 @@ TEST(BackendRegistry, ValidateIsTheSingleHogwildValidationPath) {
 
 TEST(BackendRegistry, NonSequentialBackendsRejectRecompute) {
   auto task = tiny_image_task();
-  for (const char* name : {"threaded", "hogwild", "threaded_hogwild"}) {
+  for (const char* name : {"threaded", "hogwild", "threaded_hogwild", "threaded_steal"}) {
     TrainerConfig cfg = tiny_config(pipeline::Method::PipeMare, 4, 1);
     cfg.backend = name;
     cfg.engine.recompute_segments = 2;
@@ -317,6 +329,51 @@ TEST(ParseBackendCli, AppliesFlagsAndCarriesDelayAcrossFamily) {
     EXPECT_TRUE(std::holds_alternative<std::monostate>(cfg.backend.options));
     pipeline::EngineConfig engine;
     BackendRegistry::instance().validate(cfg.backend, engine);  // must not throw
+  }
+  {
+    const char* argv[] = {"prog", "--backend=threaded_steal", "--workers=3",
+                          "--steal=forced", "--steal-log=1"};
+    util::Cli cli(5, const_cast<char**>(argv));
+    TrainerConfig cfg;
+    parse_backend_cli(cli, cfg);
+    const auto& opts = std::get<StealOptions>(cfg.backend.options);
+    EXPECT_EQ(opts.workers, 3);
+    EXPECT_EQ(opts.mode, sched::StealMode::Forced);
+    EXPECT_TRUE(opts.record_log);
+  }
+  {
+    // Worker counts carry between the worker-pool backends on a --backend
+    // switch (threaded_hogwild preset -> threaded_steal).
+    const char* argv[] = {"prog", "--backend=threaded_steal"};
+    util::Cli cli(2, const_cast<char**>(argv));
+    TrainerConfig cfg;
+    ThreadedHogwildOptions preset;
+    preset.workers = 6;
+    cfg.backend = {"threaded_hogwild", preset};
+    parse_backend_cli(cli, cfg);
+    const auto& opts = std::get<StealOptions>(cfg.backend.options);
+    EXPECT_EQ(opts.workers, 6);
+    EXPECT_EQ(opts.mode, sched::StealMode::LoadAware);
+  }
+  {
+    // --steal on a non-steal backend throws instead of being dropped.
+    const char* argv[] = {"prog", "--backend=threaded", "--steal=forced"};
+    util::Cli cli(3, const_cast<char**>(argv));
+    TrainerConfig cfg;
+    EXPECT_THROW(parse_backend_cli(cli, cfg), std::invalid_argument);
+  }
+  {
+    // ... and --max-delay on threaded_steal throws (hogwild-family knob).
+    const char* argv[] = {"prog", "--backend=threaded_steal", "--max-delay=4"};
+    util::Cli cli(3, const_cast<char**>(argv));
+    TrainerConfig cfg;
+    EXPECT_THROW(parse_backend_cli(cli, cfg), std::invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--backend=threaded_steal", "--steal=sideways"};
+    util::Cli cli(3, const_cast<char**>(argv));
+    TrainerConfig cfg;
+    EXPECT_THROW(parse_backend_cli(cli, cfg), std::invalid_argument);
   }
   {
     const char* argv[] = {"prog", "--backend=nope"};

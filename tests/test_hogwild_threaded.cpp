@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/stage_load.h"
 #include "src/core/task.h"
 #include "src/core/trainer.h"
 #include "src/data/regression_data.h"
@@ -194,6 +195,70 @@ TEST(ThreadedHogwild, ResolvesWorkerCount) {
   ThreadedHogwildEngine auto_engine(fx.model, hw, 1);
   EXPECT_GE(auto_engine.num_workers(), 1);
   EXPECT_LE(auto_engine.num_workers(), 4);
+}
+
+TEST(ThreadedHogwild, PerWorkerStatsCountProcessedMicrobatches) {
+  // Parity with ThreadedEngine's load instrumentation: per-worker busy /
+  // pop-wait counters behind the same stage_stats() surface, so
+  // core::StageLoadObserver samples every multithreaded backend uniformly.
+  const int n = 6;
+  HogwildFixture fx(n);
+  auto hw = base_config(2, n);
+  hw.num_workers = 2;
+  ThreadedHogwildEngine engine(fx.model, hw, 1);
+
+  auto before = engine.stage_stats();
+  ASSERT_EQ(before.size(), 2u);  // slots are workers, not stages
+  for (const auto& s : before) {
+    EXPECT_EQ(s.busy_ns, 0u);
+    EXPECT_EQ(s.items, 0u);
+  }
+
+  const int steps = 3;
+  for (int step = 0; step < steps; ++step) {
+    (void)engine.forward_backward(fx.inputs, fx.targets, fx.head);
+    engine.commit_update();
+  }
+  auto after = engine.stage_stats();
+  std::uint64_t items = 0;
+  std::uint64_t busy = 0;
+  for (const auto& s : after) {
+    items += s.items;
+    busy += s.busy_ns;
+    EXPECT_EQ(s.stolen_items, 0u);  // no stealing in this backend
+  }
+  EXPECT_EQ(items, static_cast<std::uint64_t>(steps * n));
+  EXPECT_GT(busy, 0u);
+
+  engine.reset_stage_stats();
+  for (const auto& s : engine.stage_stats()) {
+    EXPECT_EQ(s.busy_ns, 0u);
+    EXPECT_EQ(s.pop_wait_ns, 0u);
+    EXPECT_EQ(s.items, 0u);
+  }
+}
+
+TEST(ThreadedHogwild, StageLoadObserverActivatesThroughRegistryBackend) {
+  HogwildFixture fx(4);
+  pipeline::EngineConfig engine;
+  engine.num_stages = 2;
+  engine.num_microbatches = 4;
+  core::ThreadedHogwildOptions opts;
+  opts.workers = 2;
+  opts.max_delay = 6.0;
+  auto backend = core::BackendRegistry::instance().create(
+      std::move(fx.model), core::BackendConfig{"threaded_hogwild", opts}, engine, 1);
+  core::StageLoadObserver load(*backend);
+  ASSERT_TRUE(load.active());
+  (void)backend->forward_backward(fx.inputs, fx.targets, fx.head);
+  backend->commit_update();
+  core::EpochRecord rec;
+  load.on_epoch(rec);
+  ASSERT_EQ(load.epoch_stats().size(), 1u);
+  ASSERT_EQ(load.epoch_stats()[0].size(), 2u);
+  std::uint64_t items = 0;
+  for (const auto& s : load.epoch_stats()[0]) items += s.items;
+  EXPECT_EQ(items, 4u);
 }
 
 TEST(ThreadedHogwild, MatchesDelayProfileOfSequential) {
