@@ -35,19 +35,20 @@ inline nn::Model make_bench_mlp(int layers, int width, int classes) {
   return m;
 }
 
-/// The deliberately cost-skewed MLP the partition/steal benches share: two
-/// wide Linear layers, a funnel, then a tail of narrow ones, so the
-/// paper's uniform-by-count split (Section 4.1) piles the heavy units onto
-/// one stage while the cost-balanced split (or runtime stealing) spreads
-/// the work. With the default shape: 12 weight units whose costs differ by
-/// ~64x end to end.
+/// The deliberately cost-skewed MLP the partition/steal/repartition
+/// benches share: `wide_layers` wide Linear layers, a funnel, then a tail
+/// of narrow ones, so the paper's uniform-by-count split (Section 4.1)
+/// piles the heavy units onto one stage while the cost-balanced split (or
+/// runtime stealing) spreads the work. With the default shape: 12 weight
+/// units whose costs differ by ~64x end to end.
 inline nn::Model make_skewed_mlp(int wide = 256, int narrow = 16,
-                                 int narrow_layers = 8, int classes = 10) {
+                                 int narrow_layers = 8, int classes = 10,
+                                 int wide_layers = 2) {
   nn::Model m;
-  m.add(std::make_unique<nn::Linear>(wide, wide, /*relu_init=*/true));
-  m.add(std::make_unique<nn::ReLU>());
-  m.add(std::make_unique<nn::Linear>(wide, wide, /*relu_init=*/true));
-  m.add(std::make_unique<nn::ReLU>());
+  for (int i = 0; i < wide_layers; ++i) {
+    m.add(std::make_unique<nn::Linear>(wide, wide, /*relu_init=*/true));
+    m.add(std::make_unique<nn::ReLU>());
+  }
   m.add(std::make_unique<nn::Linear>(wide, narrow, /*relu_init=*/true));
   m.add(std::make_unique<nn::ReLU>());
   for (int i = 0; i < narrow_layers; ++i) {

@@ -18,6 +18,7 @@
 // Usage: bench_micro_partition [--quick=1] [--steps=40] [--stages=4]
 //          [--microbatches=4] [--measured=1]  (measured: time each module
 //          instead of the analytic FLOP model) [--seed=3]
+//          [--json=1]  (also write the BENCH_partition.json snapshot)
 
 #include <chrono>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/core/engine_backend.h"
 #include "src/core/stage_load.h"
@@ -113,6 +115,29 @@ void print_run(const std::string& label, const RunResult& r) {
   std::cout << t.to_string() << '\n';
 }
 
+/// One strategy's block of the BENCH_partition.json snapshot.
+benchutil::Json run_to_json(const std::string& label, const RunResult& r) {
+  benchutil::Json j = benchutil::Json::object();
+  j.set("label", label);
+  j.set("balance_ratio", r.partition.balance_ratio());
+  j.set("busy_spread", pipemare::core::StageLoadObserver::busy_spread(r.stats));
+  j.set("steps_per_sec", r.steps_per_sec);
+  benchutil::Json stages = benchutil::Json::array();
+  for (int s = 0; s < r.partition.num_stages; ++s) {
+    auto idx = static_cast<std::size_t>(s);
+    benchutil::Json st = benchutil::Json::object();
+    st.set("stage", s);
+    st.set("params", static_cast<std::int64_t>(r.partition.stage_param_count[idx]));
+    st.set("predicted_cost", r.partition.stage_cost[idx]);
+    st.set("busy_ns", r.stats[idx].busy_ns);
+    st.set("pop_wait_ns", r.stats[idx].pop_wait_ns);
+    st.set("push_wait_ns", r.stats[idx].push_wait_ns);
+    stages.push(std::move(st));
+  }
+  j.set("stages", std::move(stages));
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +147,7 @@ int main(int argc, char** argv) {
   const int stages = cli.get_int("stages", 4);
   const int microbatches = cli.get_int("microbatches", 4);
   const bool measured = cli.get_bool("measured", false);
+  const bool json = cli.get_bool("json", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
 
   benchutil::MlpWorkload workload(microbatches, /*micro_size=*/32, kWide, kClasses,
@@ -165,5 +191,31 @@ int main(int argc, char** argv) {
             << util::fmt_x(balanced.steps_per_sec /
                            std::max(1e-9, uniform.steps_per_sec))
             << ")\n";
+
+  if (json) {
+    benchutil::Json root = benchutil::Json::object();
+    root.set("bench", "micro_partition");
+    root.set("machine", benchutil::machine_info());
+    benchutil::Json params = benchutil::Json::object();
+    params.set("stages", stages);
+    params.set("microbatches", microbatches);
+    params.set("steps", steps);
+    params.set("measured", measured);
+    params.set("seed", static_cast<std::int64_t>(seed));
+    root.set("params", std::move(params));
+    benchutil::Json runs = benchutil::Json::array();
+    runs.push(run_to_json("uniform", uniform));
+    runs.push(run_to_json("balanced", balanced));
+    root.set("runs", std::move(runs));
+    benchutil::Json summary = benchutil::Json::object();
+    summary.set("predicted_ratio_uniform", ratio_under(uniform.partition, costs));
+    summary.set("predicted_ratio_balanced", ratio_under(balanced.partition, costs));
+    summary.set("busy_spread_uniform", spread_u);
+    summary.set("busy_spread_balanced", spread_b);
+    summary.set("throughput_gain",
+                balanced.steps_per_sec / std::max(1e-9, uniform.steps_per_sec));
+    root.set("summary", std::move(summary));
+    benchutil::write_bench_json("BENCH_partition.json", root);
+  }
   return 0;
 }

@@ -1,0 +1,188 @@
+// Dynamic-repartitioning micro bench: the skewed MLP started from a
+// deliberately bad uniform split, with the epoch-boundary Repartitioner
+// watching the observed per-stage busy time.
+//
+// The first "epoch" (a block of steps) runs the uniform-by-count split —
+// both wide layers piled onto stage 0, observed busy spread ~ the skew.
+// At its boundary the RepartitionObserver compares the observed balance
+// ratio against the threshold, replans the balanced DP split from the
+// observed per-unit costs, and migrates under the WeightVersions protocol
+// (no weight bytes move — see src/pipeline/repartition.h). The remaining
+// epochs measure the migrated split; the bench reports per-epoch busy
+// spread and throughput, before/after balance, and writes the
+// BENCH_repartition.json snapshot.
+//
+// The busy-spread improvement shows on any machine; the throughput gain
+// needs >= `stages` real cores (on fewer, stage workers timeshare and the
+// wall clock is bounded by total compute, not the max stage).
+//
+// Usage: bench_micro_repartition [--quick=1] [--steps=20 (per epoch)]
+//          [--epochs=4] [--stages=4] [--microbatches=4]
+//          [--threshold=1.25] [--seed=3] [--json=1]
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/core/engine_backend.h"
+#include "src/core/repartition_observer.h"
+#include "src/core/stage_load.h"
+#include "src/pipeline/repartition.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace pipemare;
+
+constexpr int kWide = 256;
+constexpr int kNarrow = 16;
+constexpr int kNarrowLayers = 8;
+constexpr int kClasses = 10;
+
+/// Three wide layers (vs the partition/steal benches' two): with only two
+/// heavies and four stages the balanced floor is already ~half the uniform
+/// skew, which understates what migration recovers. Three heavies let the
+/// balanced split park one per stage, so the before/after spread shows the
+/// full uniform-by-count penalty.
+constexpr int kWideLayers = 3;
+
+struct EpochResult {
+  int epoch = 0;
+  double busy_spread = 0.0;
+  double steps_per_sec = 0.0;
+  bool migrated = false;
+  double observed_ratio = 0.0;
+  double planned_ratio = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int steps = cli.get_int("steps", quick ? 4 : 20);
+  const int epochs = cli.get_int("epochs", 4);
+  const int stages = cli.get_int("stages", 4);
+  const int microbatches = cli.get_int("microbatches", 4);
+  const double threshold = cli.get_double("threshold", 1.25);
+  const bool json = cli.get_bool("json", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  benchutil::MlpWorkload workload(microbatches, /*micro_size=*/32, kWide, kClasses,
+                                  seed);
+
+  // Deliberately bad start: the uniform-by-count split on the skewed model.
+  pipeline::EngineConfig ec;
+  ec.method = pipeline::Method::PipeMare;
+  ec.num_stages = stages;
+  ec.num_microbatches = microbatches;
+  ec.partition.probe = std::make_shared<const nn::Flow>(workload.inputs.at(0));
+  auto backend = core::BackendRegistry::instance().create(
+      benchutil::make_skewed_mlp(kWide, kNarrow, kNarrowLayers, kClasses, kWideLayers),
+      core::BackendConfig("threaded"), ec, seed);
+
+  pipeline::RepartitionConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.threshold = threshold;
+  core::StageLoadObserver load(*backend);
+  core::StepObserver* peers[] = {&load};
+  core::RepartitionObserver repartitioner(*backend, rcfg, peers);
+
+  std::cout << "micro_repartition: skewed MLP from a uniform split, P=" << stages
+            << ", N=" << microbatches << ", " << epochs << " epochs x " << steps
+            << " steps, threshold " << util::fmt(threshold, 2) << "\n\n";
+
+  // Warmup fills the version ring and faults in buffers off the clock.
+  for (int s = 0; s < 2; ++s) benchutil::backend_step(*backend, workload);
+  backend->reset_stage_stats();
+
+  std::vector<EpochResult> results;
+  for (int e = 1; e <= epochs; ++e) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < steps; ++s) benchutil::backend_step(*backend, workload);
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Same ordering as core::train: load observers sample the epoch's
+    // stats first, then the repartitioner decides (and possibly resets).
+    core::EpochRecord rec;
+    rec.epoch = e;
+    load.on_epoch(rec);
+    std::size_t events_before = repartitioner.events().size();
+    repartitioner.on_epoch(rec);
+
+    EpochResult r;
+    r.epoch = e;
+    r.busy_spread = core::StageLoadObserver::busy_spread(load.epoch_stats().back());
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    r.steps_per_sec = secs > 0.0 ? steps / secs : 0.0;
+    if (repartitioner.events().size() > events_before) {
+      const auto& ev = repartitioner.events().back();
+      r.migrated = ev.migrated;
+      r.observed_ratio = ev.observed_ratio;
+      r.planned_ratio = ev.planned_ratio;
+    }
+    results.push_back(r);
+  }
+
+  util::Table t({"epoch", "busy spread", "steps/s", "migrated", "observed ratio",
+                 "planned ratio"});
+  for (const auto& r : results) {
+    t.add_row({std::to_string(r.epoch), util::fmt(r.busy_spread, 2),
+               util::fmt(r.steps_per_sec, 1), r.migrated ? "yes" : "-",
+               r.observed_ratio > 0.0 ? util::fmt(r.observed_ratio, 2) : "-",
+               r.planned_ratio > 0.0 ? util::fmt(r.planned_ratio, 2) : "-"});
+  }
+  std::cout << t.to_string() << '\n';
+
+  const EpochResult& before = results.front();
+  const EpochResult& after = results.back();
+  std::cout << "repartition: busy spread " << util::fmt(before.busy_spread, 2)
+            << " -> " << util::fmt(after.busy_spread, 2) << " ("
+            << util::fmt_x(before.busy_spread /
+                           std::max(1e-9, after.busy_spread))
+            << " better), throughput " << util::fmt(before.steps_per_sec, 1)
+            << " -> " << util::fmt(after.steps_per_sec, 1) << " steps/s, "
+            << repartitioner.migrations() << " migration(s)\n";
+
+  if (json) {
+    benchutil::Json root = benchutil::Json::object();
+    root.set("bench", "micro_repartition");
+    root.set("machine", benchutil::machine_info());
+    benchutil::Json params = benchutil::Json::object();
+    params.set("stages", stages);
+    params.set("microbatches", microbatches);
+    params.set("steps_per_epoch", steps);
+    params.set("epochs", epochs);
+    params.set("threshold", threshold);
+    params.set("seed", static_cast<std::int64_t>(seed));
+    root.set("params", std::move(params));
+    benchutil::Json epochs_json = benchutil::Json::array();
+    for (const auto& r : results) {
+      benchutil::Json j = benchutil::Json::object();
+      j.set("epoch", r.epoch);
+      j.set("busy_spread", r.busy_spread);
+      j.set("steps_per_sec", r.steps_per_sec);
+      j.set("migrated", r.migrated);
+      j.set("observed_ratio", r.observed_ratio);
+      j.set("planned_ratio", r.planned_ratio);
+      epochs_json.push(std::move(j));
+    }
+    root.set("epochs", std::move(epochs_json));
+    benchutil::Json summary = benchutil::Json::object();
+    summary.set("balance_before", before.busy_spread);
+    summary.set("balance_after", after.busy_spread);
+    summary.set("balance_improvement",
+                before.busy_spread / std::max(1e-9, after.busy_spread));
+    summary.set("throughput_before", before.steps_per_sec);
+    summary.set("throughput_after", after.steps_per_sec);
+    summary.set("migrations", repartitioner.migrations());
+    root.set("summary", std::move(summary));
+    benchutil::write_bench_json("BENCH_repartition.json", root);
+  }
+  return 0;
+}

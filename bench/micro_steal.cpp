@@ -25,6 +25,7 @@
 //
 // Usage: bench_micro_steal [--quick=1] [--steps=40] [--stages=4]
 //          [--microbatches=4] [--workers=0 (= stages)] [--seed=3]
+//          [--json=1]  (also write the BENCH_steal.json snapshot)
 
 #include <chrono>
 #include <iostream>
@@ -32,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/core/engine_backend.h"
 #include "src/core/stage_load.h"
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
   const int microbatches = cli.get_int("microbatches", 4);
   int workers = cli.get_int("workers", 0);
   if (workers <= 0) workers = stages;
+  const bool json = cli.get_bool("json", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
 
   benchutil::MlpWorkload workload(microbatches, /*micro_size=*/32, kWide, kClasses,
@@ -168,5 +171,37 @@ int main(int argc, char** argv) {
             << "); the uniform-partition rows' losses are bitwise-identical "
                "by construction (the balanced row's split changes the delay "
                "distribution, hence its trajectory).\n";
+
+  if (json) {
+    benchutil::Json root = benchutil::Json::object();
+    root.set("bench", "micro_steal");
+    root.set("machine", benchutil::machine_info());
+    benchutil::Json params = benchutil::Json::object();
+    params.set("stages", stages);
+    params.set("microbatches", microbatches);
+    params.set("workers", workers);
+    params.set("steps", steps);
+    params.set("seed", static_cast<std::int64_t>(seed));
+    root.set("params", std::move(params));
+    benchutil::Json runs = benchutil::Json::array();
+    for (const auto& r : rows) {
+      benchutil::Json j = benchutil::Json::object();
+      j.set("label", r.label);
+      j.set("steps_per_sec", r.steps_per_sec);
+      j.set("worker_busy_spread", r.worker_spread);
+      j.set("steals", r.steals);
+      j.set("stolen_busy_share", r.stolen_busy_share);
+      j.set("last_loss", r.loss);
+      runs.push(std::move(j));
+    }
+    root.set("runs", std::move(runs));
+    benchutil::Json summary = benchutil::Json::object();
+    summary.set("worker_spread_uniform", uniform.worker_spread);
+    summary.set("worker_spread_stealing", stealing.worker_spread);
+    summary.set("throughput_gain",
+                stealing.steps_per_sec / std::max(1e-9, uniform.steps_per_sec));
+    root.set("summary", std::move(summary));
+    benchutil::write_bench_json("BENCH_steal.json", root);
+  }
   return 0;
 }

@@ -7,6 +7,12 @@
 
 namespace pipemare::core {
 
+void ExecutionBackend::repartition(const pipeline::Partition& /*next*/) {
+  throw std::logic_error("backend '" + std::string(name()) +
+                         "' does not support dynamic repartitioning "
+                         "(supports_repartition() is false)");
+}
+
 std::string_view backend_options_name(const BackendOptions& options) {
   return std::visit(
       [](const auto& alt) -> std::string_view {

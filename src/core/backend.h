@@ -82,6 +82,23 @@ class ExecutionBackend {
   /// between minibatches.
   virtual std::vector<pipeline::StageStats> stage_stats() const { return {}; }
   virtual void reset_stage_stats() {}
+
+  /// Dynamic repartitioning surface. Backends whose engine can swap in a
+  /// new unit -> stage assignment between minibatches (the
+  /// WeightVersions-protocol engines: sequential, threaded,
+  /// threaded_steal) report true and implement the pair below; the rest
+  /// keep the defaults (the Hogwild family's delay model is per-worker,
+  /// not per-stage — there is nothing to migrate).
+  virtual bool supports_repartition() const { return false; }
+
+  /// The current stage partition, or nullptr when the backend has none
+  /// exposed (the Hogwild family).
+  virtual const pipeline::Partition* partition() const { return nullptr; }
+
+  /// Migrates to `next` (validated by pipeline::validate_repartition).
+  /// Only call between minibatches — e.g. from a StepObserver's on_epoch.
+  /// Throws std::logic_error when unsupported.
+  virtual void repartition(const pipeline::Partition& next);
 };
 
 // ---------------------------------------------------------------------------

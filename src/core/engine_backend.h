@@ -8,6 +8,7 @@
 // callers that dynamic_cast a created backend to reach an engine-specific
 // surface (e.g. ThreadedEngine::lane_stats in the micro benches).
 
+#include <concepts>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -70,6 +71,30 @@ class EngineBackend final : public ExecutionBackend {
   void reset_stage_stats() override {
     if constexpr (requires(Engine& e) { e.reset_stage_stats(); }) {
       engine_.reset_stage_stats();
+    }
+  }
+
+  /// Engines opt into dynamic repartitioning by providing repartition();
+  /// the rest keep the interface default (unsupported, throwing).
+  bool supports_repartition() const override {
+    return requires(Engine& e, const pipeline::Partition& p) { e.repartition(p); };
+  }
+  const pipeline::Partition* partition() const override {
+    if constexpr (requires(const Engine& e) {
+                    { e.partition() } -> std::same_as<const pipeline::Partition&>;
+                  }) {
+      return &engine_.partition();
+    } else {
+      return nullptr;
+    }
+  }
+  void repartition(const pipeline::Partition& next) override {
+    if constexpr (requires(Engine& e, const pipeline::Partition& p) {
+                    e.repartition(p);
+                  }) {
+      engine_.repartition(next);
+    } else {
+      ExecutionBackend::repartition(next);  // throws
     }
   }
 

@@ -1,0 +1,101 @@
+#include "src/core/repartition_observer.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace pipemare::core {
+
+RepartitionObserver::RepartitionObserver(ExecutionBackend& backend,
+                                         pipeline::RepartitionConfig cfg,
+                                         std::span<StepObserver* const> peers)
+    : backend_(&backend),
+      planner_(backend.model(), cfg),
+      cfg_(cfg) {
+  if (!backend.supports_repartition() || backend.partition() == nullptr) {
+    throw std::invalid_argument(
+        "RepartitionObserver: backend '" + std::string(backend.name()) +
+        "' does not support dynamic repartitioning");
+  }
+  if (backend.stage_stats().empty()) {
+    throw std::invalid_argument(
+        "RepartitionObserver: backend '" + std::string(backend.name()) +
+        "' has no per-stage load instrumentation to observe");
+  }
+  for (StepObserver* p : peers) {
+    if (p != nullptr) peers_.push_back(p);
+  }
+}
+
+int RepartitionObserver::migrations() const {
+  int n = 0;
+  for (const Event& e : events_) {
+    if (e.migrated) ++n;
+  }
+  return n;
+}
+
+void RepartitionObserver::on_method_switch(pipeline::Method /*from*/,
+                                           pipeline::Method /*to*/, int /*epoch*/) {
+  // A method switch changes the delay profile mid-run; measurements that
+  // straddle it would mix regimes, so restart the epoch baseline.
+  last_busy_ = {};
+  for (const auto& s : backend_->stage_stats()) last_busy_.push_back(s.busy_ns);
+}
+
+void RepartitionObserver::on_epoch(EpochRecord& record) {
+  ++epoch_;
+  if (record.is_divergence_record()) return;
+
+  // This epoch's per-stage busy delta against the cumulative baseline
+  // (with the same regressed-counter fallback StageLoadObserver uses).
+  auto cumulative = backend_->stage_stats();
+  std::vector<std::uint64_t> busy(cumulative.size(), 0);
+  for (std::size_t s = 0; s < cumulative.size(); ++s) {
+    std::uint64_t now = cumulative[s].busy_ns;
+    std::uint64_t before = s < last_busy_.size() ? last_busy_[s] : 0;
+    busy[s] = now >= before ? now - before : now;
+  }
+
+  // Cool-down after a migration: the new split must be measured for
+  // min_epochs_between full epochs before another move is considered.
+  if (last_migration_epoch_ > 0 &&
+      epoch_ - last_migration_epoch_ < cfg_.min_epochs_between) {
+    last_busy_.assign(cumulative.size(), 0);
+    for (std::size_t s = 0; s < cumulative.size(); ++s) {
+      last_busy_[s] = cumulative[s].busy_ns;
+    }
+    return;
+  }
+
+  pipeline::RepartitionDecision decision;
+  auto planned = planner_.plan(*backend_->partition(), busy, &decision);
+
+  Event ev;
+  ev.epoch = epoch_;
+  ev.observed_ratio = decision.observed_ratio;
+  ev.planned_ratio = decision.planned_ratio;
+  ev.migrated = planned.has_value();
+  events_.push_back(ev);
+
+  if (!planned.has_value()) {
+    last_busy_.assign(cumulative.size(), 0);
+    for (std::size_t s = 0; s < cumulative.size(); ++s) {
+      last_busy_[s] = cumulative[s].busy_ns;
+    }
+    return;
+  }
+
+  // Migrate at the quiescent point (we are between minibatches here),
+  // reset the load counters so the next epoch measures the new split from
+  // zero, and tell the peers their per-stage baselines are stale.
+  pipeline::Partition from = *backend_->partition();
+  backend_->repartition(*planned);
+  backend_->reset_stage_stats();
+  last_busy_ = {};
+  last_migration_epoch_ = epoch_;
+  for (StepObserver* p : peers_) {
+    p->on_repartition(from, *backend_->partition(), epoch_);
+  }
+}
+
+}  // namespace pipemare::core

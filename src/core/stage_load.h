@@ -46,6 +46,12 @@ class StageLoadObserver final : public StepObserver {
     auto cumulative = sample();
     if (cumulative.empty()) return;
     auto delta = cumulative;
+    if (last_.size() != cumulative.size()) {
+      // Slot count changed mid-run (a backend swap or reconfiguration the
+      // baseline cannot describe): treat the cumulative values as this
+      // epoch's delta rather than indexing a mismatched baseline.
+      last_.clear();
+    }
     if (!last_.empty()) {
       // Counters are cumulative and monotone unless someone called
       // reset_stage_stats() mid-epoch; a regressed counter means the
@@ -65,6 +71,21 @@ class StageLoadObserver final : public StepObserver {
     }
     last_ = std::move(cumulative);
     epoch_stats_.push_back(std::move(delta));
+  }
+
+  /// The per-slot baselines assume counters accumulate within one
+  /// execution regime; both events below reset the backend's view of the
+  /// world (a repartition also resets the counters themselves), so drop
+  /// the baseline — otherwise the first post-event delta would compare
+  /// new counters against a stale epoch and go "negative" (wrap through
+  /// the since() fallback) per stage.
+  void on_method_switch(pipeline::Method /*from*/, pipeline::Method /*to*/,
+                        int /*epoch*/) override {
+    last_ = sample();
+  }
+  void on_repartition(const pipeline::Partition& /*from*/,
+                      const pipeline::Partition& /*to*/, int /*epoch*/) override {
+    last_.clear();
   }
 
   /// Per-epoch per-slot load deltas, one entry per observed epoch.

@@ -1,10 +1,9 @@
 #include "src/core/trainer.h"
 
-#include <atomic>
-#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/repartition_observer.h"
 #include "src/util/cli.h"
 
 namespace pipemare::core {
@@ -15,60 +14,6 @@ void EpochTimer::on_epoch(EpochRecord& record) {
   auto now = std::chrono::steady_clock::now();
   record.seconds = std::chrono::duration<double>(now - epoch_start_).count();
   epoch_start_ = now;
-}
-
-namespace {
-
-std::atomic<bool> warned_threaded{false};
-std::atomic<bool> warned_hogwild{false};
-
-void warn_deprecated_once(std::atomic<bool>& flag, const char* field,
-                          const char* replacement) {
-  if (!flag.exchange(true)) {
-    std::fprintf(stderr,
-                 "pipemare: TrainerConfig::%s is deprecated and will be removed "
-                 "next release; set %s instead\n",
-                 field, replacement);
-  }
-}
-
-}  // namespace
-
-BackendConfig resolve_backend_config(const TrainerConfig& cfg) {
-  if (cfg.threaded_execution && cfg.hogwild_execution) {
-    throw std::invalid_argument(
-        "train: threaded_execution and hogwild_execution are mutually exclusive");
-  }
-  BackendConfig backend = cfg.backend;
-  const bool explicit_backend = backend.name != "sequential";
-  if (cfg.threaded_execution) {
-    if (explicit_backend && backend.name != "threaded") {
-      throw std::invalid_argument(
-          "train: deprecated threaded_execution=true conflicts with backend '" +
-          backend.name + "'");
-    }
-    warn_deprecated_once(warned_threaded, "threaded_execution",
-                         "cfg.backend = \"threaded\"");
-    backend.name = "threaded";
-  }
-  if (cfg.hogwild_execution) {
-    if (explicit_backend && backend.name != "threaded_hogwild") {
-      throw std::invalid_argument(
-          "train: deprecated hogwild_execution=true conflicts with backend '" +
-          backend.name + "'");
-    }
-    warn_deprecated_once(
-        warned_hogwild, "hogwild_execution",
-        "cfg.backend = {\"threaded_hogwild\", ThreadedHogwildOptions{...}}");
-    backend.name = "threaded_hogwild";
-    if (std::holds_alternative<std::monostate>(backend.options)) {
-      ThreadedHogwildOptions opts;
-      opts.max_delay = cfg.hogwild_max_delay;
-      opts.workers = cfg.hogwild_workers;
-      backend.options = std::move(opts);
-    }
-  }
-  return backend;
 }
 
 std::string backend_cli_help() {
@@ -82,7 +27,9 @@ std::string backend_cli_help() {
          "  --partition=uniform|balanced[,measured]\n"
          "  --max-delay=<float>   (hogwild family: delay truncation bound)\n"
          "  --workers=<int>       (threaded_hogwild, threaded_steal)\n"
-         "  --steal=off|load|det|forced --steal-log=0|1 (threaded_steal)\n";
+         "  --steal=off|load|det|forced --steal-log=0|1 (threaded_steal)\n"
+         "  --repartition=off|auto[,<threshold>]  (threaded, threaded_steal: "
+         "epoch-boundary dynamic repartitioning)\n";
 }
 
 void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
@@ -98,6 +45,16 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
     throw std::invalid_argument(
         "parse_backend_cli: --steal/--steal-log apply to the threaded_steal "
         "backend; pass --backend=threaded_steal");
+  }
+  if (cli.has("repartition")) {
+    cfg.repartition = pipeline::parse_repartition_spec(cli.get("repartition", "off"));
+    if (cfg.repartition.enabled &&
+        (name == "sequential" || name == "hogwild" || name == "threaded_hogwild")) {
+      throw std::invalid_argument(
+          "parse_backend_cli: --repartition=auto needs a repartition-capable, "
+          "stage-instrumented backend; pass --backend=threaded or "
+          "--backend=threaded_steal");
+    }
   }
   if (cli.has("partition")) {
     const std::string spec = cli.get("partition", "uniform");
@@ -193,7 +150,7 @@ TrainResult train(const Task& task, TrainerConfig cfg,
     throw std::invalid_argument("train: minibatch must be a multiple of microbatch");
   }
   cfg.engine.num_microbatches = cfg.num_microbatches();
-  const BackendConfig backend = resolve_backend_config(cfg);
+  const BackendConfig& backend = cfg.backend;
   // Balanced partitioning wants a probe microbatch for cost profiling
   // (shape-aware analytic estimates, or the timed reps of measured mode),
   // and the work-stealing backend wants one even under a uniform split —
@@ -220,7 +177,22 @@ TrainResult train(const Task& task, TrainerConfig cfg,
   BackendRegistry::instance().validate(backend, cfg.engine);
   auto engine = BackendRegistry::instance().create(task.build_model(), backend,
                                                   cfg.engine, cfg.seed);
-  return train_loop(task, *engine, cfg, observers);
+  if (!cfg.repartition.enabled) {
+    return train_loop(task, *engine, cfg, observers);
+  }
+  // Dynamic repartitioning: the observer runs *after* the user observers
+  // (they sample the epoch's stage stats before it resets the counters)
+  // and notifies them through on_repartition when it migrates.
+  if (!engine->supports_repartition() || engine->stage_stats().empty()) {
+    throw std::invalid_argument(
+        "train: repartition=auto needs a repartition-capable, "
+        "stage-instrumented backend ('threaded', 'threaded_steal'); backend '" +
+        std::string(engine->name()) + "' is not");
+  }
+  RepartitionObserver repartitioner(*engine, cfg.repartition, observers);
+  std::vector<StepObserver*> obs(observers.begin(), observers.end());
+  obs.push_back(&repartitioner);
+  return train_loop(task, *engine, cfg, obs);
 }
 
 }  // namespace pipemare::core

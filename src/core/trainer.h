@@ -14,6 +14,7 @@
 #include "src/optim/schedule.h"
 #include "src/optim/t1_reschedule.h"
 #include "src/pipeline/engine.h"
+#include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
 
 namespace pipemare::util {
@@ -65,20 +66,14 @@ struct TrainerConfig {
   /// Technique 3: synchronous (GPipe-style) epochs before going async.
   int warmup_epochs = 0;
 
-  /// DEPRECATED (one-release shim): set `backend = "threaded"` instead.
-  /// When true, resolves to the "threaded" registry backend with identical
-  /// training curves; prints a deprecation warning once per process.
-  bool threaded_execution = false;
-
-  /// DEPRECATED (one-release shim): set
-  /// `backend = {"threaded_hogwild", ThreadedHogwildOptions{...}}` instead.
-  /// When true, resolves to the "threaded_hogwild" registry backend (with
-  /// hogwild_max_delay / hogwild_workers below as its options) with
-  /// identical training curves; prints a deprecation warning once per
-  /// process. Mutually exclusive with threaded_execution.
-  bool hogwild_execution = false;
-  double hogwild_max_delay = 16.0;  ///< DEPRECATED with hogwild_execution
-  int hogwild_workers = 0;          ///< DEPRECATED with hogwild_execution
+  /// Epoch-boundary dynamic repartitioning (`--repartition=off|auto[,t]`):
+  /// when enabled, core::train installs a RepartitionObserver that
+  /// compares observed per-stage busy time against the partition's
+  /// predicted stage costs and migrates weight units across stage
+  /// boundaries when the balance drifts (see pipeline/repartition.h).
+  /// Requires a repartition-capable, stage-instrumented backend
+  /// ("threaded", "threaded_steal").
+  pipeline::RepartitionConfig repartition;
 
   std::uint64_t seed = 1;
   double divergence_loss = 1e3;  ///< train loss above this declares divergence
@@ -122,7 +117,10 @@ struct StepInfo {
 /// the built-in EpochTimer stamps EpochRecord::seconds). on_method_switch
 /// fires whenever train_loop changes the engine's method: once when T3
 /// warmup engages Sync before epoch 1 (epoch = 0) and once at the
-/// mid-training switch back to the asynchronous method.
+/// mid-training switch back to the asynchronous method. on_repartition
+/// fires after a RepartitionObserver migrated the backend to a new
+/// unit -> stage assignment (and reset its stage counters) — observers
+/// holding per-stage baselines must drop them (StageLoadObserver does).
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
@@ -130,6 +128,8 @@ class StepObserver {
   virtual void on_epoch(EpochRecord& /*record*/) {}
   virtual void on_method_switch(pipeline::Method /*from*/, pipeline::Method /*to*/,
                                 int /*epoch*/) {}
+  virtual void on_repartition(const pipeline::Partition& /*from*/,
+                              const pipeline::Partition& /*to*/, int /*epoch*/) {}
 };
 
 /// Built-in observer that stamps EpochRecord::seconds with the wall-clock
@@ -341,19 +341,9 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
   return result;
 }
 
-/// Resolves TrainerConfig's backend selection, applying the deprecated
-/// threaded_execution / hogwild_execution shims onto `cfg.backend` (with a
-/// one-per-process deprecation warning). Throws std::invalid_argument when
-/// the bools conflict with each other or with an explicitly non-default
-/// backend name. Note an explicit `backend = "sequential"` is
-/// indistinguishable from the default and is therefore overridden by a set
-/// bool — exactly the pre-registry semantics of a config that only ever
-/// set the bools.
-BackendConfig resolve_backend_config(const TrainerConfig& cfg);
-
 /// Applies the shared backend CLI flags onto `cfg.backend` /
-/// `cfg.engine.partition` (the one parser all examples and bench drivers
-/// use):
+/// `cfg.engine.partition` / `cfg.repartition` (the one parser all
+/// examples and bench drivers use):
 ///   --backend=<name>     BackendRegistry key; unknown names throw with
 ///                        the available list in the message
 ///   --partition=uniform|balanced[,measured]
@@ -364,6 +354,9 @@ BackendConfig resolve_backend_config(const TrainerConfig& cfg);
 ///   --steal=off|load|det|forced
 ///                        threaded_steal: steal mode (see sched::StealMode)
 ///   --steal-log=0|1      threaded_steal: keep the per-step steal log
+///   --repartition=off|auto[,<threshold>]
+///                        epoch-boundary dynamic repartitioning (threaded /
+///                        threaded_steal; see pipeline::RepartitionConfig)
 /// Absent flags keep the configuration already in `cfg.backend`; switching
 /// between the two hogwild backends carries max_delay / mean_delay over
 /// (and worker counts carry between the worker-pool backends), while a

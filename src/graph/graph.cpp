@@ -1,0 +1,204 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pipemare::graph {
+
+std::string channel_name(Channel c) {
+  switch (c) {
+    case Channel::Act: return "act";
+    case Channel::Skip: return "skip";
+    case Channel::Ctx: return "ctx";
+  }
+  return "?";
+}
+
+int Graph::add_node(std::string name, std::int64_t param_count) {
+  int id = num_nodes();
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.param_count = param_count;
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Graph::add_edge(int from, int to, Channel channel) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::invalid_argument("Graph::add_edge: node id out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Graph::add_edge: self-edge on node " +
+                                std::to_string(from) + " (" +
+                                nodes_[static_cast<std::size_t>(from)].name + ")");
+  }
+  edges_.push_back(Edge{from, to, channel});
+  nodes_[static_cast<std::size_t>(from)].outputs.push_back(to);
+  nodes_[static_cast<std::size_t>(to)].inputs.push_back(from);
+}
+
+Graph Graph::lower(const nn::Model& model) {
+  Graph g;
+  for (int m = 0; m < model.num_modules(); ++m) {
+    const nn::Module& mod = model.module(m);
+    g.add_node(mod.name(), mod.param_count());
+  }
+  // Chain edges: module i consumes module i-1's main activation.
+  for (int m = 1; m < model.num_modules(); ++m) {
+    g.add_edge(m - 1, m, Channel::Act);
+  }
+  // Auxiliary-channel edges from the modules' declared FlowEffects. The
+  // skip channel holds at most one open shortcut at a time (Flow's
+  // contract), so an open connects to the next close; the ctx channel is
+  // write-once broadcast, so the producer connects to every later consumer.
+  int open_skip = -1;  ///< node id of the open ResidualOpen, -1 = none
+  int ctx_producer = -1;
+  for (int m = 0; m < model.num_modules(); ++m) {
+    const nn::FlowEffects fx = model.module(m).flow_effects();
+    if (fx.consumes_skip) {
+      if (open_skip < 0) {
+        throw std::invalid_argument("Graph::lower: module " + std::to_string(m) +
+                                    " (" + model.module(m).name() +
+                                    ") consumes a skip but no shortcut is open");
+      }
+      g.add_edge(open_skip, m, Channel::Skip);
+      open_skip = -1;
+    }
+    if (fx.produces_skip) {
+      if (open_skip >= 0) {
+        throw std::invalid_argument("Graph::lower: module " + std::to_string(m) +
+                                    " (" + model.module(m).name() +
+                                    ") opens a shortcut while one is already open");
+      }
+      open_skip = m;
+    }
+    if (fx.consumes_ctx) {
+      if (ctx_producer < 0) {
+        throw std::invalid_argument("Graph::lower: module " + std::to_string(m) +
+                                    " (" + model.module(m).name() +
+                                    ") consumes ctx before any producer");
+      }
+      g.add_edge(ctx_producer, m, Channel::Ctx);
+    }
+    if (fx.produces_ctx) ctx_producer = m;
+  }
+  if (open_skip >= 0) {
+    throw std::invalid_argument("Graph::lower: shortcut opened by module " +
+                                std::to_string(open_skip) + " is never closed");
+  }
+  return g;
+}
+
+std::vector<int> Graph::linearize() const {
+  const auto n = static_cast<std::size_t>(num_nodes());
+  std::vector<int> indegree(n, 0);
+  for (const Edge& e : edges_) ++indegree[static_cast<std::size_t>(e.to)];
+
+  // Min-heap over ready node ids: the lowest ready id runs first, making
+  // the order deterministic (and the identity for chain-appended models).
+  std::priority_queue<int, std::vector<int>, std::greater<>> ready;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    int id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (int succ : nodes_[static_cast<std::size_t>(id)].outputs) {
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+  if (order.size() != n) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (indegree[static_cast<std::size_t>(i)] > 0) {
+        throw std::invalid_argument("Graph::linearize: cycle through node " +
+                                    std::to_string(i) + " (" +
+                                    nodes_[static_cast<std::size_t>(i)].name + ")");
+      }
+    }
+  }
+  return order;
+}
+
+bool Graph::linearization_is_identity() const {
+  std::vector<int> order = linearize();
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (order[static_cast<std::size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+bool Graph::is_topological_order(std::span<const int> order) const {
+  if (order.size() != static_cast<std::size_t>(num_nodes())) return false;
+  std::vector<int> pos(static_cast<std::size_t>(num_nodes()), -1);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    int id = order[p];
+    if (id < 0 || id >= num_nodes()) return false;
+    if (pos[static_cast<std::size_t>(id)] >= 0) return false;  // duplicate
+    pos[static_cast<std::size_t>(id)] = static_cast<int>(p);
+  }
+  for (const Edge& e : edges_) {
+    if (pos[static_cast<std::size_t>(e.from)] >= pos[static_cast<std::size_t>(e.to)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Graph::cut_crossings(std::span<const int> order, int cut) const {
+  if (!is_topological_order(order)) {
+    throw std::invalid_argument("Graph::cut_crossings: order is not topological");
+  }
+  if (cut < 0 || cut > num_nodes()) {
+    throw std::invalid_argument("Graph::cut_crossings: cut position out of range");
+  }
+  std::vector<int> pos(static_cast<std::size_t>(num_nodes()), 0);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    pos[static_cast<std::size_t>(order[p])] = static_cast<int>(p);
+  }
+  int crossings = 0;
+  for (const Edge& e : edges_) {
+    if (pos[static_cast<std::size_t>(e.from)] < cut &&
+        pos[static_cast<std::size_t>(e.to)] >= cut) {
+      ++crossings;
+    }
+  }
+  return crossings;
+}
+
+std::vector<nn::WeightUnit> linearized_weight_units(const Graph& graph,
+                                                    const nn::Model& model,
+                                                    bool split_bias) {
+  if (graph.num_nodes() != model.num_modules()) {
+    throw std::invalid_argument(
+        "linearized_weight_units: graph has " + std::to_string(graph.num_nodes()) +
+        " nodes but the model has " + std::to_string(model.num_modules()) +
+        " modules");
+  }
+  // The flat parameter *layout* is the model's (module-index order); only
+  // the unit ordering follows the linearization. Group the model's units
+  // by module, then emit the groups in execution order.
+  std::vector<nn::WeightUnit> by_module = model.weight_units(split_bias);
+  std::vector<std::pair<int, int>> span_of(  // module -> [first, last) in by_module
+      static_cast<std::size_t>(model.num_modules()), {0, 0});
+  for (std::size_t i = 0; i < by_module.size(); ++i) {
+    auto m = static_cast<std::size_t>(by_module[i].module);
+    if (span_of[m].second == 0) span_of[m].first = static_cast<int>(i);
+    span_of[m].second = static_cast<int>(i) + 1;
+  }
+  std::vector<nn::WeightUnit> out;
+  out.reserve(by_module.size());
+  for (int id : graph.linearize()) {
+    auto [first, last] = span_of[static_cast<std::size_t>(id)];
+    for (int i = first; i < last; ++i) {
+      out.push_back(by_module[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pipemare::graph

@@ -1,0 +1,121 @@
+#pragma once
+
+// Op-graph IR over nn::Model — the partitioner's view of a model.
+//
+// nn::Model is a *sequential* module list; the non-sequential constructs
+// our models need (residual shortcuts, the encoder-memory channel) ride
+// along as auxiliary Flow channels. That was enough while partitioning
+// meant "cut the module list", but it leaves the actual dependency
+// structure implicit. This IR makes it explicit: Graph::lower builds one
+// Node per module, chain edges i-1 -> i for the main activation, and
+// skip/ctx edges from each module's declared FlowEffects. The partitioner
+// (pipeline::make_partition) now consumes the graph's *linearization*
+// instead of the raw module order, so today's chain models are the
+// degenerate case and non-chain lowerings (fusion passes, true DAG
+// frontends) have a seam to plug into.
+//
+// Invariant the executors rely on: models are constructed by appending
+// modules in executable order, so every lowered edge goes from a lower
+// node id to a higher one, and the deterministic Kahn linearization
+// (lowest ready id first) is exactly the identity order. tests assert this
+// for every in-tree model; Graph::linearize() still handles (and orders)
+// arbitrary DAGs, and throws on cycles.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/model.h"
+
+namespace pipemare::graph {
+
+/// Which Flow channel an edge carries.
+enum class Channel {
+  Act,   ///< main activation `x` (the chain)
+  Skip,  ///< open residual shortcut (ResidualOpen -> ResidualClose)
+  Ctx,   ///< encoder memory (DecoderBridge -> each cross-attention)
+};
+
+std::string channel_name(Channel c);
+
+/// A dependency: `to` needs a tensor produced by `from`.
+struct Edge {
+  int from = 0;
+  int to = 0;
+  Channel channel = Channel::Act;
+};
+
+/// One op in the IR. For a graph lowered from an nn::Model, `id` is the
+/// module index and `param_count` its flat parameter count; inputs /
+/// outputs list the neighbouring node ids (edge indices are in
+/// Graph::edges()).
+struct Node {
+  int id = 0;
+  std::string name;
+  std::int64_t param_count = 0;
+  std::vector<int> inputs;   ///< predecessor node ids, in edge-add order
+  std::vector<int> outputs;  ///< successor node ids, in edge-add order
+};
+
+/// The op graph. Build one with Graph::lower(model), or assemble one
+/// manually with add_node / add_edge (tests, future non-model frontends).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Lowers a sequential model into the IR: one node per module, Act chain
+  /// edges between consecutive modules, plus Skip/Ctx edges derived from
+  /// each module's FlowEffects (an open skip connects to the module that
+  /// closes it; a ctx producer connects to every later ctx consumer).
+  /// Throws std::invalid_argument on inconsistent effects (a skip closed
+  /// while none is open, ctx consumed before any producer).
+  static Graph lower(const nn::Model& model);
+
+  /// Appends a node; returns its id (== index).
+  int add_node(std::string name, std::int64_t param_count = 0);
+
+  /// Adds a dependency edge; nodes must exist. Self-edges are rejected.
+  void add_edge(int from, int to, Channel channel);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Deterministic Kahn topological sort: among ready nodes, the lowest id
+  /// runs first. Returns node ids in execution order; throws
+  /// std::invalid_argument naming a cycle member if the graph is cyclic.
+  std::vector<int> linearize() const;
+
+  /// True when linearize() returns 0, 1, ..., n-1 — the executors'
+  /// requirement (nn::Model runs modules in index order). Holds for every
+  /// model lowered from a topologically-appended module list.
+  bool linearization_is_identity() const;
+
+  /// True when every edge flows forward in `order` (order[i] = the node at
+  /// position i) — i.e. `order` is a valid topological order, which makes
+  /// *every* contiguous cut of it a legal stage boundary: all tensors
+  /// crossing a cut flow from the prefix to the suffix, never backward.
+  bool is_topological_order(std::span<const int> order) const;
+
+  /// Number of edges crossing the cut between positions [0, cut) and
+  /// [cut, n) of `order` — the activation-traffic width of a stage
+  /// boundary (chain cuts cross 1; a cut inside a residual block crosses
+  /// the skip edge too). Requires a topological `order`.
+  int cut_crossings(std::span<const int> order, int cut) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// The model's weight units in the graph's linearized execution order —
+/// what pipeline::make_partition partitions. For in-tree models the
+/// linearization is the identity, so this reproduces
+/// model.weight_units(split_bias) exactly (tests assert it).
+std::vector<nn::WeightUnit> linearized_weight_units(const Graph& graph,
+                                                    const nn::Model& model,
+                                                    bool split_bias);
+
+}  // namespace pipemare::graph

@@ -65,8 +65,7 @@ namespace pipemare::hogwild {
 /// The surface matches the core::train_loop engine concept / the
 /// core::ExecutionBackend interface; it is registered with the
 /// BackendRegistry as "threaded_hogwild" (selected via
-/// TrainerConfig::backend; the old hogwild_execution bool remains as a
-/// deprecated shim).
+/// TrainerConfig::backend).
 class ThreadedHogwildEngine {
  public:
   using StepResult = pipeline::StepResult;

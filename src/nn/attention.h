@@ -23,6 +23,9 @@ class MultiHeadAttention : public Module {
   MultiHeadAttention(int d_model, int num_heads, Kind kind);
 
   std::string name() const override;
+  FlowEffects flow_effects() const override {
+    return {.consumes_ctx = kind_ == Kind::CrossAttention};
+  }
   std::int64_t param_count() const override;
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
   ModuleCost cost(const CostShapes& shapes) const override;

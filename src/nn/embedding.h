@@ -42,6 +42,7 @@ class DecoderBridge : public Module {
   DecoderBridge(int vocab, int d_model, int max_len);
 
   std::string name() const override { return "DecoderBridge"; }
+  FlowEffects flow_effects() const override { return {.produces_ctx = true}; }
   std::int64_t param_count() const override;
   ModuleCost cost(const CostShapes& shapes) const override;
   void init_params(std::span<float> w, util::Rng& rng) const override;

@@ -55,6 +55,24 @@ struct CostShapes {
   }
 };
 
+/// Dataflow effects of a module on the Flow's auxiliary channels — the
+/// graph-lowering hook (src/graph/) reads these to add the non-chain edges
+/// a sequential module list implies:
+///  - `produces_skip` / `consumes_skip`: the module opens / closes a
+///    residual shortcut (`ResidualOpen` fills Flow::skip, `ResidualClose`
+///    adds it back into the main path);
+///  - `produces_ctx` / `consumes_ctx`: the module publishes / reads the
+///    encoder memory channel (`DecoderBridge` moves the encoder output
+///    into Flow::ctx; every decoder cross-attention stage reads it).
+/// The default (all false) describes a pure chain module: consumes the
+/// predecessor's `x`, produces the successor's `x`.
+struct FlowEffects {
+  bool produces_skip = false;
+  bool consumes_skip = false;
+  bool produces_ctx = false;
+  bool consumes_ctx = false;
+};
+
 /// Base class for all layers.
 ///
 /// The central design requirement comes from the paper's asynchronous
@@ -90,6 +108,14 @@ class Module {
     if (param_count() == 0) return {};
     return {param_count()};
   }
+
+  /// Which auxiliary Flow channels the module reads and writes (see
+  /// FlowEffects). graph::Graph::lower turns these into skip/ctx edges; a
+  /// module that uses a channel without declaring it still *executes*
+  /// correctly (executors run the chain order) but its graph dependencies
+  /// would be understated, so user modules should override this alongside
+  /// forward/backward.
+  virtual FlowEffects flow_effects() const { return {}; }
 
   /// True when `forward` mutates module-owned state, making concurrent
   /// whole-model forward replicas unsafe. No in-tree module is stateful

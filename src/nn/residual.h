@@ -14,6 +14,7 @@ namespace pipemare::nn {
 class ResidualOpen : public Module {
  public:
   std::string name() const override { return "ResidualOpen"; }
+  FlowEffects flow_effects() const override { return {.produces_skip = true}; }
   ModuleCost cost(const CostShapes& shapes) const override;
   Flow forward(const Flow& in, std::span<const float> w, Cache& cache) const override;
   Flow backward(const Flow& dout, std::span<const float> w_bkwd, const Cache& cache,
@@ -33,6 +34,7 @@ class ResidualClose : public Module {
   ResidualClose(int in_channels, int out_channels, int stride);
 
   std::string name() const override { return "ResidualClose"; }
+  FlowEffects flow_effects() const override { return {.consumes_skip = true}; }
   std::int64_t param_count() const override;
   std::vector<std::int64_t> param_unit_sizes(bool split_bias) const override;
   ModuleCost cost(const CostShapes& shapes) const override;

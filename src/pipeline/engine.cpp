@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/pipeline/repartition.h"
+
 namespace pipemare::pipeline {
 
 std::string method_name(Method m) {
@@ -58,6 +60,15 @@ PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::ui
       if (first < last) segments_.emplace_back(first, last);
     }
   }
+}
+
+void PipelineEngine::repartition(const Partition& next) {
+  validate_repartition(partition_, next);
+  // WeightVersions borrows partition_ by reference, so assigning in place
+  // re-points every staleness lookup at the new unit -> stage map; the
+  // version ring and live weights are untouched (recompute segment ends
+  // re-read module_stage per step, so they follow too).
+  partition_ = next;
 }
 
 void PipelineEngine::assemble_forward_params(int micro, std::vector<float>& out) const {

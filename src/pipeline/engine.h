@@ -97,6 +97,14 @@ class PipelineEngine {
   void set_method(Method m) { cfg_.method = m; }
   Method method() const { return cfg_.method; }
 
+  /// Epoch-boundary dynamic repartitioning: swaps in a new unit -> stage
+  /// assignment over the same weight units (checked by
+  /// validate_repartition). Only call between minibatches. No weights,
+  /// version history, or optimizer state move — committed versions are
+  /// full flat vectors and the Schedule depends only on (P, N), so the
+  /// migration is exactly the map each unit's staleness is read through.
+  void repartition(const Partition& next);
+
   const Partition& partition() const { return partition_; }
   const Schedule& schedule() const { return schedule_; }
   const nn::Model& model() const { return model_; }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/graph/graph.h"
 #include "src/pipeline/cost_model.h"
 
 namespace pipemare::pipeline {
@@ -63,9 +64,26 @@ void finish_partition(const nn::Model& model, Partition& part) {
   }
 }
 
+/// The partitioner's unit enumeration: lower the model to the op graph
+/// and take the weight units in its linearized execution order. The
+/// executors (forward_range in module-index order) additionally require
+/// the linearization to be the identity — true for every model appended
+/// in topological order, and enforced here so a hypothetical non-identity
+/// lowering fails loudly instead of silently misassigning staleness.
+std::vector<nn::WeightUnit> partition_units(const nn::Model& model, bool split_bias) {
+  graph::Graph g = graph::Graph::lower(model);
+  if (!g.linearization_is_identity()) {
+    throw std::invalid_argument(
+        "make_partition: the model's graph linearization is not the module "
+        "order; the executors run modules in index order, so modules must be "
+        "added topologically");
+  }
+  return graph::linearized_weight_units(g, model, split_bias);
+}
+
 Partition start_partition(const nn::Model& model, int num_stages, bool split_bias) {
   Partition part;
-  part.units = model.weight_units(split_bias);
+  part.units = partition_units(model, split_bias);
   part.split_bias = split_bias;
   auto u = static_cast<int>(part.units.size());
   if (u == 0) throw std::invalid_argument("make_partition: model has no weights");
@@ -171,13 +189,38 @@ Partition make_partition(const nn::Model& model, int num_stages, bool split_bias
   if (spec.strategy == PartitionStrategy::Uniform) {
     return make_partition(model, num_stages, split_bias);
   }
-  auto units = model.weight_units(split_bias);
+  auto units = partition_units(model, split_bias);
   std::vector<double> costs = profile_unit_costs(model, units, spec);
   return make_partition(model, num_stages, split_bias, costs);
 }
 
 int max_stages(const nn::Model& model, bool split_bias) {
-  return static_cast<int>(model.weight_units(split_bias).size());
+  return static_cast<int>(partition_units(model, split_bias).size());
+}
+
+std::vector<StageModuleRange> stage_module_ranges(const Partition& partition) {
+  // module_stage and the units' module ids are both non-decreasing, so
+  // each stage owns a contiguous slice of each.
+  std::vector<StageModuleRange> ranges(static_cast<std::size_t>(partition.num_stages));
+  for (int s = 0; s < partition.num_stages; ++s) {
+    StageModuleRange& r = ranges[static_cast<std::size_t>(s)];
+    auto mlo = std::lower_bound(partition.module_stage.begin(),
+                                partition.module_stage.end(), s);
+    auto mhi = std::upper_bound(partition.module_stage.begin(),
+                                partition.module_stage.end(), s);
+    r.module_first = static_cast<int>(mlo - partition.module_stage.begin());
+    r.module_last = static_cast<int>(mhi - partition.module_stage.begin());
+    auto unit_before = [](const nn::WeightUnit& u, int m) { return u.module < m; };
+    r.unit_first = static_cast<int>(
+        std::lower_bound(partition.units.begin(), partition.units.end(),
+                         r.module_first, unit_before) -
+        partition.units.begin());
+    r.unit_last = static_cast<int>(
+        std::lower_bound(partition.units.begin(), partition.units.end(),
+                         r.module_last, unit_before) -
+        partition.units.begin());
+  }
+  return ranges;
 }
 
 void validate_partition_config(std::string_view backend, const nn::Model* model,

@@ -11,6 +11,14 @@ namespace pipemare::pipeline {
 
 /// Assignment of a model's weight units to pipeline stages.
 ///
+/// Units come from the graph IR (src/graph/): the model is lowered to an
+/// op graph and the units are enumerated in its deterministic topological
+/// linearization — today's chain models linearize to the identity order,
+/// so this reproduces the raw `model.weight_units` order exactly (tests
+/// assert it), while non-chain lowerings get contiguous-cut legality for
+/// free (every contiguous cut of a topological order is a legal stage
+/// boundary).
+///
 /// Built by one of two strategies (PartitionStrategy):
 ///  - Uniform — the paper's rule (Section 4.1): traverse the model weights
 ///    in topological order, treating weight+bias of a layer as one unit
@@ -80,6 +88,25 @@ std::vector<int> balanced_contiguous_split(std::span<const double> costs,
 /// The largest possible stage count for a model: one stage per weight unit
 /// (the paper's finest granularity; with split_bias this is the "2x" case).
 int max_stages(const nn::Model& model, bool split_bias);
+
+/// A stage's contiguous slice of the model: modules [module_first,
+/// module_last) and the weight units those modules own, [unit_first,
+/// unit_last). With split_bias a module's bias unit may be *scheduled* on
+/// the next stage while the module executes here; the unit range follows
+/// module ownership, and each unit's staleness follows its own scheduled
+/// stage. Shared by ThreadedEngine and sched::StealingEngine (and
+/// recomputed by both on repartition()).
+struct StageModuleRange {
+  int module_first = 0;
+  int module_last = 0;
+  int unit_first = 0;
+  int unit_last = 0;
+};
+
+/// Per-stage module/unit ranges of a partition. Relies on module_stage and
+/// the units' module ids being non-decreasing (guaranteed by
+/// make_partition's identity linearization).
+std::vector<StageModuleRange> stage_module_ranges(const Partition& partition);
 
 /// Backend-validation helper: checks the (engine, model) partitioning
 /// configuration and throws std::invalid_argument with a message naming

@@ -1,0 +1,135 @@
+#include "src/pipeline/repartition.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace pipemare::pipeline {
+
+RepartitionConfig parse_repartition_spec(std::string_view text) {
+  RepartitionConfig cfg;
+  if (text == "off") {
+    cfg.enabled = false;
+    return cfg;
+  }
+  if (text == "auto") {
+    cfg.enabled = true;
+    return cfg;
+  }
+  constexpr std::string_view kAutoPrefix = "auto,";
+  if (text.substr(0, kAutoPrefix.size()) == kAutoPrefix) {
+    std::string_view num = text.substr(kAutoPrefix.size());
+    double threshold = 0.0;
+    auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), threshold);
+    if (ec == std::errc() && ptr == num.data() + num.size() && threshold > 1.0) {
+      cfg.enabled = true;
+      cfg.threshold = threshold;
+      return cfg;
+    }
+  }
+  throw std::invalid_argument(
+      "parse_repartition_spec: '" + std::string(text) +
+      "' is not recognized; use off, auto, or auto,<threshold> with "
+      "threshold > 1.0 (e.g. auto,1.5)");
+}
+
+std::string repartition_spec_name(const RepartitionConfig& cfg) {
+  if (!cfg.enabled) return "off";
+  return "auto," + std::to_string(cfg.threshold);
+}
+
+std::vector<double> observed_unit_costs(const Partition& partition,
+                                        std::span<const std::uint64_t> busy_ns) {
+  if (busy_ns.size() != static_cast<std::size_t>(partition.num_stages)) {
+    throw std::invalid_argument(
+        "observed_unit_costs: busy vector has " + std::to_string(busy_ns.size()) +
+        " slots but the partition has " + std::to_string(partition.num_stages) +
+        " stages");
+  }
+  const auto u = static_cast<std::size_t>(partition.num_units());
+  // Per-stage predicted totals and unit counts, for the within-stage split.
+  std::vector<double> stage_pred(static_cast<std::size_t>(partition.num_stages), 0.0);
+  std::vector<int> stage_units(static_cast<std::size_t>(partition.num_stages), 0);
+  for (std::size_t i = 0; i < u; ++i) {
+    auto s = static_cast<std::size_t>(partition.unit_stage[i]);
+    stage_pred[s] += partition.unit_cost[i];
+    ++stage_units[s];
+  }
+  std::vector<double> costs(u, 0.0);
+  for (std::size_t i = 0; i < u; ++i) {
+    auto s = static_cast<std::size_t>(partition.unit_stage[i]);
+    double observed = static_cast<double>(busy_ns[s]);
+    double share = stage_pred[s] > 0.0
+                       ? partition.unit_cost[i] / stage_pred[s]
+                       : 1.0 / static_cast<double>(stage_units[s]);
+    costs[i] = observed * share;
+  }
+  return costs;
+}
+
+void validate_repartition(const Partition& from, const Partition& to) {
+  if (to.num_stages != from.num_stages) {
+    throw std::invalid_argument(
+        "validate_repartition: stage count changed (" +
+        std::to_string(from.num_stages) + " -> " + std::to_string(to.num_stages) +
+        "); migration moves units between existing stages only");
+  }
+  if (to.split_bias != from.split_bias) {
+    throw std::invalid_argument(
+        "validate_repartition: split_bias changed; the unit decomposition "
+        "must be identical on both sides of a migration");
+  }
+  if (to.units.size() != from.units.size()) {
+    throw std::invalid_argument(
+        "validate_repartition: unit count changed (" +
+        std::to_string(from.units.size()) + " -> " + std::to_string(to.units.size()) +
+        "); both partitions must be built from the same model");
+  }
+  for (std::size_t i = 0; i < from.units.size(); ++i) {
+    const nn::WeightUnit& a = from.units[i];
+    const nn::WeightUnit& b = to.units[i];
+    if (a.module != b.module || a.offset != b.offset || a.size != b.size) {
+      throw std::invalid_argument(
+          "validate_repartition: weight unit " + std::to_string(i) +
+          " differs between partitions; both must be built from the same model");
+    }
+  }
+}
+
+Repartitioner::Repartitioner(const nn::Model& model, RepartitionConfig cfg)
+    : model_(&model), cfg_(cfg) {
+  if (cfg_.threshold <= 1.0) {
+    throw std::invalid_argument("Repartitioner: threshold must be > 1.0 (got " +
+                                std::to_string(cfg_.threshold) + ")");
+  }
+  if (cfg_.min_epochs_between < 1) {
+    throw std::invalid_argument("Repartitioner: min_epochs_between must be >= 1");
+  }
+}
+
+std::optional<Partition> Repartitioner::plan(const Partition& current,
+                                             std::span<const std::uint64_t> busy_ns,
+                                             RepartitionDecision* decision) const {
+  RepartitionDecision d;
+  std::vector<double> observed_stage(busy_ns.size());
+  for (std::size_t s = 0; s < busy_ns.size(); ++s) {
+    observed_stage[s] = static_cast<double>(busy_ns[s]);
+  }
+  d.observed_ratio = balance_ratio(observed_stage);
+
+  std::vector<double> costs = observed_unit_costs(current, busy_ns);
+  Partition planned = make_partition(*model_, current.num_stages,
+                                     current.split_bias, costs);
+  d.planned_ratio = planned.balance_ratio();
+
+  // Migrate only when the imbalance is real (past the threshold), the plan
+  // genuinely helps, and it actually moves something.
+  d.migrate = d.observed_ratio > cfg_.threshold &&
+              d.planned_ratio < d.observed_ratio &&
+              planned.unit_stage != current.unit_stage;
+  if (decision != nullptr) *decision = d;
+  if (!d.migrate) return std::nullopt;
+  return planned;
+}
+
+}  // namespace pipemare::pipeline

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
 
 namespace pipemare::pipeline {
@@ -33,29 +34,9 @@ ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::ui
   grads_.assign(store_.live().size(), 0.0F);
   stats_.assign(static_cast<std::size_t>(cfg_.num_stages), StageStats{});
 
-  // Stage -> module/unit ranges. module_stage and the units' module ids are
-  // both non-decreasing, so each stage owns a contiguous slice of each.
-  const int p = cfg_.num_stages;
-  ranges_.resize(static_cast<std::size_t>(p));
-  for (int s = 0; s < p; ++s) {
-    StageRange& r = ranges_[static_cast<std::size_t>(s)];
-    auto mlo = std::lower_bound(partition_.module_stage.begin(),
-                                partition_.module_stage.end(), s);
-    auto mhi = std::upper_bound(partition_.module_stage.begin(),
-                                partition_.module_stage.end(), s);
-    r.module_first = static_cast<int>(mlo - partition_.module_stage.begin());
-    r.module_last = static_cast<int>(mhi - partition_.module_stage.begin());
-    auto unit_before = [&](const nn::WeightUnit& u, int m) { return u.module < m; };
-    r.unit_first = static_cast<int>(
-        std::lower_bound(partition_.units.begin(), partition_.units.end(),
-                         r.module_first, unit_before) -
-        partition_.units.begin());
-    r.unit_last = static_cast<int>(
-        std::lower_bound(partition_.units.begin(), partition_.units.end(),
-                         r.module_last, unit_before) -
-        partition_.units.begin());
-  }
+  ranges_ = stage_module_ranges(partition_);
 
+  const int p = cfg_.num_stages;
   const int n = cfg_.num_microbatches;
   caches_.resize(static_cast<std::size_t>(n));
   for (auto& c : caches_) c = model_.make_caches();
@@ -93,6 +74,17 @@ ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::ui
     for (auto& w : workers_) w.join();
     throw;
   }
+}
+
+void ThreadedEngine::repartition(const Partition& next) {
+  validate_repartition(partition_, next);
+  // Quiescent point: between minibatches every worker is parked on the
+  // generation barrier, and the next generation bump (under ctrl_m_)
+  // orders these writes before any worker reads ranges_ or the store's
+  // staleness map. Stage count is unchanged, so mailbox capacities and
+  // the stats_ slots stay valid.
+  partition_ = next;
+  ranges_ = stage_module_ranges(partition_);
 }
 
 ThreadedEngine::~ThreadedEngine() {

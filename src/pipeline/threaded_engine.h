@@ -90,6 +90,15 @@ class ThreadedEngine {
   void set_method(Method m) { cfg_.method = m; }
   Method method() const { return cfg_.method; }
 
+  /// Epoch-boundary dynamic repartitioning: swaps in a new unit -> stage
+  /// assignment over the same weight units (checked by
+  /// validate_repartition) and rebuilds the per-stage module/unit ranges.
+  /// Only call between minibatches: the workers are parked on the
+  /// generation barrier then, and the next forward_backward's generation
+  /// bump (under ctrl_m_) publishes the new ranges to every worker. No
+  /// weights, version history, or optimizer state move.
+  void repartition(const Partition& next);
+
   const Partition& partition() const { return partition_; }
   const Schedule& schedule() const { return schedule_; }
   const nn::Model& model() const { return model_; }
@@ -129,18 +138,12 @@ class ThreadedEngine {
   }
 
  private:
-  /// A stage worker's slice of the model: modules [module_first,
-  /// module_last) and the weight units those modules own, [unit_first,
-  /// unit_last). With split_bias a module's bias unit may be *scheduled*
-  /// on the next stage while the module executes here; the unit range
-  /// follows module ownership, and each unit's staleness follows its own
-  /// scheduled stage — exactly like the sequential engine.
-  struct StageRange {
-    int module_first = 0;
-    int module_last = 0;
-    int unit_first = 0;
-    int unit_last = 0;
-  };
+  /// A stage worker's slice of the model (see pipeline::StageModuleRange):
+  /// with split_bias a module's bias unit may be *scheduled* on the next
+  /// stage while the module executes here; the unit range follows module
+  /// ownership, and each unit's staleness follows its own scheduled stage
+  /// — exactly like the sequential engine.
+  using StageRange = StageModuleRange;
 
   void worker_loop(int stage);
   void run_minibatch(int stage, std::vector<float>& w_fwd, std::vector<float>& w_bkwd);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/pipeline/cost_model.h"
+#include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
 
 namespace pipemare::sched {
@@ -74,30 +75,10 @@ StealingEngine::StealingEngine(const nn::Model& model, StealConfig cfg,
   cfg_.engine.partition.probe.reset();
   grads_.assign(store_.live().size(), 0.0F);
 
-  // Stage -> module/unit ranges, exactly as ThreadedEngine derives them:
-  // module_stage and the units' module ids are both non-decreasing, so
-  // each stage owns a contiguous slice of each.
-  const int p = cfg_.engine.num_stages;
-  ranges_.resize(static_cast<std::size_t>(p));
-  for (int s = 0; s < p; ++s) {
-    StageRange& r = ranges_[static_cast<std::size_t>(s)];
-    auto mlo = std::lower_bound(partition_.module_stage.begin(),
-                                partition_.module_stage.end(), s);
-    auto mhi = std::upper_bound(partition_.module_stage.begin(),
-                                partition_.module_stage.end(), s);
-    r.module_first = static_cast<int>(mlo - partition_.module_stage.begin());
-    r.module_last = static_cast<int>(mhi - partition_.module_stage.begin());
-    auto unit_before = [&](const nn::WeightUnit& u, int m) { return u.module < m; };
-    r.unit_first = static_cast<int>(
-        std::lower_bound(partition_.units.begin(), partition_.units.end(),
-                         r.module_first, unit_before) -
-        partition_.units.begin());
-    r.unit_last = static_cast<int>(
-        std::lower_bound(partition_.units.begin(), partition_.units.end(),
-                         r.module_last, unit_before) -
-        partition_.units.begin());
-  }
+  // Stage -> module/unit ranges, shared with ThreadedEngine.
+  ranges_ = pipeline::stage_module_ranges(partition_);
 
+  const int p = cfg_.engine.num_stages;
   const int n = cfg_.engine.num_microbatches;
   caches_.resize(static_cast<std::size_t>(n));
   for (auto& c : caches_) c = model_.make_caches();
@@ -127,6 +108,21 @@ StealingEngine::StealingEngine(const nn::Model& model, StealConfig cfg,
 }
 
 StealingEngine::~StealingEngine() = default;
+
+void StealingEngine::repartition(const pipeline::Partition& next) {
+  pipeline::validate_repartition(partition_, next);
+  // Quiescent point: between minibatches the workers are parked on the
+  // pool barrier; the next generation's release barrier publishes the new
+  // ranges / staleness map / victim order. Stage count is unchanged, so
+  // the per-stage queues, counters and home assignments stay valid.
+  partition_ = next;
+  ranges_ = pipeline::stage_module_ranges(partition_);
+  // Reseed the victim ranking from the new split's predicted stage costs
+  // (the probe was dropped after construction; the analytic fallback is
+  // fine — a migrated partition carries observed-cost stage totals).
+  policy_ = StealPolicy(cfg_.mode,
+                        predicted_stage_costs(model_, partition_, cfg_.engine.partition));
+}
 
 void StealingEngine::record_failure(const char* what) {
   bool expected = false;

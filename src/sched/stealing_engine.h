@@ -117,6 +117,16 @@ class StealingEngine {
   void set_method(pipeline::Method m) { cfg_.engine.method = m; }
   pipeline::Method method() const { return cfg_.engine.method; }
 
+  /// Epoch-boundary dynamic repartitioning: swaps in a new unit -> stage
+  /// assignment over the same weight units (checked by
+  /// pipeline::validate_repartition), rebuilds the per-stage module/unit
+  /// ranges, and reseeds the StealPolicy's victim ranking from the new
+  /// partition's predicted stage costs. Only call between minibatches:
+  /// the workers are parked on the pool barrier then, and the next
+  /// generation's release barrier publishes the new state. No weights,
+  /// version history, or optimizer state move.
+  void repartition(const pipeline::Partition& next);
+
   const pipeline::Partition& partition() const { return partition_; }
   const pipeline::Schedule& schedule() const { return schedule_; }
   const nn::Model& model() const { return model_; }
@@ -158,12 +168,7 @@ class StealingEngine {
   std::uint64_t total_steals() const;
 
  private:
-  struct StageRange {
-    int module_first = 0;
-    int module_last = 0;
-    int unit_first = 0;
-    int unit_last = 0;
-  };
+  using StageRange = pipeline::StageModuleRange;
 
   /// Per-stage counters with multi-writer slots (two thieves can execute
   /// forwards of the same stage concurrently), hence atomics; relaxed

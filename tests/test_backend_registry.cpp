@@ -155,63 +155,6 @@ TEST(BackendRegistry, ThreadedHogwildRunToRunReproducible) {
   expect_curves_bitwise_equal(first, second, "threaded_hogwild run-to-run");
 }
 
-TEST(BackendRegistry, DeprecatedBoolsResolveToRegistryBackends) {
-  TrainerConfig threaded_cfg;
-  threaded_cfg.threaded_execution = true;
-  EXPECT_EQ(resolve_backend_config(threaded_cfg).name, "threaded");
-
-  TrainerConfig hogwild_cfg;
-  hogwild_cfg.hogwild_execution = true;
-  hogwild_cfg.hogwild_max_delay = 5.0;
-  hogwild_cfg.hogwild_workers = 2;
-  BackendConfig resolved = resolve_backend_config(hogwild_cfg);
-  EXPECT_EQ(resolved.name, "threaded_hogwild");
-  const auto& opts = std::get<ThreadedHogwildOptions>(resolved.options);
-  EXPECT_EQ(opts.max_delay, 5.0);
-  EXPECT_EQ(opts.workers, 2);
-
-  TrainerConfig plain;
-  EXPECT_EQ(resolve_backend_config(plain).name, "sequential");
-}
-
-TEST(BackendRegistry, DeprecatedBoolCurvesMatchExplicitBackend) {
-  auto task = tiny_image_task();
-
-  TrainerConfig cfg = tiny_config(pipeline::Method::PipeMare, 4, 2);
-  cfg.backend = "threaded";
-  auto explicit_threaded = train(*task, cfg);
-  TrainerConfig shim_cfg = tiny_config(pipeline::Method::PipeMare, 4, 2);
-  shim_cfg.threaded_execution = true;
-  auto shim_threaded = train(*task, shim_cfg);
-  expect_curves_bitwise_equal(explicit_threaded, shim_threaded, "threaded shim");
-
-  TrainerConfig hw_cfg = tiny_config(pipeline::Method::PipeMare, 4, 2);
-  ThreadedHogwildOptions opts;
-  opts.max_delay = 6.0;
-  opts.workers = 2;
-  hw_cfg.backend = {"threaded_hogwild", opts};
-  auto explicit_hw = train(*task, hw_cfg);
-  TrainerConfig hw_shim_cfg = tiny_config(pipeline::Method::PipeMare, 4, 2);
-  hw_shim_cfg.hogwild_execution = true;
-  hw_shim_cfg.hogwild_max_delay = 6.0;
-  hw_shim_cfg.hogwild_workers = 2;
-  auto shim_hw = train(*task, hw_shim_cfg);
-  expect_curves_bitwise_equal(explicit_hw, shim_hw, "threaded_hogwild shim");
-}
-
-TEST(BackendRegistry, ConflictingBoolAndBackendThrow) {
-  auto task = tiny_image_task();
-  TrainerConfig cfg = tiny_config(pipeline::Method::PipeMare, 4, 1);
-  cfg.threaded_execution = true;
-  cfg.backend = "threaded_hogwild";
-  EXPECT_THROW(train(*task, cfg), std::invalid_argument);
-
-  TrainerConfig both = tiny_config(pipeline::Method::PipeMare, 4, 1);
-  both.threaded_execution = true;
-  both.hogwild_execution = true;
-  EXPECT_THROW(train(*task, both), std::invalid_argument);
-}
-
 TEST(BackendRegistry, MismatchedOptionsVariantThrows) {
   auto task = tiny_image_task();
   TrainerConfig cfg = tiny_config(pipeline::Method::PipeMare, 4, 1);

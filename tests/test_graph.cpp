@@ -1,0 +1,297 @@
+// Graph IR tests: lowering every in-tree model family (chain MLP,
+// residual CNN, encoder-decoder Transformer) to the op graph, the
+// identity-linearization invariant the executors rely on, contiguous-cut
+// legality, and the manual-assembly API (cycle detection, deterministic
+// Kahn order, cut crossings).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/nn/activations.h"
+#include "src/nn/attention.h"
+#include "src/nn/linear.h"
+#include "src/nn/model.h"
+#include "src/nn/residual.h"
+#include "src/nn/resnet.h"
+#include "src/nn/transformer.h"
+
+namespace pipemare::graph {
+namespace {
+
+nn::Model make_mlp(int layers) {
+  nn::Model m;
+  m.add(std::make_unique<nn::Linear>(8, 8, true));
+  m.add(std::make_unique<nn::ReLU>());
+  for (int l = 1; l < layers; ++l) {
+    m.add(std::make_unique<nn::Linear>(8, 8, true));
+    m.add(std::make_unique<nn::ReLU>());
+  }
+  m.add(std::make_unique<nn::Linear>(8, 4));
+  return m;
+}
+
+int count_edges(const Graph& g, Channel c) {
+  return static_cast<int>(
+      std::count_if(g.edges().begin(), g.edges().end(),
+                    [c](const Edge& e) { return e.channel == c; }));
+}
+
+void expect_units_equal(const std::vector<nn::WeightUnit>& got,
+                        const std::vector<nn::WeightUnit>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].module, want[i].module) << "unit " << i;
+    EXPECT_EQ(got[i].offset, want[i].offset) << "unit " << i;
+    EXPECT_EQ(got[i].size, want[i].size) << "unit " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: chain models
+// ---------------------------------------------------------------------------
+
+TEST(GraphLowering, MlpLowersToPureChain) {
+  nn::Model m = make_mlp(3);
+  Graph g = Graph::lower(m);
+  ASSERT_EQ(g.num_nodes(), m.num_modules());
+  // A chain model has exactly the Act edges between consecutive modules.
+  ASSERT_EQ(static_cast<int>(g.edges().size()), m.num_modules() - 1);
+  for (int i = 0; i < static_cast<int>(g.edges().size()); ++i) {
+    const Edge& e = g.edges()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(e.from, i);
+    EXPECT_EQ(e.to, i + 1);
+    EXPECT_EQ(e.channel, Channel::Act);
+  }
+  // Nodes mirror the modules: name and parameter count.
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.node(i).name, m.module(i).name());
+    EXPECT_EQ(g.node(i).param_count, m.module(i).param_count());
+  }
+  EXPECT_TRUE(g.linearization_is_identity());
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: skip and ctx channels
+// ---------------------------------------------------------------------------
+
+TEST(GraphLowering, ResNetSkipEdgesPairOpenWithClose) {
+  nn::ResNetConfig rc;
+  rc.blocks_per_group = {2, 2};
+  nn::Model m = nn::make_resnet(rc);
+  Graph g = Graph::lower(m);
+  // One Skip edge per residual block, each from a ResidualOpen node to the
+  // matching (next) ResidualClose node, flowing forward.
+  EXPECT_EQ(count_edges(g, Channel::Skip), 4);
+  EXPECT_EQ(count_edges(g, Channel::Ctx), 0);
+  for (const Edge& e : g.edges()) {
+    if (e.channel != Channel::Skip) continue;
+    EXPECT_LT(e.from, e.to);
+    EXPECT_EQ(g.node(e.from).name, "ResidualOpen");
+    EXPECT_EQ(g.node(e.to).name, "ResidualClose");
+  }
+  EXPECT_TRUE(g.linearization_is_identity());
+}
+
+TEST(GraphLowering, TransformerCtxEdgesBroadcastToEveryCrossAttention) {
+  nn::TransformerConfig tc;
+  tc.enc_layers = 2;
+  tc.dec_layers = 3;
+  nn::Model m = nn::make_transformer(tc);
+  Graph g = Graph::lower(m);
+  // The DecoderBridge publishes the encoder memory once; every decoder
+  // layer's cross-attention consumes it.
+  ASSERT_EQ(count_edges(g, Channel::Ctx), tc.dec_layers);
+  int bridge = -1;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.node(i).name == "DecoderBridge") bridge = i;
+  }
+  ASSERT_GE(bridge, 0);
+  for (const Edge& e : g.edges()) {
+    if (e.channel != Channel::Ctx) continue;
+    EXPECT_EQ(e.from, bridge);
+    EXPECT_GT(e.to, bridge);
+  }
+  // Transformer sublayers are residual; skips must pair up too.
+  EXPECT_GT(count_edges(g, Channel::Skip), 0);
+  EXPECT_TRUE(g.linearization_is_identity());
+}
+
+// ---------------------------------------------------------------------------
+// Linearized units reproduce the executors' weight-unit order
+// ---------------------------------------------------------------------------
+
+TEST(GraphLowering, LinearizedUnitsMatchModelOrderForEveryModelFamily) {
+  std::vector<std::pair<const char*, nn::Model>> models;
+  models.emplace_back("mlp", make_mlp(3));
+  models.emplace_back("resnet", nn::make_resnet(nn::ResNetConfig{}));
+  models.emplace_back("resnet-deep", nn::make_resnet(nn::ResNetConfig::deep()));
+  models.emplace_back("transformer", nn::make_transformer(nn::TransformerConfig{}));
+  for (const auto& [name, m] : models) {
+    SCOPED_TRACE(name);
+    Graph g = Graph::lower(m);
+    EXPECT_TRUE(g.linearization_is_identity());
+    for (bool split_bias : {false, true}) {
+      SCOPED_TRACE(split_bias ? "split_bias" : "fused_bias");
+      expect_units_equal(linearized_weight_units(g, m, split_bias),
+                         m.weight_units(split_bias));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering error cases
+// ---------------------------------------------------------------------------
+
+TEST(GraphLowering, CloseWithoutOpenThrows) {
+  nn::Model m;
+  m.add(std::make_unique<nn::Linear>(4, 4, true));
+  m.add(std::make_unique<nn::ResidualClose>());
+  EXPECT_THROW(Graph::lower(m), std::invalid_argument);
+}
+
+TEST(GraphLowering, DoubleOpenThrows) {
+  nn::Model m;
+  m.add(std::make_unique<nn::ResidualOpen>());
+  m.add(std::make_unique<nn::Linear>(4, 4, true));
+  m.add(std::make_unique<nn::ResidualOpen>());
+  m.add(std::make_unique<nn::ResidualClose>());
+  EXPECT_THROW(Graph::lower(m), std::invalid_argument);
+}
+
+TEST(GraphLowering, NeverClosedThrows) {
+  nn::Model m;
+  m.add(std::make_unique<nn::ResidualOpen>());
+  m.add(std::make_unique<nn::Linear>(4, 4, true));
+  EXPECT_THROW(Graph::lower(m), std::invalid_argument);
+}
+
+TEST(GraphLowering, CtxConsumedBeforeProducerThrows) {
+  nn::Model m;
+  m.add(std::make_unique<nn::MultiHeadAttention>(
+      8, 2, nn::MultiHeadAttention::Kind::CrossAttention));
+  EXPECT_THROW(Graph::lower(m), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Manual assembly: Kahn order, cycles, cut legality
+// ---------------------------------------------------------------------------
+
+// Built via append on a named lvalue: `"n" + std::to_string(i)` trips
+// GCC 12's -O3 -Wrestrict false positive (PR 105329) in -Werror builds.
+std::string node_name(int i) {
+  std::string name = "n";
+  name += std::to_string(i);
+  return name;
+}
+
+Graph diamond() {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_node(node_name(i));
+  g.add_edge(0, 1, Channel::Act);
+  g.add_edge(0, 2, Channel::Act);
+  g.add_edge(1, 3, Channel::Act);
+  g.add_edge(2, 3, Channel::Act);
+  return g;
+}
+
+TEST(GraphManual, KahnPrefersLowestReadyId) {
+  Graph g = diamond();
+  EXPECT_EQ(g.linearize(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(g.linearization_is_identity());
+}
+
+TEST(GraphManual, NonIdentityDagStillLinearizes) {
+  // 0 -> 2, 2 -> 1: module order is NOT executable; the linearization
+  // reorders and the identity check reports it.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node(node_name(i));
+  g.add_edge(0, 2, Channel::Act);
+  g.add_edge(2, 1, Channel::Act);
+  EXPECT_EQ(g.linearize(), (std::vector<int>{0, 2, 1}));
+  EXPECT_FALSE(g.linearization_is_identity());
+  std::vector<int> reordered = {0, 2, 1};
+  std::vector<int> raw = {0, 1, 2};
+  EXPECT_TRUE(g.is_topological_order(reordered));
+  EXPECT_FALSE(g.is_topological_order(raw));
+}
+
+TEST(GraphManual, CycleThrowsNamingAMember) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node(node_name(i));
+  g.add_edge(0, 1, Channel::Act);
+  g.add_edge(1, 2, Channel::Act);
+  g.add_edge(2, 0, Channel::Act);
+  EXPECT_THROW(g.linearize(), std::invalid_argument);
+  EXPECT_THROW(g.linearization_is_identity(), std::invalid_argument);
+}
+
+TEST(GraphManual, IsTopologicalOrderRejectsMalformedOrders) {
+  Graph g = diamond();
+  std::vector<int> short_order = {0, 1, 2};
+  std::vector<int> duplicate = {0, 1, 1, 3};
+  std::vector<int> out_of_range = {0, 1, 2, 9};
+  EXPECT_FALSE(g.is_topological_order(short_order));
+  EXPECT_FALSE(g.is_topological_order(duplicate));
+  EXPECT_FALSE(g.is_topological_order(out_of_range));
+}
+
+TEST(GraphManual, CutCrossingsCountEdgesAcrossTheBoundary) {
+  // Chain 0-1-2-3 plus a skip 0 -> 3: cuts inside the skip cross 2 edges,
+  // the trivial cuts cross 0.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_node(node_name(i));
+  for (int i = 1; i < 4; ++i) g.add_edge(i - 1, i, Channel::Act);
+  g.add_edge(0, 3, Channel::Skip);
+  std::vector<int> order = g.linearize();
+  EXPECT_EQ(g.cut_crossings(order, 0), 0);
+  EXPECT_EQ(g.cut_crossings(order, 1), 2);
+  EXPECT_EQ(g.cut_crossings(order, 2), 2);
+  EXPECT_EQ(g.cut_crossings(order, 3), 2);
+  EXPECT_EQ(g.cut_crossings(order, 4), 0);
+  EXPECT_THROW(g.cut_crossings(order, 5), std::invalid_argument);
+  std::vector<int> bad = {3, 2, 1, 0};
+  EXPECT_THROW(g.cut_crossings(bad, 1), std::invalid_argument);
+}
+
+TEST(GraphManual, AddEdgeRejectsSelfEdgesAndBadIds) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_THROW(g.add_edge(0, 0, Channel::Act), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 2, Channel::Act), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 1, Channel::Act), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Contiguous-cut legality: the property the partitioner relies on
+// ---------------------------------------------------------------------------
+
+TEST(GraphProperty, EveryContiguousCutOfATopologicalOrderIsLegal) {
+  // For the real models: any prefix/suffix split of the linearization has
+  // all crossing edges flowing forward (cut_crossings validates the order
+  // and counts only forward edges — it not throwing IS the property).
+  std::vector<nn::Model> models;
+  models.push_back(nn::make_resnet(nn::ResNetConfig{}));
+  models.push_back(nn::make_transformer(nn::TransformerConfig{}));
+  for (const nn::Model& m : models) {
+    Graph g = Graph::lower(m);
+    std::vector<int> order = g.linearize();
+    ASSERT_TRUE(g.is_topological_order(order));
+    for (int cut = 0; cut <= g.num_nodes(); ++cut) {
+      EXPECT_GE(g.cut_crossings(order, cut), 0);
+    }
+    // Interior chain cuts cross at least the Act edge.
+    for (int cut = 1; cut < g.num_nodes(); ++cut) {
+      EXPECT_GE(g.cut_crossings(order, cut), 1) << "cut " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipemare::graph

@@ -377,7 +377,7 @@ TEST(ThreadedHogwild, NonFiniteLossContractMatchesSequential) {
 TEST(ThreadedHogwild, TrainsQuadraticWorkloadToSequentialLoss) {
   // The fig19-style quadratic (linear regression) workload: the threaded
   // backend must reach the sequential engine's final loss to tolerance,
-  // driven end-to-end through core::train via hogwild_execution.
+  // driven end-to-end through core::train via the registry backend.
   data::RegressionConfig rc;
   rc.features = 8;
   rc.size = 128;
@@ -395,19 +395,21 @@ TEST(ThreadedHogwild, TrainsQuadraticWorkloadToSequentialLoss) {
   cfg.seed = 5;
   cfg.engine.method = pipeline::Method::PipeMare;
   cfg.engine.num_stages = 1;
-  cfg.hogwild_max_delay = 6.0;
+  const double max_delay = 6.0;
 
   // Sequential reference via train_loop on HogwildEngine.
   nn::Model model = task.build_model();
   HogwildConfig hw;
   hw.num_stages = cfg.engine.num_stages;
   hw.num_microbatches = cfg.num_microbatches();
-  hw.max_delay = cfg.hogwild_max_delay;
+  hw.max_delay = max_delay;
   HogwildEngine seq(model, hw, cfg.seed);
   auto seq_res = core::train_loop(task, seq, cfg);
 
-  cfg.hogwild_execution = true;
-  cfg.hogwild_workers = 3;
+  core::ThreadedHogwildOptions opts;
+  opts.max_delay = max_delay;
+  opts.workers = 3;
+  cfg.backend = {"threaded_hogwild", opts};
   auto thr_res = core::train(task, cfg);
 
   ASSERT_FALSE(seq_res.diverged);
@@ -416,17 +418,6 @@ TEST(ThreadedHogwild, TrainsQuadraticWorkloadToSequentialLoss) {
   double seq_final = seq_res.curve.back().train_loss;
   double thr_final = thr_res.curve.back().train_loss;
   EXPECT_NEAR(seq_final, thr_final, 1e-4 * (1.0 + std::abs(seq_final)));
-}
-
-TEST(Trainer, RejectsBothThreadedBackendsAtOnce) {
-  data::RegressionConfig rc;
-  rc.features = 4;
-  rc.size = 32;
-  core::RegressionTask task(rc);
-  core::TrainerConfig cfg;
-  cfg.threaded_execution = true;
-  cfg.hogwild_execution = true;
-  EXPECT_THROW(core::train(task, cfg), std::invalid_argument);
 }
 
 TEST(Trainer, HogwildExecutionRejectsRecompute) {
@@ -438,7 +429,7 @@ TEST(Trainer, HogwildExecutionRejectsRecompute) {
   rc.size = 32;
   core::RegressionTask task(rc);
   core::TrainerConfig cfg;
-  cfg.hogwild_execution = true;
+  cfg.backend = "threaded_hogwild";
   cfg.engine.recompute_segments = 2;
   EXPECT_THROW(core::train(task, cfg), std::invalid_argument);
 }

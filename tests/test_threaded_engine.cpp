@@ -312,7 +312,7 @@ TEST(ThreadedEngine, TrainLoopParityOnTinyTranslation) {
     cfg.engine.num_stages = 4;
 
     auto seq_res = core::train(task, cfg);
-    cfg.threaded_execution = true;
+    cfg.backend = "threaded";
     auto thr_res = core::train(task, cfg);
 
     ASSERT_EQ(seq_res.curve.size(), thr_res.curve.size()) << method_name(method);
