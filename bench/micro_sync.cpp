@@ -1,0 +1,79 @@
+// Zero-overhead check for the annotated sync wrappers (src/util/sync.h):
+// times util::Mutex / util::MutexLock / util::CondVar against the raw
+// std::mutex / std::lock_guard / std::condition_variable they wrap, on the
+// operations the runtime's hot paths issue — uncontended lock/unlock, the
+// scoped-guard round trip, and a notify with no waiter. The annotations
+// are compile-time only, so each util row must match its std row to noise;
+// a real gap would mean the wrappers grew runtime behavior and the "free
+// contracts" claim in the README is stale.
+//
+// google-benchmark target: bench_micro_sync
+//   [--benchmark_filter=...] [--benchmark_min_time=...]
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/sync.h"
+
+namespace {
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex m;
+  for (auto _ : state) {
+    m.lock();
+    benchmark::DoNotOptimize(&m);
+    m.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_UtilMutexLockUnlock(benchmark::State& state) {
+  pipemare::util::Mutex m;
+  for (auto _ : state) {
+    m.lock();
+    benchmark::DoNotOptimize(&m);
+    m.unlock();
+  }
+}
+BENCHMARK(BM_UtilMutexLockUnlock);
+
+void BM_StdLockGuard(benchmark::State& state) {
+  std::mutex m;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_StdLockGuard);
+
+void BM_UtilMutexLockGuard(benchmark::State& state) {
+  pipemare::util::Mutex m;
+  for (auto _ : state) {
+    pipemare::util::MutexLock lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_UtilMutexLockGuard);
+
+void BM_StdCondVarNotifyNoWaiter(benchmark::State& state) {
+  std::condition_variable cv;
+  for (auto _ : state) {
+    cv.notify_one();
+    benchmark::DoNotOptimize(&cv);
+  }
+}
+BENCHMARK(BM_StdCondVarNotifyNoWaiter);
+
+void BM_UtilCondVarNotifyNoWaiter(benchmark::State& state) {
+  pipemare::util::CondVar cv;
+  for (auto _ : state) {
+    cv.notify_one();
+    benchmark::DoNotOptimize(&cv);
+  }
+}
+BENCHMARK(BM_UtilCondVarNotifyNoWaiter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

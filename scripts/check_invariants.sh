@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Greppable concurrency invariants, run as part of the tier-1 CI gate.
+# These are the textual contracts behind the thread-safety annotations in
+# src/util/sync.h — cheap to enforce on any compiler, including the GCC
+# builds where the Clang -Wthread-safety analysis itself is unavailable.
+#
+#   1. No raw std synchronization primitives outside src/util/sync.h.
+#      Every lock goes through util::Mutex / util::CondVar / util::MutexLock
+#      so the Clang analysis sees every acquire and release.
+#   2. No std::thread spawned outside the engine/pool files that own
+#      thread lifetime (WorkerPool, ThreadedEngine, ThreadedHogwildEngine).
+#      Queries (hardware_concurrency, this_thread) are fine anywhere.
+#   3. A .cpp that touches a GUARDED_BY field must include the header that
+#      declares it (directly, or via that header's own includes) — no
+#      poking at guarded state through forward declarations or externs.
+#   4. A file using the annotation macros must include src/util/sync.h so
+#      the macros expand consistently (never re-defined locally).
+#
+# Exit status: 0 = all invariants hold, 1 = at least one violation
+# (each printed with file:line).
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+violation() {
+  # $1 = rule title, $2 = offending file:line lines (possibly empty)
+  if [ -n "$2" ]; then
+    echo "INVARIANT VIOLATED: $1"
+    echo "$2" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+SRC_FILES=$(find src -name '*.h' -o -name '*.cpp' | sort)
+
+# --- Rule 1: raw std primitives only inside util/sync.h -------------------
+hits=$(grep -nE 'std::(mutex|condition_variable|recursive_mutex|shared_mutex|timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock)\b' \
+         $SRC_FILES /dev/null | grep -v '^src/util/sync\.h:')
+violation "raw std synchronization primitive outside src/util/sync.h (use util::Mutex / util::CondVar / util::MutexLock)" "$hits"
+
+# --- Rule 2: std::thread spawning confined to the thread-owning files -----
+THREAD_OWNERS='^src/(sched/worker_pool|pipeline/threaded_engine|hogwild/threaded_hogwild)\.(h|cpp):'
+hits=$(grep -nE 'std::thread\b' $SRC_FILES /dev/null |
+         grep -vE 'std::thread::hardware_concurrency' |
+         grep -vE "$THREAD_OWNERS")
+violation "std::thread spawned outside WorkerPool / ThreadedEngine / ThreadedHogwildEngine" "$hits"
+
+# --- Rules 3 & 4 ----------------------------------------------------------
+# Collect GUARDED_BY field declarations: "header field" pairs.
+decls=$(grep -nE 'GUARDED_BY\(' $SRC_FILES /dev/null |
+          sed -nE 's/^([^:]+):[0-9]+:.*[^A-Za-z0-9_]([A-Za-z0-9_]+_)[[:space:]]+GUARDED_BY\(.*/\1 \2/p' |
+          sort -u)
+
+# Rule 3: every .cpp naming a guarded field includes a declaring header.
+includes_of() {  # prints the "..."-form includes of $1
+  grep -hE '^#include "' "$1" 2>/dev/null | sed -E 's/#include "(.*)"/\1/'
+}
+hits=$(
+  while read -r header field; do
+    [ -n "$field" ] || continue
+    declarers=$(echo "$decls" | awk -v f="$field" '$2 == f { print $1 }')
+    for cpp in $(grep -lrE "[^A-Za-z0-9_]${field}[^A-Za-z0-9_]" src --include='*.cpp' 2>/dev/null); do
+      direct=$(includes_of "$cpp")
+      reach="$direct"
+      for inc in $direct; do  # one-level transitive closure
+        [ -f "$inc" ] && reach="$reach
+$(includes_of "$inc")"
+      done
+      ok=0
+      for d in $declarers; do
+        if echo "$reach" | grep -qx "$d"; then ok=1; break; fi
+      done
+      if [ "$ok" -eq 0 ]; then
+        declarers_flat=$(echo "$declarers" | paste -sd, -)
+        grep -nE "[^A-Za-z0-9_]${field}[^A-Za-z0-9_]" "$cpp" /dev/null | head -1 |
+          sed "s|\$| (field '${field}' declared in ${declarers_flat}; header not included)|"
+      fi
+    done
+  done <<< "$decls" | sort -u
+)
+violation ".cpp touches a GUARDED_BY field without including its declaring header" "$hits"
+
+# Rule 4: annotation macros only with src/util/sync.h in scope.
+hits=$(
+  grep -lE '(GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES|TRY_ACQUIRE|CAPABILITY|SCOPED_CAPABILITY)\(' \
+      $SRC_FILES 2>/dev/null | grep -v '^src/util/sync\.h$' |
+    while read -r f; do
+      if ! grep -qE '^#include "src/util/sync\.h"' "$f"; then
+        echo "$f:1 (uses annotation macros without including src/util/sync.h)"
+      fi
+    done
+)
+violation "thread-safety annotation macros used without src/util/sync.h" "$hits"
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_invariants: all concurrency invariants hold"
+fi
+exit "$fail"

@@ -55,11 +55,11 @@ HogwildConfig from_engine_config(const pipeline::EngineConfig& engine,
 
 HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uint64_t seed)
     : model_(model),
-      cfg_(cfg),
-      partition_((validate_config(cfg),
-                  pipeline::make_partition(model, cfg.num_stages, cfg.split_bias,
-                                           cfg.partition))),
-      mean_delay_(resolve_mean_delay(cfg)),
+      cfg_(std::move(cfg)),
+      partition_((validate_config(cfg_),
+                  pipeline::make_partition(model, cfg_.num_stages, cfg_.split_bias,
+                                           cfg_.partition))),
+      mean_delay_(resolve_mean_delay(cfg_)),
       delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
   // The probe microbatch is consumed by make_partition above; don't keep
   // its tensors alive for the whole engine lifetime.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "src/util/stats.h"
 
@@ -26,17 +27,17 @@ int resolve_worker_count(const HogwildConfig& cfg) {
 ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConfig cfg,
                                              std::uint64_t seed)
     : model_(model),
-      cfg_(cfg),
-      partition_((validate_config(cfg),
-                  pipeline::make_partition(model, cfg.num_stages, cfg.split_bias,
-                                           cfg.partition))),
-      mean_delay_(resolve_mean_delay(cfg)),
+      cfg_(std::move(cfg)),
+      partition_((validate_config(cfg_),
+                  pipeline::make_partition(model, cfg_.num_stages, cfg_.split_bias,
+                                           cfg_.partition))),
+      mean_delay_(resolve_mean_delay(cfg_)),
       delay_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
       // Forward lane as a plain multi-consumer work queue: items are bare
       // microbatch indices (inputs stay with the caller), so the lane
       // capacity is a queue depth, not an activation-memory bound; credit
       // gating is a single-consumer protocol and stays disabled.
-      work_(static_cast<std::size_t>(cfg.num_microbatches),
+      work_(static_cast<std::size_t>(cfg_.num_microbatches),
             pipeline::StageMailbox::kUnboundedCredits) {
   // The probe microbatch is consumed by make_partition above; don't keep
   // its tensors alive for the whole engine lifetime.
@@ -71,7 +72,7 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
     // Same partial-spawn recovery as ThreadedEngine: join what started so
     // destroying joinable std::threads does not std::terminate.
     {
-      std::lock_guard<std::mutex> lock(ctrl_m_);
+      util::MutexLock lock(ctrl_m_);
       shutdown_ = true;
     }
     ctrl_go_.notify_all();
@@ -82,7 +83,7 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
 
 ThreadedHogwildEngine::~ThreadedHogwildEngine() {
   {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     shutdown_ = true;
   }
   ctrl_go_.notify_all();
@@ -92,7 +93,7 @@ ThreadedHogwildEngine::~ThreadedHogwildEngine() {
 void ThreadedHogwildEngine::record_failure(const char* what) {
   bool expected = false;
   if (mb_failed_.compare_exchange_strong(expected, true)) {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     mb_error_ = what;
   }
 }
@@ -161,8 +162,8 @@ void ThreadedHogwildEngine::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(ctrl_m_);
-      ctrl_go_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      util::MutexLock lock(ctrl_m_);
+      while (!shutdown_ && generation_ <= seen) ctrl_go_.wait(ctrl_m_);
       if (shutdown_) return;
       seen = generation_;
     }
@@ -180,7 +181,7 @@ void ThreadedHogwildEngine::worker_loop(int worker) {
       ++stats.items;
     }
     {
-      std::lock_guard<std::mutex> lock(ctrl_m_);
+      util::MutexLock lock(ctrl_m_);
       ++done_count_;
     }
     ctrl_done_.notify_one();
@@ -218,7 +219,7 @@ ThreadedHogwildEngine::StepResult ThreadedHogwildEngine::forward_backward(
   }
 
   {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     mb_inputs_ = &micro_inputs;
     mb_targets_ = &micro_targets;
     mb_head_ = &head;
@@ -235,9 +236,8 @@ ThreadedHogwildEngine::StepResult ThreadedHogwildEngine::forward_backward(
     work_.push_forward({pipeline::StageItem::Kind::Forward, -1, {}});
   }
   {
-    std::unique_lock<std::mutex> lock(ctrl_m_);
-    ctrl_done_.wait(lock,
-                    [&] { return done_count_ == static_cast<int>(workers_.size()); });
+    util::MutexLock lock(ctrl_m_);
+    while (done_count_ != static_cast<int>(workers_.size())) ctrl_done_.wait(ctrl_m_);
     mb_inputs_ = nullptr;
     mb_targets_ = nullptr;
     mb_head_ = nullptr;

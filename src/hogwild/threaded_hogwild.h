@@ -1,10 +1,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +16,7 @@
 #include "src/pipeline/stage_mailbox.h"
 #include "src/pipeline/stage_stats.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace pipemare::hogwild {
 
@@ -126,6 +125,15 @@ class ThreadedHogwildEngine {
   pipeline::Method method_ = pipeline::Method::PipeMare;
   std::vector<double> mean_delay_;
 
+  // Version-ring-published state (NOT mutex-guarded): step_, history_ and
+  // live_ follow the same publication protocol as pipeline::WeightVersions
+  // — the trainer thread writes them between minibatches (commit_update)
+  // and workers read them inside a minibatch, with the generation barrier
+  // providing the happens-before today and the epoch_ seqlock sketched in
+  // for the future free-running mode. This unannotated block is exactly
+  // the boundary that work moves: relaxing the barrier means making these
+  // bytes race-free (atomic words or double-buffered slabs), not adding a
+  // lock.
   std::int64_t step_ = 0;
   int history_depth_ = 1;
   std::vector<std::vector<float>> history_;
@@ -142,6 +150,9 @@ class ThreadedHogwildEngine {
   std::vector<std::int64_t> unit_version_;
 
   // Per-minibatch context; workers read between the go and done barriers.
+  // Barrier-published like ThreadedEngine's minibatch block (not
+  // GUARDED_BY: the lock-free worker reads are the point; the generation
+  // barrier's ctrl_m_ release/acquire pair publishes them).
   pipeline::StageMailbox work_;  ///< forward lane = multi-consumer work queue
   const std::vector<nn::Flow>* mb_inputs_ = nullptr;
   const std::vector<tensor::Tensor>* mb_targets_ = nullptr;
@@ -152,19 +163,19 @@ class ThreadedHogwildEngine {
   std::vector<std::vector<float>> micro_grads_;
   std::vector<std::vector<nn::Cache>> caches_;  ///< per microbatch
   std::atomic<bool> mb_failed_{false};
-  std::string mb_error_;  ///< first worker exception (guarded by ctrl_m_)
+  std::string mb_error_ GUARDED_BY(ctrl_m_);  ///< first worker exception
 
   /// Per-worker load counters. Each slot is written only by its worker;
   /// readers run between minibatches, ordered by the completion barrier
   /// (ctrl_m_ release/acquire), so plain fields suffice.
   std::vector<pipeline::StageStats> stats_;
 
-  std::mutex ctrl_m_;
-  std::condition_variable ctrl_go_;
-  std::condition_variable ctrl_done_;
-  std::uint64_t generation_ = 0;
-  int done_count_ = 0;
-  bool shutdown_ = false;
+  util::Mutex ctrl_m_;
+  util::CondVar ctrl_go_;
+  util::CondVar ctrl_done_;
+  std::uint64_t generation_ GUARDED_BY(ctrl_m_) = 0;
+  int done_count_ GUARDED_BY(ctrl_m_) = 0;
+  bool shutdown_ GUARDED_BY(ctrl_m_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "src/pipeline/repartition.h"
 
@@ -42,9 +43,9 @@ std::vector<double> stage_tau_fwd_vector(const Schedule& schedule) {
 
 PipelineEngine::PipelineEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
     : model_(model),
-      cfg_(cfg),
-      partition_(make_partition(model, cfg.num_stages, cfg.split_bias, cfg.partition)),
-      schedule_(cfg.num_stages, cfg.num_microbatches),
+      cfg_(std::move(cfg)),
+      partition_(make_partition(model, cfg_.num_stages, cfg_.split_bias, cfg_.partition)),
+      schedule_(cfg_.num_stages, cfg_.num_microbatches),
       store_(model, cfg_, partition_, schedule_, seed) {
   // The probe microbatch is consumed by make_partition above; don't keep
   // its tensors alive for the whole engine lifetime.

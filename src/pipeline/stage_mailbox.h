@@ -1,13 +1,12 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <limits>
-#include <mutex>
 
 #include "src/nn/flow.h"
+#include "src/util/sync.h"
 
 namespace pipemare::pipeline {
 
@@ -58,6 +57,10 @@ struct StageItem {
 /// Multi-consumer users (the threaded Hogwild work queue) must disable
 /// gating by passing `fwd_credits >= fwd_capacity + pending pushes`, e.g.
 /// `kUnboundedCredits`.
+///
+/// Every mutable field is GUARDED_BY(m_); a Clang -Wthread-safety build
+/// proves both lane disciplines (and the credit accounting) never touch
+/// shared state outside the lock.
 class StageMailbox {
  public:
   static constexpr std::size_t kUnboundedCredits =
@@ -80,10 +83,10 @@ class StageMailbox {
   /// Blocks while the forward lane is full.
   void push_forward(StageItem item) {
     {
-      std::unique_lock<std::mutex> lock(m_);
-      space_.wait(lock, [&] { return fwd_.size() < cap_; });
+      util::MutexLock lock(m_);
+      while (fwd_.size() >= cap_) space_.wait(m_);
       fwd_.push_back(std::move(item));
-      stats_.fwd_high_water = std::max(stats_.fwd_high_water, fwd_.size());
+      lane_stats_.fwd_high_water = std::max(lane_stats_.fwd_high_water, fwd_.size());
     }
     ready_.notify_one();
   }
@@ -92,9 +95,9 @@ class StageMailbox {
   /// credits, so the lane needs no capacity wait.
   void push_backward(StageItem item) {
     {
-      std::lock_guard<std::mutex> lock(m_);
+      util::MutexLock lock(m_);
       bwd_.push_back(std::move(item));
-      stats_.bwd_high_water = std::max(stats_.bwd_high_water, bwd_.size());
+      lane_stats_.bwd_high_water = std::max(lane_stats_.bwd_high_water, bwd_.size());
     }
     ready_.notify_one();
   }
@@ -106,10 +109,10 @@ class StageMailbox {
     StageItem item;
     bool freed_full_fwd = false;
     {
-      std::unique_lock<std::mutex> lock(m_);
-      ready_.wait(lock, [&] {
-        return !bwd_.empty() || (!fwd_.empty() && inflight_ < credits_);
-      });
+      util::MutexLock lock(m_);
+      while (bwd_.empty() && (fwd_.empty() || inflight_ >= credits_)) {
+        ready_.wait(m_);
+      }
       if (!bwd_.empty()) {
         item = std::move(bwd_.front());
         bwd_.pop_front();
@@ -122,7 +125,8 @@ class StageMailbox {
         item = std::move(fwd_.front());
         fwd_.pop_front();
         ++inflight_;
-        stats_.inflight_high_water = std::max(stats_.inflight_high_water, inflight_);
+        lane_stats_.inflight_high_water =
+            std::max(lane_stats_.inflight_high_water, inflight_);
       }
     }
     if (freed_full_fwd) space_.notify_one();
@@ -133,32 +137,32 @@ class StageMailbox {
   /// without popping Backward items (the tail stage fuses each forward
   /// with its backward). Call once per completed backward.
   void complete_inflight() {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     if (inflight_ > 0) --inflight_;
     // No notify: only the owning consumer waits on ready_ for credits,
     // and it is the caller.
   }
 
   LaneStats stats() const {
-    std::lock_guard<std::mutex> lock(m_);
-    return stats_;
+    util::MutexLock lock(m_);
+    return lane_stats_;
   }
 
   void reset_stats() {
-    std::lock_guard<std::mutex> lock(m_);
-    stats_ = LaneStats{};
+    util::MutexLock lock(m_);
+    lane_stats_ = LaneStats{};
   }
 
  private:
-  mutable std::mutex m_;
-  std::condition_variable ready_;  ///< signalled on push
-  std::condition_variable space_;  ///< signalled on full -> non-full fwd pop
-  std::deque<StageItem> fwd_;
-  std::deque<StageItem> bwd_;
-  std::size_t cap_;
-  std::size_t credits_;
-  std::size_t inflight_ = 0;  ///< forwards admitted, backward not yet done
-  LaneStats stats_;
+  mutable util::Mutex m_;
+  util::CondVar ready_;  ///< signalled on push
+  util::CondVar space_;  ///< signalled on full -> non-full fwd pop
+  std::deque<StageItem> fwd_ GUARDED_BY(m_);
+  std::deque<StageItem> bwd_ GUARDED_BY(m_);
+  const std::size_t cap_;      ///< immutable after construction
+  const std::size_t credits_;  ///< immutable after construction
+  std::size_t inflight_ GUARDED_BY(m_) = 0;  ///< admitted, backward not done
+  LaneStats lane_stats_ GUARDED_BY(m_);
 };
 
 }  // namespace pipemare::pipeline

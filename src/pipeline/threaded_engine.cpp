@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
@@ -19,9 +20,9 @@ using util::ns_between;
 
 ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::uint64_t seed)
     : model_(model),
-      cfg_(cfg),
-      partition_(make_partition(model, cfg.num_stages, cfg.split_bias, cfg.partition)),
-      schedule_(cfg.num_stages, cfg.num_microbatches),
+      cfg_(std::move(cfg)),
+      partition_(make_partition(model, cfg_.num_stages, cfg_.split_bias, cfg_.partition)),
+      schedule_(cfg_.num_stages, cfg_.num_microbatches),
       store_(model, cfg_, partition_, schedule_, seed) {
   if (cfg_.recompute_segments > 0) {
     throw std::invalid_argument(
@@ -67,7 +68,7 @@ ThreadedEngine::ThreadedEngine(const nn::Model& model, EngineConfig cfg, std::ui
     // started workers down and join them so destroying the joinable
     // std::threads does not std::terminate; then surface the error.
     {
-      std::lock_guard<std::mutex> lock(ctrl_m_);
+      util::MutexLock lock(ctrl_m_);
       shutdown_ = true;
     }
     ctrl_go_.notify_all();
@@ -89,7 +90,7 @@ void ThreadedEngine::repartition(const Partition& next) {
 
 ThreadedEngine::~ThreadedEngine() {
   {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     shutdown_ = true;
   }
   ctrl_go_.notify_all();
@@ -99,7 +100,7 @@ ThreadedEngine::~ThreadedEngine() {
 void ThreadedEngine::record_failure(const char* what) {
   bool expected = false;
   if (mb_failed_.compare_exchange_strong(expected, true)) {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     mb_error_ = what;
   }
 }
@@ -112,14 +113,14 @@ void ThreadedEngine::worker_loop(int stage) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(ctrl_m_);
-      ctrl_go_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      util::MutexLock lock(ctrl_m_);
+      while (!shutdown_ && generation_ <= seen) ctrl_go_.wait(ctrl_m_);
       if (shutdown_) return;
       seen = generation_;
     }
     run_minibatch(stage, w_fwd, w_bkwd);
     {
-      std::lock_guard<std::mutex> lock(ctrl_m_);
+      util::MutexLock lock(ctrl_m_);
       ++done_count_;
     }
     ctrl_done_.notify_one();
@@ -234,7 +235,7 @@ ThreadedEngine::StepResult ThreadedEngine::forward_backward(
   }
   std::fill(grads_.begin(), grads_.end(), 0.0F);
   {
-    std::lock_guard<std::mutex> lock(ctrl_m_);
+    util::MutexLock lock(ctrl_m_);
     mb_targets_ = &micro_targets;
     mb_head_ = &head;
     mb_result_ = StepResult{};
@@ -256,8 +257,8 @@ ThreadedEngine::StepResult ThreadedEngine::forward_backward(
   }
   StepResult result;
   {
-    std::unique_lock<std::mutex> lock(ctrl_m_);
-    ctrl_done_.wait(lock, [&] { return done_count_ == cfg_.num_stages; });
+    util::MutexLock lock(ctrl_m_);
+    while (done_count_ != cfg_.num_stages) ctrl_done_.wait(ctrl_m_);
     mb_targets_ = nullptr;
     mb_head_ = nullptr;
     result = mb_result_;

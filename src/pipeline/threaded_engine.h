@@ -1,10 +1,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +17,7 @@
 #include "src/pipeline/stage_mailbox.h"
 #include "src/pipeline/stage_stats.h"
 #include "src/pipeline/weight_versions.h"
+#include "src/util/sync.h"
 
 namespace pipemare::pipeline {
 
@@ -168,18 +167,24 @@ class ThreadedEngine {
   // Per-minibatch context, owned by forward_backward for the duration of
   // one generation; workers read it between the go and done barriers.
   // (Inputs need no pointer here: they reach stage 0 as mailbox items.)
+  // These fields are deliberately NOT GUARDED_BY(ctrl_m_): they are
+  // *barrier-published* — written by the trainer thread before the
+  // generation bump and read lock-free by workers until the completion
+  // barrier (whose ctrl_m_ release/acquire pair provides the
+  // happens-before). Annotating them would outlaw exactly the lock-free
+  // worker reads the barrier protocol licenses.
   const std::vector<tensor::Tensor>* mb_targets_ = nullptr;
   const nn::LossHead* mb_head_ = nullptr;
   StepResult mb_result_;        ///< written only by the last-stage worker
   std::atomic<bool> mb_failed_{false};
-  std::string mb_error_;        ///< first worker exception (guarded by ctrl_m_)
+  std::string mb_error_ GUARDED_BY(ctrl_m_);  ///< first worker exception
 
-  std::mutex ctrl_m_;
-  std::condition_variable ctrl_go_;
-  std::condition_variable ctrl_done_;
-  std::uint64_t generation_ = 0;
-  int done_count_ = 0;
-  bool shutdown_ = false;
+  util::Mutex ctrl_m_;
+  util::CondVar ctrl_go_;
+  util::CondVar ctrl_done_;
+  std::uint64_t generation_ GUARDED_BY(ctrl_m_) = 0;
+  int done_count_ GUARDED_BY(ctrl_m_) = 0;
+  bool shutdown_ GUARDED_BY(ctrl_m_) = false;
   std::vector<std::thread> workers_;
 };
 

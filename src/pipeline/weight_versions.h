@@ -73,6 +73,20 @@ class WeightVersions {
   const Partition& partition_;
   const Schedule& schedule_;
 
+  // Version-ring-published state (deliberately NOT GUARDED_BY any mutex):
+  // this class is lock-free by contract. The trainer thread writes step_,
+  // history_, live_, prev_live_ and delta_ only between minibatches
+  // (commit_update / the optimizer mutating live()); workers call the
+  // const assemble_*_units readers only inside a minibatch. The owning
+  // engine's generation barrier — the ctrl_m_ release/acquire pair in
+  // ThreadedEngine / the WorkerPool barrier in StealingEngine — is the
+  // happens-before edge that publishes each commit to the workers.
+  // Annotating these fields GUARDED_BY a capability would outlaw exactly
+  // the lock-free reads that make the hot path scale; the unannotated
+  // block marks the boundary the future free-running-commit mode must
+  // make race-free by other means (a seqlock over the ring slots, as
+  // ThreadedHogwildEngine sketches, or double-buffered slabs) — not by
+  // adding a lock.
   std::int64_t step_ = 0;  ///< number of committed updates (version index)
   int history_depth_ = 1;
   std::vector<std::vector<float>> history_;  ///< ring buffer of weight versions

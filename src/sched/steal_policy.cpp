@@ -52,10 +52,7 @@ void StealPolicy::refresh(std::span<const std::uint64_t> busy_ns) {
   std::uint64_t total = 0;
   for (std::uint64_t b : busy_ns) total += b;
   if (total == 0) return;  // nothing measured yet: keep the predicted seed
-  std::vector<double> observed(busy_ns.size());
-  for (std::size_t s = 0; s < busy_ns.size(); ++s) {
-    observed[s] = static_cast<double>(busy_ns[s]);
-  }
+  std::vector<double> observed(busy_ns.begin(), busy_ns.end());
   rank(observed);
 }
 

@@ -127,7 +127,7 @@ void StealingEngine::repartition(const pipeline::Partition& next) {
 void StealingEngine::record_failure(const char* what) {
   bool expected = false;
   if (mb_failed_.compare_exchange_strong(expected, true)) {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     mb_error_ = what;
   }
 }
@@ -135,7 +135,7 @@ void StealingEngine::record_failure(const char* what) {
 void StealingEngine::enqueue(const Task& task) {
   queues_[static_cast<std::size_t>(task.stage)]->push(task);
   {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     ++push_version_;
   }
   sched_cv_.notify_all();
@@ -145,7 +145,7 @@ void StealingEngine::mark_backward_ready(int stage, int micro) {
   const int n = cfg_.engine.num_microbatches;
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     bwd_ready_[static_cast<std::size_t>(stage) * static_cast<std::size_t>(n) +
                static_cast<std::size_t>(micro)] = 1;
     // Enqueue only at the chain head; Backward(stage, micro) with an
@@ -165,7 +165,7 @@ void StealingEngine::mark_backward_ready(int stage, int micro) {
 void StealingEngine::complete_task() {
   bool all_done = false;
   {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     all_done = --remaining_ == 0;
   }
   if (all_done) sched_cv_.notify_all();
@@ -187,7 +187,7 @@ bool StealingEngine::acquire_steal(int worker, Task& out, bool& stolen) {
           1, std::memory_order_relaxed);
       worker_stats_[static_cast<std::size_t>(worker)].stolen_items += 1;
       if (policy_.deterministic() || cfg_.record_log) {
-        std::lock_guard<std::mutex> lock(sched_m_);
+        util::MutexLock lock(sched_m_);
         if (steal_log_.size() < kMaxStealLog) {
           steal_log_.push_back(
               {store_.step(), worker, out.stage, out.micro, out.kind});
@@ -216,7 +216,7 @@ void StealingEngine::drain(int worker) {
   for (;;) {
     std::uint64_t version;
     {
-      std::unique_lock<std::mutex> lock(sched_m_);
+      util::MutexLock lock(sched_m_);
       if (remaining_ == 0) return;
       version = push_version_;
     }
@@ -229,13 +229,12 @@ void StealingEngine::drain(int worker) {
     // Nothing admissible anywhere: sleep until a push bumps the version
     // (re-scan) or the last task completes (exit). Reading `version`
     // before the scan makes the wait race-free — a push between scan and
-    // wait leaves push_version_ != version, so the predicate is already
-    // true and we never sleep through work.
+    // wait leaves push_version_ != version, so the wait condition is
+    // already true and we never sleep through work.
     auto t0 = Clock::now();
     {
-      std::unique_lock<std::mutex> lock(sched_m_);
-      sched_cv_.wait(lock,
-                     [&] { return remaining_ == 0 || push_version_ != version; });
+      util::MutexLock lock(sched_m_);
+      while (remaining_ != 0 && push_version_ == version) sched_cv_.wait(sched_m_);
     }
     ws.pop_wait_ns += ns_between(t0, Clock::now());
   }
@@ -336,7 +335,7 @@ std::uint64_t StealingEngine::run_backward(int /*worker*/, const Task& task,
   // gradient arrived while we were running.
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     next_bwd_[static_cast<std::size_t>(s)] = m + 1;
     if (m + 1 < n &&
         bwd_ready_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
@@ -363,8 +362,6 @@ StealingEngine::StepResult StealingEngine::forward_backward(
   std::fill(micro_loss_.begin(), micro_loss_.end(), 0.0);
   std::fill(micro_correct_.begin(), micro_correct_.end(), 0.0);
   std::fill(micro_count_.begin(), micro_count_.end(), 0.0);
-  std::fill(next_bwd_.begin(), next_bwd_.end(), 0);
-  std::fill(bwd_ready_.begin(), bwd_ready_.end(), 0);
   for (int m = 0; m < n; ++m) {
     nn::Flow in = micro_inputs[static_cast<std::size_t>(m)];
     in.training = true;
@@ -376,7 +373,6 @@ StealingEngine::StepResult StealingEngine::forward_backward(
   mb_targets_ = &micro_targets;
   mb_head_ = &head;
   mb_failed_.store(false);
-  mb_error_.clear();
 
   // LoadAware victim re-ranking from the cumulative busy counters (no-op
   // in the other modes; the first minibatch keeps the cost-model seed).
@@ -391,9 +387,15 @@ StealingEngine::StepResult StealingEngine::forward_backward(
   }
 
   {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    // Workers are parked in the pool barrier here, so taking sched_m_ is
+    // uncontended — and lets the analysis prove the per-minibatch resets
+    // of the gating state never race a straggler.
+    util::MutexLock lock(sched_m_);
     remaining_ = 2 * n * p;
     push_version_ = 0;
+    std::fill(next_bwd_.begin(), next_bwd_.end(), 0);
+    std::fill(bwd_ready_.begin(), bwd_ready_.end(), 0);
+    mb_error_.clear();
   }
   // Workers are parked in the pool barrier, so the seed tasks can be
   // enqueued without notifications.
@@ -404,7 +406,7 @@ StealingEngine::StepResult StealingEngine::forward_backward(
   mb_targets_ = nullptr;
   mb_head_ = nullptr;
   if (mb_failed_.load()) {
-    std::lock_guard<std::mutex> lock(sched_m_);
+    util::MutexLock lock(sched_m_);
     throw std::runtime_error("StealingEngine worker failed: " + mb_error_);
   }
 
@@ -471,8 +473,20 @@ std::uint64_t StealingEngine::total_steals() const {
   return total;
 }
 
+const std::vector<StealRecord>& StealingEngine::steal_log() const {
+  // Between minibatches the workers are parked, so the reference stays
+  // stable after the lock drops (see the header contract).
+  util::MutexLock lock(sched_m_);
+  return steal_log_;
+}
+
+std::uint64_t StealingEngine::dropped_log_entries() const {
+  util::MutexLock lock(sched_m_);
+  return dropped_log_entries_;
+}
+
 void StealingEngine::clear_steal_log() {
-  std::lock_guard<std::mutex> lock(sched_m_);
+  util::MutexLock lock(sched_m_);
   steal_log_.clear();
   dropped_log_entries_ = 0;
 }

@@ -1,10 +1,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +18,7 @@
 #include "src/sched/steal_policy.h"
 #include "src/sched/task_queue.h"
 #include "src/sched/worker_pool.h"
+#include "src/util/sync.h"
 
 namespace pipemare::sched {
 
@@ -159,9 +158,11 @@ class StealingEngine {
   std::vector<StageStats> worker_stats() const;
 
   /// The steal log (populated in the deterministic modes or when
-  /// cfg.record_log is set; capped — see dropped_log_entries()).
-  const std::vector<StealRecord>& steal_log() const { return steal_log_; }
-  std::uint64_t dropped_log_entries() const { return dropped_log_entries_; }
+  /// cfg.record_log is set; capped — see dropped_log_entries()). Call
+  /// between minibatches; the returned reference stays valid until the
+  /// next forward_backward or clear_steal_log.
+  const std::vector<StealRecord>& steal_log() const;
+  std::uint64_t dropped_log_entries() const;
   void clear_steal_log();
 
   /// Total tasks stolen since construction (or the last stats reset).
@@ -226,21 +227,22 @@ class StealingEngine {
   std::vector<double> micro_correct_;
   std::vector<double> micro_count_;
   std::atomic<bool> mb_failed_{false};
-  std::string mb_error_;  ///< first worker exception (guarded by sched_m_)
+  std::string mb_error_ GUARDED_BY(sched_m_);  ///< first worker exception
 
   // Scheduler state: remaining task count, push notification version, and
-  // the backward-chain gates, all guarded by sched_m_. Lock order is
-  // sched_m_ -> TaskQueue::m_ (enqueue-while-gating); TaskQueue ops never
-  // take sched_m_.
-  std::mutex sched_m_;
-  std::condition_variable sched_cv_;
-  int remaining_ = 0;
-  std::uint64_t push_version_ = 0;
-  std::vector<int> next_bwd_;              ///< per stage: next micro in chain
-  std::vector<std::uint8_t> bwd_ready_;    ///< [stage * N + micro]
+  // the backward-chain gates, all GUARDED_BY(sched_m_) — a Clang
+  // -Wthread-safety build proves the gating protocol never touches them
+  // unlocked. Lock order is sched_m_ -> TaskQueue::m_
+  // (enqueue-while-gating); TaskQueue ops never take sched_m_.
+  mutable util::Mutex sched_m_;
+  util::CondVar sched_cv_;
+  int remaining_ GUARDED_BY(sched_m_) = 0;
+  std::uint64_t push_version_ GUARDED_BY(sched_m_) = 0;
+  std::vector<int> next_bwd_ GUARDED_BY(sched_m_);      ///< per stage: next micro
+  std::vector<std::uint8_t> bwd_ready_ GUARDED_BY(sched_m_);  ///< [stage*N+micro]
 
-  std::vector<StealRecord> steal_log_;
-  std::uint64_t dropped_log_entries_ = 0;
+  std::vector<StealRecord> steal_log_ GUARDED_BY(sched_m_);
+  std::uint64_t dropped_log_entries_ GUARDED_BY(sched_m_) = 0;
   std::vector<std::vector<float>> scratch_;  ///< per worker: weight buffer
 
   std::unique_ptr<WorkerPool> pool_;  ///< last member: joins before teardown

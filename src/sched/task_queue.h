@@ -2,7 +2,8 @@
 
 #include <cstddef>
 #include <deque>
-#include <mutex>
+
+#include "src/util/sync.h"
 
 namespace pipemare::sched {
 
@@ -47,6 +48,10 @@ struct Task {
 /// of a stage are mutually independent, so they are the parallel-friendly
 /// work worth moving to another core, and the backward chain stays warm on
 /// whichever worker has been running it).
+///
+/// Both lanes are GUARDED_BY(m_): the multi-producer/multi-consumer
+/// discipline is proven by a Clang -Wthread-safety build, not just by the
+/// TSan CI job.
 class TaskQueue {
  public:
   TaskQueue() = default;
@@ -55,7 +60,7 @@ class TaskQueue {
 
   /// Enqueues a ready task (any worker; multi-producer).
   void push(Task t) {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     if (t.kind == Task::Kind::Backward) {
       bwd_.push_back(t);
     } else {
@@ -65,7 +70,7 @@ class TaskQueue {
 
   /// Home-worker pop: oldest backward first, then oldest forward.
   bool pop(Task& out) {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     if (!bwd_.empty()) {
       out = bwd_.front();
       bwd_.pop_front();
@@ -81,7 +86,7 @@ class TaskQueue {
 
   /// Thief pop: oldest forward first, then oldest backward.
   bool steal(Task& out) {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     if (!fwd_.empty()) {
       out = fwd_.front();
       fwd_.pop_front();
@@ -96,16 +101,16 @@ class TaskQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     return fwd_.size() + bwd_.size();
   }
 
   bool empty() const { return size() == 0; }
 
  private:
-  mutable std::mutex m_;
-  std::deque<Task> fwd_;
-  std::deque<Task> bwd_;
+  mutable util::Mutex m_;
+  std::deque<Task> fwd_ GUARDED_BY(m_);
+  std::deque<Task> bwd_ GUARDED_BY(m_);
 };
 
 }  // namespace pipemare::sched

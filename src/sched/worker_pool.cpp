@@ -12,7 +12,7 @@ WorkerPool::WorkerPool(int workers, Body body) : body_(std::move(body)) {
     }
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(m_);
+      util::MutexLock lock(m_);
       shutdown_ = true;
     }
     go_.notify_all();
@@ -23,7 +23,7 @@ WorkerPool::WorkerPool(int workers, Body body) : body_(std::move(body)) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     shutdown_ = true;
   }
   go_.notify_all();
@@ -34,14 +34,14 @@ void WorkerPool::thread_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(m_);
-      go_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      util::MutexLock lock(m_);
+      while (!shutdown_ && generation_ <= seen) go_.wait(m_);
       if (shutdown_) return;
       seen = generation_;
     }
     body_(worker);
     {
-      std::lock_guard<std::mutex> lock(m_);
+      util::MutexLock lock(m_);
       ++done_count_;
     }
     done_.notify_one();
@@ -50,13 +50,13 @@ void WorkerPool::thread_loop(int worker) {
 
 void WorkerPool::run_generation() {
   {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     done_count_ = 0;
     ++generation_;
   }
   go_.notify_all();
-  std::unique_lock<std::mutex> lock(m_);
-  done_.wait(lock, [&] { return done_count_ == static_cast<int>(threads_.size()); });
+  util::MutexLock lock(m_);
+  while (done_count_ != static_cast<int>(threads_.size())) done_.wait(m_);
 }
 
 }  // namespace pipemare::sched

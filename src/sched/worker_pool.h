@@ -1,11 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace pipemare::sched {
 
@@ -21,6 +21,10 @@ namespace pipemare::sched {
 /// every body, and everything the bodies write is visible to the owner
 /// after run_generation() returns — so per-minibatch context and plain
 /// (non-atomic) single-writer counters need no further synchronization.
+///
+/// The barrier state (generation counter, completion count, shutdown flag)
+/// is GUARDED_BY(m_); a Clang -Wthread-safety build proves the protocol
+/// never reads or writes it outside the lock.
 ///
 /// The body must not throw (engines catch worker-side exceptions and
 /// record them; see StealingEngine::record_failure).
@@ -48,12 +52,12 @@ class WorkerPool {
   void thread_loop(int worker);
 
   Body body_;
-  std::mutex m_;
-  std::condition_variable go_;
-  std::condition_variable done_;
-  std::uint64_t generation_ = 0;
-  int done_count_ = 0;
-  bool shutdown_ = false;
+  util::Mutex m_;
+  util::CondVar go_;
+  util::CondVar done_;
+  std::uint64_t generation_ GUARDED_BY(m_) = 0;
+  int done_count_ GUARDED_BY(m_) = 0;
+  bool shutdown_ GUARDED_BY(m_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: acquires the same
+// non-recursive mutex twice in one scope — a guaranteed self-deadlock at
+// runtime, rejected at compile time.
+// Expected diagnostic: "acquiring mutex 'm' that is already held".
+#include "src/util/sync.h"
+
+namespace {
+
+struct State {
+  pipemare::util::Mutex m;
+  int value GUARDED_BY(m) = 0;
+};
+
+}  // namespace
+
+int static_suite_entry(State& s) {
+  pipemare::util::MutexLock outer(s.m);
+  pipemare::util::MutexLock inner(s.m);  // BUG: m already held
+  return s.value;
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: writes a
+// GUARDED_BY field without holding its mutex.
+// Expected diagnostic: -Wthread-safety-analysis "writing variable 'value_'
+// requires holding mutex 'm_' exclusively".
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unlocked() {
+    ++value_;  // BUG: m_ not held
+  }
+
+ private:
+  pipemare::util::Mutex m_;
+  int value_ GUARDED_BY(m_) = 0;
+};
+
+}  // namespace
+
+int static_suite_entry(Counter& c) {
+  c.increment_unlocked();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: a function locks a
+// mutex manually and returns on one path without unlocking — the
+// balance-on-every-path check MutexLock's RAII makes unnecessary.
+// Expected diagnostic: "mutex 'm' is still held at the end of function".
+#include "src/util/sync.h"
+
+namespace {
+
+struct State {
+  pipemare::util::Mutex m;
+  int value GUARDED_BY(m) = 0;
+};
+
+}  // namespace
+
+int static_suite_entry(State& s, bool early) {
+  s.m.lock();
+  int v = s.value;
+  if (early) return v;  // BUG: leaks the lock
+  s.m.unlock();
+  return v;
+}

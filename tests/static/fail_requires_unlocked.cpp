@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: calls
+// CondVar::wait (annotated REQUIRES(mu)) without holding the mutex — the
+// classic lost-wakeup/undefined-behavior bug, rejected at compile time.
+// Expected diagnostic: "calling function 'wait' requires holding mutex".
+#include "src/util/sync.h"
+
+namespace {
+
+struct Waiter {
+  pipemare::util::Mutex m;
+  pipemare::util::CondVar cv;
+  bool ready GUARDED_BY(m) = false;
+
+  void wait_without_lock() {
+    cv.wait(m);  // BUG: m not held at the call
+  }
+};
+
+}  // namespace
+
+int static_suite_entry(Waiter& w) {
+  w.wait_without_lock();
+  return 0;
+}

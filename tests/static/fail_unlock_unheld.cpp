@@ -1,0 +1,17 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: releases a mutex
+// the caller does not hold (undefined behavior on std::mutex), rejected at
+// compile time.
+// Expected diagnostic: "releasing mutex 'm' that was not held".
+#include "src/util/sync.h"
+
+namespace {
+
+struct State {
+  pipemare::util::Mutex m;
+};
+
+}  // namespace
+
+void static_suite_entry(State& s) {
+  s.m.unlock();  // BUG: never locked on this path
+}

@@ -1,0 +1,49 @@
+// Positive control: the same surface the fail_* TUs abuse, used correctly.
+// MUST compile cleanly under Clang -Wthread-safety -Werror — proving the
+// suite's failures come from the violations, not from the harness or the
+// wrappers themselves.
+#include "src/util/sync.h"
+
+namespace {
+
+class BoundedCell {
+ public:
+  void put(int v) {
+    pipemare::util::MutexLock lock(m_);
+    while (full_) space_.wait(m_);  // while-loop wait, lock provably held
+    value_ = v;
+    full_ = true;
+    ready_.notify_one();
+  }
+
+  int take() {
+    pipemare::util::MutexLock lock(m_);
+    while (!full_) ready_.wait(m_);
+    full_ = false;
+    space_.notify_one();
+    return value_;
+  }
+
+  bool try_peek(int& out) {
+    if (!m_.try_lock()) return false;
+    out = value_;  // analysis knows try_lock() == true implies held
+    m_.unlock();
+    return true;
+  }
+
+ private:
+  pipemare::util::Mutex m_;
+  pipemare::util::CondVar ready_;
+  pipemare::util::CondVar space_;
+  int value_ GUARDED_BY(m_) = 0;
+  bool full_ GUARDED_BY(m_) = false;
+};
+
+}  // namespace
+
+int static_suite_entry(BoundedCell& cell) {
+  cell.put(42);
+  int v = 0;
+  (void)cell.try_peek(v);
+  return cell.take() + v;
+}

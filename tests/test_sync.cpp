@@ -1,0 +1,159 @@
+// Tier-1 suite for the annotated synchronization wrappers (src/util/sync.h):
+// the wrappers must behave exactly like the std types they hold — mutual
+// exclusion, cross-thread try_lock, condition-variable wakeups (including
+// the adopt/release ownership handoff inside CondVar::wait), MutexLock RAII
+// on both normal and exceptional exit — and cost nothing: same size as the
+// wrapped std types (asserted at compile time here, timed against the raw
+// std types in bench/micro_sync.cpp).
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/util/sync.h"
+
+namespace pipemare::util {
+namespace {
+
+// Zero-overhead claims: the wrappers add no state to the std types. (Clang's
+// attributes are compile-time only; under GCC they expand to nothing.)
+static_assert(sizeof(Mutex) == sizeof(std::mutex));
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable));
+static_assert(sizeof(MutexLock) == sizeof(std::lock_guard<std::mutex>));
+
+TEST(SyncMutex, MutualExclusionAcrossThreads) {
+  Mutex m;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(m);
+        ++counter;  // unprotected long increments would tear/lose updates
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(SyncMutex, TryLockReportsContention) {
+  Mutex m;
+  m.lock();
+  // Another thread must see the mutex as busy (same-thread try_lock on a
+  // held std::mutex is UB, so probe cross-thread).
+  bool acquired = true;
+  std::thread probe([&] {
+    if (m.try_lock()) {
+      m.unlock();
+      acquired = true;
+    } else {
+      acquired = false;
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  m.unlock();
+  std::thread probe2([&] {
+    if (m.try_lock()) {
+      m.unlock();
+      acquired = true;
+    } else {
+      acquired = false;
+    }
+  });
+  probe2.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(SyncCondVar, ProducerConsumerHandshake) {
+  Mutex m;
+  CondVar ready;
+  CondVar space;
+  bool full = false;
+  int slot = 0;
+  long sum = 0;
+  constexpr int kItems = 1000;
+
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(m);
+      while (!full) ready.wait(m);
+      sum += slot;
+      full = false;
+      space.notify_one();
+    }
+  });
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      MutexLock lock(m);
+      while (full) space.wait(m);
+      slot = i;
+      full = true;
+    }
+    ready.notify_one();
+  }
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(SyncCondVar, WaitReacquiresBeforeReturning) {
+  // After wait() returns, the caller must still own the mutex (the
+  // adopt_lock/release dance inside wait must not leak ownership): mutate
+  // guarded state right after waking and check another thread sees the
+  // mutex held meanwhile.
+  Mutex m;
+  CondVar cv;
+  bool woken = false;
+  bool observed_locked = false;
+
+  std::thread waiter([&] {
+    MutexLock lock(m);
+    while (!woken) cv.wait(m);
+    // Holding m here; the probe thread's try_lock must fail.
+    std::thread probe([&] {
+      if (m.try_lock()) {
+        m.unlock();
+        observed_locked = false;
+      } else {
+        observed_locked = true;
+      }
+    });
+    probe.join();
+  });
+  {
+    MutexLock lock(m);
+    woken = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed_locked);
+}
+
+TEST(SyncMutexLock, ReleasesOnException) {
+  Mutex m;
+  try {
+    MutexLock lock(m);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  // If the RAII release leaked, this cross-thread probe would see it held.
+  bool acquired = false;
+  std::thread probe([&] {
+    if (m.try_lock()) {
+      m.unlock();
+      acquired = true;
+    }
+  });
+  probe.join();
+  EXPECT_TRUE(acquired);
+}
+
+}  // namespace
+}  // namespace pipemare::util
