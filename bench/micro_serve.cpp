@@ -1,0 +1,295 @@
+// Serving micro bench: continuous vs fixed batching on the
+// serve::PipelineServer, across worker counts.
+//
+// Two load shapes per configuration:
+//   light       open-loop arrivals at --rate req/s (the generator sleeps
+//               to the next arrival time regardless of completions), the
+//               regime the batch policy dominates: a fixed-batch server
+//               holds every lone request until the max-wait flush, so its
+//               p99 floors at ~max_wait + service time, while continuous
+//               batching dispatches on arrival (p99 ~ service time);
+//   saturation  closed-loop: every request submitted up front, the queue
+//               never runs dry, so the slots stay busy and each admission
+//               round forms a full batch under either policy — throughput
+//               should match to noise.
+// That pair is the serving claim in one table: continuous wins p99 under
+// light load and gives up nothing at saturation.
+//
+// Usage: bench_micro_serve [--quick=1] [--requests=160] [--sat-requests=1200]
+//          [--rate=200] [--stages=4] [--batch=8] [--max-wait=5]
+//          [--workers=<int> (0 = 1 and min(4, cores) rows)] [--seed=3]
+//          [--json=1]  (also write the BENCH_serve.json snapshot)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/serve/batch_scheduler.h"
+#include "src/serve/checkpoint.h"
+#include "src/serve/pipeline_server.h"
+#include "src/util/cli.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace pipemare;
+
+constexpr int kWidth = 128;
+constexpr int kLayers = 6;
+constexpr int kClasses = 10;
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+tensor::Tensor make_input(util::Rng& rng) {
+  tensor::Tensor x({1, kWidth});
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal()) * 0.5f;
+  }
+  return x;
+}
+
+struct RunResult {
+  std::string label;
+  serve::BatchPolicy policy = serve::BatchPolicy::Continuous;
+  int workers = 0;
+  double light_p50_ms = 0.0;
+  double light_p99_ms = 0.0;
+  double light_mean_batch = 0.0;
+  double sat_throughput = 0.0;   ///< completed requests / second
+  double sat_mean_batch = 0.0;
+  std::uint64_t rejected = 0;
+};
+
+serve::ServeConfig make_config(serve::BatchPolicy policy, int workers, int stages,
+                               int max_batch, double max_wait_ms,
+                               int queue_capacity) {
+  serve::ServeConfig cfg;
+  cfg.num_stages = stages;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue_capacity;
+  cfg.batch.policy = policy;
+  cfg.batch.max_batch = max_batch;
+  cfg.batch.max_wait_ms = max_wait_ms;
+  return cfg;
+}
+
+/// Open-loop generator: submissions at fixed interarrival 1/rate,
+/// independent of completions (the arrival process of a latency bench must
+/// not be throttled by the thing it measures).
+void run_light(serve::PipelineServer& server, int requests, double rate,
+               std::uint64_t seed, RunResult& out) {
+  util::Rng rng(seed);
+  const auto interarrival = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / std::max(1.0, rate)));
+  std::vector<serve::TicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(requests));
+  auto next = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(next);
+    next += interarrival;
+    nn::Flow f;
+    f.x = make_input(rng);
+    tickets.push_back(server.submit(std::move(f)));
+  }
+  std::vector<double> latencies;
+  double batch_sum = 0.0;
+  for (auto& t : tickets) {
+    const serve::Response& r = t->wait();
+    if (r.status != serve::Status::Ok) {
+      ++out.rejected;
+      continue;
+    }
+    latencies.push_back(r.total_ms);
+    batch_sum += r.batch_requests;
+  }
+  out.light_p50_ms = percentile(latencies, 0.50);
+  out.light_p99_ms = percentile(latencies, 0.99);
+  out.light_mean_batch =
+      latencies.empty() ? 0.0 : batch_sum / static_cast<double>(latencies.size());
+}
+
+/// Closed-loop saturation: everything submitted up front (the queue is
+/// sized to hold it), throughput = completions / wall.
+void run_saturation(serve::PipelineServer& server, int requests,
+                    std::uint64_t seed, RunResult& out) {
+  util::Rng rng(seed);
+  std::vector<serve::TicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(requests));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    nn::Flow f;
+    f.x = make_input(rng);
+    tickets.push_back(server.submit(std::move(f)));
+  }
+  double batch_sum = 0.0;
+  int ok = 0;
+  for (auto& t : tickets) {
+    const serve::Response& r = t->wait();
+    if (r.status != serve::Status::Ok) {
+      ++out.rejected;
+      continue;
+    }
+    ++ok;
+    batch_sum += r.batch_requests;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  out.sat_throughput = secs > 0.0 ? ok / secs : 0.0;
+  out.sat_mean_batch = ok > 0 ? batch_sum / ok : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int requests = cli.get_int("requests", quick ? 40 : 160);
+  const int sat_requests = cli.get_int("sat-requests", quick ? 240 : 1200);
+  const double rate = cli.get_double("rate", 200.0);
+  const int stages = cli.get_int("stages", 4);
+  const int max_batch = cli.get_int("batch", 8);
+  const double max_wait_ms = cli.get_double("max-wait", 5.0);
+  const bool json = cli.get_bool("json", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  std::vector<int> worker_counts;
+  const int workers_flag = cli.get_int("workers", 0);
+  if (workers_flag > 0) {
+    worker_counts.push_back(workers_flag);
+  } else {
+    worker_counts.push_back(1);
+    const int cores = static_cast<int>(std::thread::hardware_concurrency());
+    const int more = std::min(4, std::max(2, cores));
+    if (more > 1) worker_counts.push_back(more);
+  }
+
+  nn::Model model = benchutil::make_bench_mlp(kLayers, kWidth, kClasses);
+  std::vector<float> weights(static_cast<std::size_t>(model.param_count()));
+  util::Rng rng(seed);
+  model.init_params(weights, rng);
+  serve::ModelCheckpoint ckpt;
+  ckpt.digest = serve::shape_digest(model);
+  ckpt.weights = weights;
+
+  std::cout << "micro_serve: " << kLayers << "x" << kWidth << " MLP, P=" << stages
+            << ", max_batch=" << max_batch << ", max_wait=" << max_wait_ms
+            << "ms; light: " << requests << " req @ " << rate
+            << "/s, saturation: " << sat_requests << " req\n\n";
+
+  std::vector<RunResult> rows;
+  for (int workers : worker_counts) {
+    for (serve::BatchPolicy policy :
+         {serve::BatchPolicy::Fixed, serve::BatchPolicy::Continuous}) {
+      RunResult r;
+      r.policy = policy;
+      r.workers = workers;
+      r.label = std::string(serve::batch_policy_name(policy)) + "/W=" +
+                std::to_string(workers);
+      {
+        serve::PipelineServer server(
+            model, ckpt,
+            make_config(policy, workers, stages, max_batch, max_wait_ms,
+                        /*queue_capacity=*/std::max(64, requests)));
+        server.start();
+        run_light(server, requests, rate, seed, r);
+        server.stop();
+      }
+      {
+        serve::PipelineServer server(
+            model, ckpt,
+            make_config(policy, workers, stages, max_batch, max_wait_ms,
+                        /*queue_capacity=*/sat_requests));
+        server.start();
+        run_saturation(server, sat_requests, seed, r);
+        server.stop();
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+
+  util::Table t({"run", "light p50", "light p99", "light batch", "sat req/s",
+                 "sat batch", "rejected"});
+  for (const auto& r : rows) {
+    t.add_row({r.label, util::fmt(r.light_p50_ms, 2) + "ms",
+               util::fmt(r.light_p99_ms, 2) + "ms",
+               util::fmt(r.light_mean_batch, 1), util::fmt(r.sat_throughput, 0),
+               util::fmt(r.sat_mean_batch, 1), std::to_string(r.rejected)});
+  }
+  std::cout << t.to_string() << '\n';
+
+  // Policy comparison at matched worker count (the last worker row).
+  const RunResult* fixed = nullptr;
+  const RunResult* continuous = nullptr;
+  for (const auto& r : rows) {
+    if (r.workers != worker_counts.back()) continue;
+    (r.policy == serve::BatchPolicy::Fixed ? fixed : continuous) = &r;
+  }
+  if (fixed != nullptr && continuous != nullptr) {
+    std::cout << "continuous vs fixed at W=" << worker_counts.back()
+              << ": light-load p99 " << util::fmt(fixed->light_p99_ms, 2)
+              << "ms -> " << util::fmt(continuous->light_p99_ms, 2)
+              << "ms (fixed pays the max-wait flush on nearly every lone "
+                 "request), saturation throughput "
+              << util::fmt(fixed->sat_throughput, 0) << " -> "
+              << util::fmt(continuous->sat_throughput, 0)
+              << " req/s (full batches either way once the queue stays "
+                 "non-empty).\n";
+  }
+
+  if (json) {
+    benchutil::Json root = benchutil::Json::object();
+    root.set("bench", "micro_serve");
+    root.set("machine", benchutil::machine_info());
+    benchutil::Json params = benchutil::Json::object();
+    params.set("stages", stages);
+    params.set("max_batch", max_batch);
+    params.set("max_wait_ms", max_wait_ms);
+    params.set("light_requests", requests);
+    params.set("light_rate_per_sec", rate);
+    params.set("saturation_requests", sat_requests);
+    params.set("seed", static_cast<std::int64_t>(seed));
+    root.set("params", std::move(params));
+    benchutil::Json runs = benchutil::Json::array();
+    for (const auto& r : rows) {
+      benchutil::Json j = benchutil::Json::object();
+      j.set("label", r.label);
+      j.set("policy", std::string(serve::batch_policy_name(r.policy)));
+      j.set("workers", r.workers);
+      j.set("light_p50_ms", r.light_p50_ms);
+      j.set("light_p99_ms", r.light_p99_ms);
+      j.set("light_mean_batch", r.light_mean_batch);
+      j.set("saturation_req_per_sec", r.sat_throughput);
+      j.set("saturation_mean_batch", r.sat_mean_batch);
+      j.set("rejected", r.rejected);
+      runs.push(std::move(j));
+    }
+    root.set("runs", std::move(runs));
+    if (fixed != nullptr && continuous != nullptr) {
+      benchutil::Json summary = benchutil::Json::object();
+      summary.set("workers", worker_counts.back());
+      summary.set("light_p99_fixed_ms", fixed->light_p99_ms);
+      summary.set("light_p99_continuous_ms", continuous->light_p99_ms);
+      summary.set("light_p99_speedup",
+                  fixed->light_p99_ms / std::max(1e-9, continuous->light_p99_ms));
+      summary.set("saturation_throughput_ratio",
+                  continuous->sat_throughput /
+                      std::max(1e-9, fixed->sat_throughput));
+      root.set("summary", std::move(summary));
+    }
+    benchutil::write_bench_json("BENCH_serve.json", root);
+  }
+  return 0;
+}

@@ -15,6 +15,10 @@
 #      poking at guarded state through forward declarations or externs.
 #   4. A file using the annotation macros must include src/util/sync.h so
 #      the macros expand consistently (never re-defined locally).
+#   5. Self-check: the GUARDED_BY inventory rules 3 and 4 run on must
+#      actually see the annotated subsystems (sched worker pool, serving
+#      runtime). An empty scan would make rules 3/4 pass vacuously, so
+#      known anchor fields are asserted present.
 #
 # Exit status: 0 = all invariants hold, 1 = at least one violation
 # (each printed with file:line).
@@ -92,6 +96,28 @@ hits=$(
     done
 )
 violation "thread-safety annotation macros used without src/util/sync.h" "$hits"
+
+# --- Rule 5: scan self-check ----------------------------------------------
+# Rules 3/4 pass vacuously if the GUARDED_BY extraction regex rots and the
+# inventory comes up empty. Anchor on fields that must stay guarded: the
+# worker-pool barrier state and the serving runtime's scheduler state
+# (src/serve/ is all-mutable-state-under-one-mutex by design).
+hits=$(
+  for anchor in \
+      "src/sched/worker_pool.h generation_" \
+      "src/serve/request_queue.h q_" \
+      "src/serve/request_queue.h closed_" \
+      "src/serve/pipeline_server.h slot_busy_" \
+      "src/serve/pipeline_server.h push_version_" \
+      "src/serve/pipeline_server.h counters_"; do
+    header=${anchor% *}
+    field=${anchor#* }
+    if ! echo "$decls" | grep -qx "$header $field"; then
+      echo "$header:1 (GUARDED_BY scan did not find expected guarded field '$field')"
+    fi
+  done
+)
+violation "GUARDED_BY inventory self-check failed (scan regex or annotations rotted)" "$hits"
 
 if [ "$fail" -eq 0 ]; then
   echo "check_invariants: all concurrency invariants hold"

@@ -8,6 +8,40 @@
 
 namespace pipemare::core {
 
+namespace {
+
+/// Flag-routing table for the shared backend CLI: which built-in backend
+/// honors which backend-specific flag. parse_backend_cli enforces it for
+/// the built-in names (custom registered backends own their flags); the
+/// serve-side CLI (serve/serve_cli.cpp) reuses the same mechanism for its
+/// policy-specific flags.
+std::span<const util::FlagRule> backend_flag_rules() {
+  static const std::vector<util::FlagRule> rules = {
+      {"steal",
+       {"threaded_steal"},
+       "applies to the threaded_steal backend; pass --backend=threaded_steal"},
+      {"steal-log",
+       {"threaded_steal"},
+       "applies to the threaded_steal backend; pass --backend=threaded_steal"},
+      {"max-delay",
+       {"hogwild", "threaded_hogwild"},
+       "applies to the hogwild backends; pass --backend=hogwild or "
+       "--backend=threaded_hogwild"},
+      {"workers",
+       {"threaded_hogwild", "threaded_steal"},
+       "applies to the worker-pool backends; pass --backend=threaded_hogwild "
+       "or --backend=threaded_steal"},
+  };
+  return rules;
+}
+
+bool is_builtin_backend(const std::string& name) {
+  return name == "sequential" || name == "threaded" || name == "hogwild" ||
+         name == "threaded_hogwild" || name == "threaded_steal";
+}
+
+}  // namespace
+
 EpochTimer::EpochTimer() : epoch_start_(std::chrono::steady_clock::now()) {}
 
 void EpochTimer::on_epoch(EpochRecord& record) {
@@ -36,16 +70,13 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
   const std::string name = cli.get("backend", cfg.backend.name);
   BackendRegistry::instance().require(name);
   cfg.backend.name = name;
-  // Custom registered backends are left untouched (their flags are the
-  // caller's business); the built-in non-steal backends reject the steal
-  // flags instead of silently dropping them.
-  if ((cli.has("steal") || cli.has("steal-log")) &&
-      (name == "sequential" || name == "threaded" || name == "hogwild" ||
-       name == "threaded_hogwild")) {
-    throw std::invalid_argument(
-        "parse_backend_cli: --steal/--steal-log apply to the threaded_steal "
-        "backend; pass --backend=threaded_steal");
-  }
+  // Flags the selected built-in backend cannot honor are rejected via the
+  // routing table instead of being silently dropped; custom registered
+  // backends are left untouched (their flags are the caller's business).
+  util::reject_mismatched_flags(cli, "parse_backend_cli", name,
+                                is_builtin_backend(name), backend_flag_rules());
+  // --repartition is value-dependent (=off is legal everywhere), so it
+  // stays outside the table.
   if (cli.has("repartition")) {
     cfg.repartition = pipeline::parse_repartition_spec(cli.get("repartition", "off"));
     if (cfg.repartition.enabled &&
@@ -74,12 +105,6 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
     }
   }
   if (name == "hogwild") {
-    if (cli.has("workers")) {
-      throw std::invalid_argument(
-          "parse_backend_cli: --workers applies to the threaded_hogwild backend; "
-          "pass --backend=threaded_hogwild (the \"hogwild\" backend is "
-          "single-threaded)");
-    }
     HogwildOptions opts;
     if (const auto* prev = std::get_if<HogwildOptions>(&cfg.backend.options)) {
       opts = *prev;
@@ -105,11 +130,6 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
     opts.workers = cli.get_int("workers", opts.workers);
     cfg.backend.options = std::move(opts);
   } else if (name == "threaded_steal") {
-    if (cli.has("max-delay")) {
-      throw std::invalid_argument(
-          "parse_backend_cli: --max-delay applies to the hogwild backends; "
-          "pass --backend=hogwild or --backend=threaded_hogwild");
-    }
     StealOptions opts;
     if (const auto* prev = std::get_if<StealOptions>(&cfg.backend.options)) {
       opts = *prev;
@@ -124,11 +144,6 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
     opts.record_log = cli.get_bool("steal-log", opts.record_log);
     cfg.backend.options = std::move(opts);
   } else if (name == "sequential" || name == "threaded") {
-    if (cli.has("max-delay") || cli.has("workers")) {
-      throw std::invalid_argument(
-          "parse_backend_cli: --max-delay/--workers apply to the hogwild "
-          "backends; pass --backend=hogwild or --backend=threaded_hogwild");
-    }
     // A --backend switch must not leave another backend's preset options
     // behind (e.g. a driver presets {"hogwild", HogwildOptions{...}} and
     // the user passes --backend=threaded); drop anything that is not the

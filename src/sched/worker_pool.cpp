@@ -49,12 +49,20 @@ void WorkerPool::thread_loop(int worker) {
 }
 
 void WorkerPool::run_generation() {
+  begin_generation();
+  wait_generation();
+}
+
+void WorkerPool::begin_generation() {
   {
     util::MutexLock lock(m_);
     done_count_ = 0;
     ++generation_;
   }
   go_.notify_all();
+}
+
+void WorkerPool::wait_generation() {
   util::MutexLock lock(m_);
   while (done_count_ != static_cast<int>(threads_.size())) done_.wait(m_);
 }

@@ -45,8 +45,22 @@ class WorkerPool {
   int size() const { return static_cast<int>(threads_.size()); }
 
   /// Releases all workers for one generation and blocks until every
-  /// body has returned.
+  /// body has returned. Equivalent to begin_generation() followed by
+  /// wait_generation() — the engines' per-minibatch barrier.
   void run_generation();
+
+  /// Releases all workers for one generation without waiting — the
+  /// non-blocking half of run_generation, for long-running bodies whose
+  /// lifetime is controlled elsewhere (serve::PipelineServer's workers run
+  /// one generation per serving session and park when the server drains).
+  /// At most one generation may be open at a time.
+  void begin_generation();
+
+  /// Blocks until every body of the generation opened by the last
+  /// begin_generation() has returned. Call exactly once per
+  /// begin_generation(); carries the same memory-ordering contract as
+  /// run_generation.
+  void wait_generation();
 
  private:
   void thread_loop(int worker);

@@ -1,0 +1,143 @@
+#include "src/serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pipemare::serve {
+
+namespace {
+
+std::chrono::nanoseconds ms_to_ns(double ms) {
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6));
+}
+
+/// Per-row shape: every dimension after the leading batch dimension.
+std::vector<int> row_shape(const tensor::Tensor& t) {
+  if (t.rank() == 0) return {};
+  return {t.shape().begin() + 1, t.shape().end()};
+}
+
+void append_rows(tensor::Tensor& dst, std::int64_t& cursor, const tensor::Tensor& src) {
+  std::memcpy(dst.data() + cursor, src.data(),
+              static_cast<std::size_t>(src.size()) * sizeof(float));
+  cursor += src.size();
+}
+
+}  // namespace
+
+BatchPolicy parse_batch_policy(std::string_view name) {
+  if (name == "fixed") return BatchPolicy::Fixed;
+  if (name == "continuous") return BatchPolicy::Continuous;
+  throw std::invalid_argument("parse_batch_policy: unknown policy '" +
+                              std::string(name) + "'; use fixed or continuous");
+}
+
+std::string_view batch_policy_name(BatchPolicy p) {
+  return p == BatchPolicy::Fixed ? "fixed" : "continuous";
+}
+
+void validate_batch_config(const BatchConfig& cfg) {
+  if (cfg.max_batch < 1) {
+    throw std::invalid_argument("BatchConfig: max_batch must be >= 1");
+  }
+  if (cfg.max_wait_ms < 0.0) {
+    throw std::invalid_argument("BatchConfig: max_wait_ms must be >= 0");
+  }
+}
+
+BatchScheduler::BatchScheduler(BatchConfig cfg) : cfg_(cfg) {
+  validate_batch_config(cfg_);
+}
+
+BatchScheduler::Decision BatchScheduler::decide(std::size_t queued,
+                                                Clock::time_point oldest_enqueue,
+                                                Clock::time_point now,
+                                                bool draining) const {
+  Decision d;
+  if (queued == 0) return d;
+  const int cap = cfg_.max_batch;
+  if (cfg_.policy == BatchPolicy::Continuous || draining ||
+      queued >= static_cast<std::size_t>(cap)) {
+    d.admit = static_cast<int>(std::min<std::size_t>(queued, static_cast<std::size_t>(cap)));
+    return d;
+  }
+  // Fixed, partial: flush once the oldest request has waited max_wait_ms.
+  const auto flush_at = oldest_enqueue + ms_to_ns(cfg_.max_wait_ms);
+  if (now >= flush_at) {
+    d.admit = static_cast<int>(queued);
+    return d;
+  }
+  d.recheck = flush_at - now;
+  return d;
+}
+
+bool batch_compatible(const nn::Flow& a, const nn::Flow& b) {
+  if (row_shape(a.x) != row_shape(b.x)) return false;
+  if (a.aux.empty() != b.aux.empty()) return false;
+  if (!a.aux.empty() && row_shape(a.aux) != row_shape(b.aux)) return false;
+  return true;
+}
+
+nn::Flow concat_inputs(std::span<const Request> requests) {
+  if (requests.empty()) {
+    throw std::invalid_argument("concat_inputs: empty batch");
+  }
+  const nn::Flow& front = requests.front().input;
+  int total_rows = 0;
+  for (const auto& r : requests) {
+    if (!batch_compatible(front, r.input)) {
+      throw std::invalid_argument("concat_inputs: incompatible request inputs");
+    }
+    total_rows += r.input.x.dim(0);
+  }
+  nn::Flow out;
+  out.training = false;
+
+  std::vector<int> x_shape = front.x.shape();
+  x_shape[0] = total_rows;
+  out.x = tensor::Tensor(std::move(x_shape));
+  std::int64_t x_cursor = 0;
+  for (const auto& r : requests) append_rows(out.x, x_cursor, r.input.x);
+
+  if (!front.aux.empty()) {
+    std::vector<int> aux_shape = front.aux.shape();
+    aux_shape[0] = total_rows;
+    out.aux = tensor::Tensor(std::move(aux_shape));
+    std::int64_t aux_cursor = 0;
+    for (const auto& r : requests) append_rows(out.aux, aux_cursor, r.input.aux);
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor> split_output_rows(const tensor::Tensor& out,
+                                              std::span<const int> rows) {
+  if (out.rank() < 1) {
+    throw std::invalid_argument("split_output_rows: output must have a batch dim");
+  }
+  std::int64_t total = 0;
+  for (int r : rows) total += r;
+  if (total != out.dim(0)) {
+    throw std::invalid_argument("split_output_rows: row counts (" +
+                                std::to_string(total) + ") != out.dim(0) (" +
+                                std::to_string(out.dim(0)) + ")");
+  }
+  const std::int64_t row_elems = out.dim(0) > 0 ? out.size() / out.dim(0) : 0;
+  std::vector<tensor::Tensor> parts;
+  parts.reserve(rows.size());
+  std::int64_t cursor = 0;
+  for (int r : rows) {
+    std::vector<int> shape = out.shape();
+    shape[0] = r;
+    tensor::Tensor part(std::move(shape));
+    std::memcpy(part.data(), out.data() + cursor,
+                static_cast<std::size_t>(part.size()) * sizeof(float));
+    cursor += static_cast<std::int64_t>(r) * row_elems;
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace pipemare::serve

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/request_queue.h"
+#include "src/tensor/tensor.h"
+
+namespace pipemare::serve {
+
+/// When the server forms a microbatch from queued requests.
+enum class BatchPolicy {
+  /// Wait for max_batch requests before dispatching; flush a partial batch
+  /// only once the oldest request has waited max_wait_ms (the classic
+  /// fixed-batch server — max_wait bounds its p99 under light load, at the
+  /// cost of paying that wait on nearly every light-load request).
+  Fixed,
+  /// Continuous batching: dispatch whatever is queued (up to max_batch) as
+  /// soon as a microbatch slot frees up at stage 0, mid-flight — partial
+  /// batches are fine. Under light load requests start immediately (p99 ~
+  /// service time); under saturation the slots stay busy, the queue fills,
+  /// and every batch is full anyway, so throughput matches Fixed.
+  Continuous,
+};
+
+BatchPolicy parse_batch_policy(std::string_view name);
+std::string_view batch_policy_name(BatchPolicy p);
+
+struct BatchConfig {
+  BatchPolicy policy = BatchPolicy::Continuous;
+  int max_batch = 8;         ///< max requests per microbatch
+  double max_wait_ms = 5.0;  ///< Fixed: partial-batch flush timeout
+};
+
+/// Throws std::invalid_argument on an unusable configuration.
+void validate_batch_config(const BatchConfig& cfg);
+
+/// The admission policy of the serving pipeline: decides, at each stage-0
+/// boundary (a free microbatch slot), whether to form a batch now and how
+/// many requests it may take. Pure decision logic — the PipelineServer
+/// owns the queue and slots — so the policies are testable with synthetic
+/// clocks.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchConfig cfg);
+
+  const BatchConfig& config() const { return cfg_; }
+
+  struct Decision {
+    /// Requests to admit now (0 = keep waiting).
+    int admit = 0;
+    /// When admit == 0 with requests pending under Fixed: how long until
+    /// the flush deadline forces a partial batch (idle workers bound
+    /// their sleep by this). duration::max() = no pending flush.
+    Clock::duration recheck = Clock::duration::max();
+  };
+
+  /// `queued` pending requests, the oldest enqueued at `oldest_enqueue`;
+  /// `draining` (server stopping) flushes partial batches immediately.
+  Decision decide(std::size_t queued, Clock::time_point oldest_enqueue,
+                  Clock::time_point now, bool draining) const;
+
+ private:
+  BatchConfig cfg_;
+};
+
+/// True when requests with inputs `a` and `b` can share a microbatch: the
+/// same per-row shapes (all dimensions after the leading batch dimension)
+/// and the same auxiliary-channel usage, so their rows concatenate into
+/// one well-formed model input.
+bool batch_compatible(const nn::Flow& a, const nn::Flow& b);
+
+/// Concatenates the requests' input flows along the batch (first)
+/// dimension in the given (FIFO) order. Requires batch_compatible inputs;
+/// the result carries training = false.
+nn::Flow concat_inputs(std::span<const Request> requests);
+
+/// Splits a batched output tensor back into per-request row blocks:
+/// `rows[i]` leading rows for request i, in order. The row counts must sum
+/// to out.dim(0).
+std::vector<tensor::Tensor> split_output_rows(const tensor::Tensor& out,
+                                              std::span<const int> rows);
+
+}  // namespace pipemare::serve

@@ -1,0 +1,91 @@
+#include "src/serve/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/nn/serialize.h"
+
+namespace pipemare::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'M', 'C', 'K'};
+
+template <class T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <class T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::uint64_t shape_digest(const nn::Model& model) {
+  std::uint64_t h = nn::fnv1a(nullptr, 0);
+  for (int i = 0; i < model.num_modules(); ++i) {
+    const std::string name = model.module(i).name();
+    h = nn::fnv1a(name.data(), name.size(), h);
+    for (bool split_bias : {false, true}) {
+      auto sizes = model.module(i).param_unit_sizes(split_bias);
+      h = nn::fnv1a(sizes.data(), sizes.size() * sizeof(sizes[0]), h);
+    }
+  }
+  return h;
+}
+
+void ModelCheckpoint::validate_against(const nn::Model& model) const {
+  if (digest != shape_digest(model)) {
+    throw std::runtime_error(
+        "ModelCheckpoint: shape digest mismatch — the checkpoint was saved "
+        "for a different architecture than the model being served");
+  }
+  if (static_cast<std::int64_t>(weights.size()) != model.param_count()) {
+    throw std::runtime_error(
+        "ModelCheckpoint: parameter count mismatch (checkpoint has " +
+        std::to_string(weights.size()) + ", model expects " +
+        std::to_string(model.param_count()) + ")");
+  }
+}
+
+void save_checkpoint(const std::string& path, const nn::Model& model,
+                     std::span<const float> weights) {
+  if (static_cast<std::int64_t>(weights.size()) != model.param_count()) {
+    throw std::invalid_argument(
+        "save_checkpoint: weights.size() (" + std::to_string(weights.size()) +
+        ") != model.param_count() (" + std::to_string(model.param_count()) + ")");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kCheckpointFormatVersion);
+  write_pod(out, shape_digest(model));
+  nn::write_weights(out, weights);
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+ModelCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  ModelCheckpoint ckpt;
+  if (!read_pod(in, ckpt.format_version) || !read_pod(in, ckpt.digest)) {
+    throw std::runtime_error("load_checkpoint: truncated header in " + path);
+  }
+  if (ckpt.format_version == 0 || ckpt.format_version > kCheckpointFormatVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported format version " +
+                             std::to_string(ckpt.format_version) + " in " + path);
+  }
+  ckpt.weights = nn::read_weights(in, path);
+  return ckpt;
+}
+
+}  // namespace pipemare::serve

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nn/model.h"
+
+namespace pipemare::serve {
+
+/// Format version of the checkpoint container written by save_checkpoint.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Versioned model checkpoint: the handoff artifact between training and
+/// serving. Any backend's trained weights (`backend.weights()`) can be
+/// saved against the model that produced them and loaded by a server that
+/// builds the same architecture.
+///
+/// File layout: a container around nn/serialize's weight blob —
+///   magic "PMCK" | uint32 container format version | uint64 shape digest |
+///   weights blob (nn::write_weights: its own magic/version/count/checksum)
+/// The shape digest is an FNV-1a hash over the model's module names and
+/// per-module weight-unit sizes, so a loader can prove the weights belong
+/// to the architecture it is about to serve without the file shipping the
+/// architecture itself — a digest mismatch is a configuration error
+/// surfaced at load/validate time, not NaNs at request time.
+struct ModelCheckpoint {
+  std::uint32_t format_version = kCheckpointFormatVersion;
+  std::uint64_t digest = 0;
+  std::vector<float> weights;
+
+  /// Throws std::runtime_error when this checkpoint cannot drive `model`
+  /// (shape-digest or parameter-count mismatch, each named in the
+  /// message).
+  void validate_against(const nn::Model& model) const;
+};
+
+/// Architecture fingerprint of a model: FNV-1a over every module's name
+/// and weight-unit sizes (both split_bias regimes), in order. Two models
+/// digest equal iff they would lay out the flat parameter vector the same
+/// way and run the same module stack.
+std::uint64_t shape_digest(const nn::Model& model);
+
+/// Writes a checkpoint of `weights` for `model`. Throws
+/// std::invalid_argument when weights.size() != model.param_count() and
+/// std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const nn::Model& model,
+                     std::span<const float> weights);
+
+/// Reads a checkpoint; throws std::runtime_error on I/O failure or a
+/// malformed file. Call validate_against before serving with it.
+ModelCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace pipemare::serve

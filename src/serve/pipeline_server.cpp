@@ -1,0 +1,483 @@
+#include "src/serve/pipeline_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/util/stats.h"
+
+namespace pipemare::serve {
+
+namespace {
+
+using util::ns_between;
+
+int resolve_worker_count(const ServeConfig& cfg) {
+  if (cfg.workers > 0) return cfg.workers;
+  auto cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores <= 0) cores = 2;
+  return std::max(1, std::min(cores, cfg.num_stages));
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+pipeline::StageStats snapshot(const std::atomic<std::uint64_t>& busy_ns,
+                              const std::atomic<std::uint64_t>& pop_wait_ns,
+                              const std::atomic<std::uint64_t>& items,
+                              const std::atomic<std::uint64_t>& stolen_items,
+                              const std::atomic<std::uint64_t>& stolen_ns) {
+  pipeline::StageStats s;
+  s.busy_ns = busy_ns.load(std::memory_order_relaxed);
+  s.pop_wait_ns = pop_wait_ns.load(std::memory_order_relaxed);
+  s.items = items.load(std::memory_order_relaxed);
+  s.stolen_items = stolen_items.load(std::memory_order_relaxed);
+  s.stolen_ns = stolen_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace
+
+void validate_serve_config(const ServeConfig& cfg, const nn::Model* model) {
+  if (cfg.workers < 0) {
+    throw std::invalid_argument("serve: workers must be >= 0 (0 = auto)");
+  }
+  if (cfg.queue_capacity < 1) {
+    throw std::invalid_argument("serve: queue_capacity must be >= 1");
+  }
+  if (cfg.slots < 0) {
+    throw std::invalid_argument("serve: slots must be >= 0 (0 = num_stages + 1)");
+  }
+  validate_batch_config(cfg.batch);
+  pipeline::validate_partition_config("serve", model, cfg.num_stages,
+                                      cfg.split_bias, cfg.partition);
+}
+
+namespace {
+/// Runs config validation before any member constructor consumes the
+/// config (BatchScheduler / RequestQueue would otherwise report their own
+/// lower-level errors first).
+ServeConfig validated(ServeConfig cfg, const nn::Model* model) {
+  validate_serve_config(cfg, model);
+  return cfg;
+}
+}  // namespace
+
+PipelineServer::PipelineServer(const nn::Model& model, ModelCheckpoint ckpt,
+                               ServeConfig cfg)
+    : model_(model),
+      cfg_(validated(std::move(cfg), &model)),
+      scheduler_(cfg_.batch),
+      queue_(cfg_.queue_capacity) {
+  ckpt.validate_against(model);
+  weights_ = std::move(ckpt.weights);
+  partition_ = pipeline::make_partition(model, cfg_.num_stages, cfg_.split_bias,
+                                        cfg_.partition);
+  ranges_ = pipeline::stage_module_ranges(partition_);
+
+  const int p = cfg_.num_stages;
+  queues_.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) queues_.push_back(std::make_unique<sched::TaskQueue>());
+  stage_counters_ = std::make_unique<AtomicCounters[]>(static_cast<std::size_t>(p));
+
+  const int nslots = cfg_.slots > 0 ? cfg_.slots : p + 1;
+  slots_.resize(static_cast<std::size_t>(nslots));
+  for (auto& slot : slots_) slot.caches = model_.make_caches();
+  slot_busy_.assign(static_cast<std::size_t>(nslots), 0);
+
+  const int w = resolve_worker_count(cfg_);
+  worker_counters_ = std::make_unique<AtomicCounters[]>(static_cast<std::size_t>(w));
+  // Last: once the pool exists its threads may call back into worker_loop.
+  pool_ = std::make_unique<sched::WorkerPool>(
+      w, [this](int worker) { worker_loop(worker); });
+}
+
+PipelineServer::~PipelineServer() { stop(); }
+
+void PipelineServer::start() {
+  {
+    util::MutexLock lock(m_);
+    if (started_) throw std::logic_error("PipelineServer::start: already started");
+    started_ = true;
+  }
+  pool_->begin_generation();
+}
+
+void PipelineServer::stop() {
+  bool wait = false;
+  {
+    util::MutexLock lock(m_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+    queue_.close();
+    ++push_version_;
+    wait = started_;
+  }
+  cv_.notify_all();
+  if (wait) pool_->wait_generation();
+}
+
+TicketPtr PipelineServer::submit(nn::Flow input) {
+  return submit_with_deadline(std::move(input), Clock::time_point::max());
+}
+
+TicketPtr PipelineServer::submit(nn::Flow input, Clock::duration timeout) {
+  return submit_with_deadline(std::move(input), Clock::now() + timeout);
+}
+
+TicketPtr PipelineServer::submit_with_deadline(nn::Flow input,
+                                               Clock::time_point deadline) {
+  if (input.x.empty()) {
+    throw std::invalid_argument(
+        "PipelineServer::submit: input.x must be non-empty with a leading "
+        "batch dimension");
+  }
+  if (!input.ctx.empty() || !input.skip.empty()) {
+    throw std::invalid_argument(
+        "PipelineServer::submit: ctx/skip must be empty (requests enter at "
+        "the model's first module)");
+  }
+  input.training = false;
+
+  auto ticket = std::make_shared<Ticket>();
+  Request req;
+  req.input = std::move(input);
+  req.enqueue_time = Clock::now();
+  req.deadline = deadline;
+  req.ticket = ticket;
+
+  Status reject = Status::Ok;
+  {
+    util::MutexLock lock(m_);
+    ++counters_.submitted;
+    req.id = next_id_++;
+    if (!started_ || stopping_) {
+      ++counters_.rejected_stopped;
+      reject = Status::RejectedStopped;
+    } else {
+      switch (queue_.try_push(std::move(req))) {
+        case RequestQueue::Admit::Ok:
+          ++push_version_;
+          break;
+        case RequestQueue::Admit::Full:
+          ++counters_.rejected_full;
+          reject = Status::RejectedQueueFull;
+          break;
+        case RequestQueue::Admit::Closed:
+          ++counters_.rejected_stopped;
+          reject = Status::RejectedStopped;
+          break;
+      }
+    }
+  }
+  if (reject == Status::Ok) {
+    cv_.notify_all();
+  } else {
+    Response r;
+    r.status = reject;
+    ticket->complete(std::move(r));
+  }
+  return ticket;
+}
+
+void PipelineServer::worker_loop(int worker) {
+  AtomicCounters& wc = worker_counters_[static_cast<std::size_t>(worker)];
+  for (;;) {
+    std::uint64_t version;
+    {
+      util::MutexLock lock(m_);
+      version = push_version_;
+      if (stopping_ && active_slots_ == 0 && queue_.size() == 0) return;
+    }
+
+    sched::Task task;
+    bool stolen = false;
+    if (acquire(worker, task, stolen)) {
+      execute(worker, task, stolen);
+      continue;
+    }
+
+    Clock::duration recheck = Clock::duration::max();
+    if (try_admit(recheck)) continue;
+
+    // Nothing ready and no batch to form: park until a push/submit/slot
+    // free bumps push_version_, bounded by the nearest timer (fixed-policy
+    // flush or request deadline). The version recorded *before* the scans
+    // closes the missed-wakeup window.
+    const auto wait_start = Clock::now();
+    {
+      util::MutexLock lock(m_);
+      if (push_version_ == version) {
+        if (recheck == Clock::duration::max()) {
+          cv_.wait(m_);
+        } else if (recheck > Clock::duration::zero()) {
+          cv_.wait_for(m_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               recheck));
+        }
+      }
+    }
+    wc.pop_wait_ns.fetch_add(ns_between(wait_start, Clock::now()),
+                             std::memory_order_relaxed);
+  }
+}
+
+bool PipelineServer::acquire(int worker, sched::Task& out, bool& stolen) {
+  const int p = static_cast<int>(queues_.size());
+  const int w = pool_->size();
+  // Home stages first (stage s is home to worker s mod W) ...
+  for (int s = worker; s < p; s += w) {
+    if (queues_[static_cast<std::size_t>(s)]->pop(out)) {
+      stolen = false;
+      return true;
+    }
+  }
+  // ... then steal, deepest stage first: finishing in-flight microbatches
+  // frees slots (and completes requests) before new work is started.
+  for (int s = p - 1; s >= 0; --s) {
+    if (home_worker(s) == worker) continue;
+    if (queues_[static_cast<std::size_t>(s)]->steal(out)) {
+      stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PipelineServer::execute(int worker, const sched::Task& task, bool stolen) {
+  const int stage = task.stage;
+  const int slot = task.micro;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const pipeline::StageModuleRange& range = ranges_[static_cast<std::size_t>(stage)];
+
+  const auto t0 = Clock::now();
+  bool ok = true;
+  std::string error;
+  try {
+    s.flow = model_.forward_range(range.module_first, range.module_last,
+                                  std::move(s.flow), weights_, s.caches);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = std::string("serve worker failed at stage ") +
+            std::to_string(stage) + ": " + e.what();
+  }
+  const std::uint64_t ns = ns_between(t0, Clock::now());
+
+  AtomicCounters& sc = stage_counters_[static_cast<std::size_t>(stage)];
+  AtomicCounters& wc = worker_counters_[static_cast<std::size_t>(worker)];
+  sc.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  sc.items.fetch_add(1, std::memory_order_relaxed);
+  wc.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  wc.items.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    sc.stolen_items.fetch_add(1, std::memory_order_relaxed);
+    sc.stolen_ns.fetch_add(ns, std::memory_order_relaxed);
+    wc.stolen_items.fetch_add(1, std::memory_order_relaxed);
+    wc.stolen_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  if (!ok) {
+    Response base;
+    base.status = Status::Error;
+    base.error = std::move(error);
+    complete_slot(slot, base, nullptr);
+    return;
+  }
+  if (stage + 1 < static_cast<int>(queues_.size())) {
+    queues_[static_cast<std::size_t>(stage) + 1]->push(
+        {sched::Task::Kind::Forward, stage + 1, slot});
+    bump_version();
+  } else {
+    Response base;  // Status::Ok
+    complete_slot(slot, base, &s.flow.x);
+  }
+}
+
+void PipelineServer::complete_slot(int slot, const Response& base,
+                                   const tensor::Tensor* output) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  const auto now = Clock::now();
+
+  Status status = base.status;
+  std::string error = base.error;
+  std::vector<tensor::Tensor> parts;
+  if (status == Status::Ok && output != nullptr) {
+    try {
+      parts = split_output_rows(*output, s.rows);
+    } catch (const std::exception& e) {
+      status = Status::Error;
+      error = e.what();
+    }
+  }
+
+  const int nreq = static_cast<int>(s.requests.size());
+  for (int i = 0; i < nreq; ++i) {
+    Request& req = s.requests[static_cast<std::size_t>(i)];
+    Response r;
+    r.status = status;
+    r.error = error;
+    r.queue_ms = ms_between(req.enqueue_time, s.formed);
+    r.total_ms = ms_between(req.enqueue_time, now);
+    r.batch_requests = nreq;
+    if (status == Status::Ok) r.output = std::move(parts[static_cast<std::size_t>(i)]);
+    req.ticket->complete(std::move(r));
+  }
+
+  s.requests.clear();
+  s.rows.clear();
+  s.flow = nn::Flow{};  // release the activation storage while the slot idles
+  {
+    util::MutexLock lock(m_);
+    slot_busy_[static_cast<std::size_t>(slot)] = 0;
+    --active_slots_;
+    if (status == Status::Ok) {
+      counters_.completed_ok += static_cast<std::uint64_t>(nreq);
+    } else {
+      counters_.errors += static_cast<std::uint64_t>(nreq);
+    }
+    ++push_version_;
+  }
+  cv_.notify_all();
+}
+
+bool PipelineServer::try_admit(Clock::duration& recheck) {
+  const auto now = Clock::now();
+  util::MutexLock lock(m_);
+
+  // All queue-consumer operations run under m_, so admission (including
+  // deadline expiry) is serialized across workers and FIFO order within a
+  // batch is exactly arrival order.
+  std::vector<Request> expired;
+  const int nexpired = queue_.expire_before(now, expired);
+  if (nexpired > 0) {
+    counters_.deadline_expired += static_cast<std::uint64_t>(nexpired);
+    for (Request& req : expired) {
+      Response r;
+      r.status = Status::DeadlineExceeded;
+      r.queue_ms = ms_between(req.enqueue_time, now);
+      r.total_ms = r.queue_ms;
+      req.ticket->complete(std::move(r));
+    }
+  }
+
+  const std::size_t queued = queue_.size();
+  if (queued == 0) return false;
+
+  Clock::time_point oldest;
+  queue_.oldest_enqueue(oldest);
+  const BatchScheduler::Decision d =
+      scheduler_.decide(queued, oldest, now, stopping_);
+
+  int slot = -1;
+  for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
+    if (!slot_busy_[i]) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+
+  if (d.admit == 0 || slot < 0) {
+    // Bound the caller's sleep by the nearest timer: the fixed-policy
+    // flush deadline and/or the earliest request deadline. A freed slot
+    // bumps push_version_, so "no slot" needs no timer of its own.
+    if (d.admit == 0) recheck = std::min(recheck, d.recheck);
+    Clock::time_point dl;
+    if (queue_.earliest_deadline(dl)) {
+      recheck = std::min(recheck, Clock::duration(dl - now));
+    }
+    return false;
+  }
+
+  // Pop the FIFO prefix of requests batch-compatible with the front.
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(d.admit));
+  Request first;
+  if (!queue_.pop_if([](const Request&) { return true; }, first)) return false;
+  batch.push_back(std::move(first));
+  while (static_cast<int>(batch.size()) < d.admit) {
+    const nn::Flow& head = batch.front().input;
+    Request next;
+    if (!queue_.pop_if(
+            [&head](const Request& r) { return batch_compatible(head, r.input); },
+            next)) {
+      break;
+    }
+    batch.push_back(std::move(next));
+  }
+
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.requests = std::move(batch);
+  s.rows.clear();
+  s.rows.reserve(s.requests.size());
+  for (const Request& req : s.requests) s.rows.push_back(req.input.x.dim(0));
+  s.flow = concat_inputs(s.requests);
+  s.formed = now;
+
+  slot_busy_[static_cast<std::size_t>(slot)] = 1;
+  ++active_slots_;
+  counters_.admitted += static_cast<std::uint64_t>(s.requests.size());
+  ++counters_.batches;
+  queues_[0]->push({sched::Task::Kind::Forward, 0, slot});
+  ++push_version_;
+  cv_.notify_all();
+  return true;
+}
+
+void PipelineServer::bump_version() {
+  {
+    util::MutexLock lock(m_);
+    ++push_version_;
+  }
+  cv_.notify_all();
+}
+
+ServeCounters PipelineServer::counters() const {
+  util::MutexLock lock(m_);
+  return counters_;
+}
+
+std::vector<pipeline::StageStats> PipelineServer::stage_stats() const {
+  std::vector<pipeline::StageStats> out;
+  const std::size_t p = queues_.size();
+  out.reserve(p);
+  for (std::size_t s = 0; s < p; ++s) {
+    const AtomicCounters& c = stage_counters_[s];
+    pipeline::StageStats st =
+        snapshot(c.busy_ns, c.pop_wait_ns, c.items, c.stolen_items, c.stolen_ns);
+    st.pop_wait_ns = 0;  // waiting is a worker-side notion; see worker_stats()
+    out.push_back(st);
+  }
+  return out;
+}
+
+std::vector<pipeline::StageStats> PipelineServer::worker_stats() const {
+  std::vector<pipeline::StageStats> out;
+  const std::size_t w = static_cast<std::size_t>(pool_->size());
+  out.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const AtomicCounters& c = worker_counters_[i];
+    out.push_back(
+        snapshot(c.busy_ns, c.pop_wait_ns, c.items, c.stolen_items, c.stolen_ns));
+  }
+  return out;
+}
+
+void PipelineServer::reset_stage_stats() {
+  const auto clear = [](AtomicCounters& c) {
+    c.busy_ns.store(0, std::memory_order_relaxed);
+    c.pop_wait_ns.store(0, std::memory_order_relaxed);
+    c.items.store(0, std::memory_order_relaxed);
+    c.stolen_items.store(0, std::memory_order_relaxed);
+    c.stolen_ns.store(0, std::memory_order_relaxed);
+  };
+  for (std::size_t s = 0; s < queues_.size(); ++s) clear(stage_counters_[s]);
+  for (int i = 0; i < pool_->size(); ++i) {
+    clear(worker_counters_[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace pipemare::serve

@@ -1,0 +1,119 @@
+#include "src/serve/request_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pipemare::serve {
+
+std::string_view status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::RejectedQueueFull: return "rejected_queue_full";
+    case Status::RejectedStopped: return "rejected_stopped";
+    case Status::DeadlineExceeded: return "deadline_exceeded";
+    case Status::Error: return "error";
+  }
+  return "unknown";
+}
+
+const Response& Ticket::wait() {
+  const Response* r = nullptr;
+  {
+    util::MutexLock lock(m_);
+    while (!completed_) cv_.wait(m_);
+    r = &response_;
+  }
+  return *r;
+}
+
+bool Ticket::done() const {
+  util::MutexLock lock(m_);
+  return completed_;
+}
+
+bool Ticket::complete(Response r) {
+  {
+    util::MutexLock lock(m_);
+    if (completed_) return false;
+    response_ = std::move(r);
+    completed_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+RequestQueue::RequestQueue(int capacity) : capacity_(capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+  }
+}
+
+RequestQueue::Admit RequestQueue::try_push(Request r) {
+  util::MutexLock lock(m_);
+  if (closed_) return Admit::Closed;
+  if (static_cast<int>(q_.size()) >= capacity_) return Admit::Full;
+  q_.push_back(std::move(r));
+  return Admit::Ok;
+}
+
+bool RequestQueue::pop_if(const std::function<bool(const Request&)>& pred,
+                          Request& out) {
+  util::MutexLock lock(m_);
+  if (q_.empty() || !pred(q_.front())) return false;
+  out = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+int RequestQueue::expire_before(Clock::time_point now,
+                                std::vector<Request>& expired) {
+  util::MutexLock lock(m_);
+  int removed = 0;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->deadline <= now) {
+      expired.push_back(std::move(*it));
+      it = q_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool RequestQueue::oldest_enqueue(Clock::time_point& out) const {
+  util::MutexLock lock(m_);
+  if (q_.empty()) return false;
+  out = q_.front().enqueue_time;
+  return true;
+}
+
+bool RequestQueue::earliest_deadline(Clock::time_point& out) const {
+  util::MutexLock lock(m_);
+  bool found = false;
+  for (const auto& r : q_) {
+    if (r.deadline == Clock::time_point::max()) continue;
+    if (!found || r.deadline < out) {
+      out = r.deadline;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::size_t RequestQueue::size() const {
+  util::MutexLock lock(m_);
+  return q_.size();
+}
+
+void RequestQueue::close() {
+  util::MutexLock lock(m_);
+  closed_ = true;
+}
+
+bool RequestQueue::closed() const {
+  util::MutexLock lock(m_);
+  return closed_;
+}
+
+}  // namespace pipemare::serve

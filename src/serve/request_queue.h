@@ -1,0 +1,129 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/nn/flow.h"
+#include "src/util/sync.h"
+
+namespace pipemare::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Terminal status of a served request.
+enum class Status {
+  Ok = 0,
+  RejectedQueueFull,  ///< admission backpressure: the bounded queue was full
+  RejectedStopped,    ///< server not (or no longer) accepting requests
+  DeadlineExceeded,   ///< deadline passed before execution began
+  Error,              ///< worker-side exception; message in Response::error
+};
+
+std::string_view status_name(Status s);
+
+/// What the client gets back for one request.
+struct Response {
+  Status status = Status::Ok;
+  std::string error;       ///< Status::Error only
+  tensor::Tensor output;   ///< this request's rows of the model output (Ok only)
+  double queue_ms = 0.0;   ///< admission -> microbatch formation
+  double total_ms = 0.0;   ///< admission -> completion
+  int batch_requests = 0;  ///< requests in the microbatch that served it
+};
+
+/// One-shot completion handle returned by PipelineServer::submit. The
+/// serving workers fulfil it exactly once; the client blocks on wait() (or
+/// polls done()) from any thread.
+class Ticket {
+ public:
+  /// Blocks until the request reaches a terminal status, then returns the
+  /// response (immutable once completed — the reference stays valid for
+  /// the ticket's lifetime).
+  const Response& wait();
+
+  bool done() const;
+
+  /// Server side: completes the ticket and wakes waiters. A second
+  /// completion is ignored (returns false) — e.g. a request that expired
+  /// at admission cannot later be completed by a worker.
+  bool complete(Response r);
+
+ private:
+  mutable util::Mutex m_;
+  util::CondVar cv_;
+  bool completed_ GUARDED_BY(m_) = false;
+  Response response_ GUARDED_BY(m_);
+};
+
+using TicketPtr = std::shared_ptr<Ticket>;
+
+/// One admitted inference request: the input activation bundle plus the
+/// admission bookkeeping the batch scheduler and deadline checks consume.
+struct Request {
+  std::uint64_t id = 0;
+  nn::Flow input;  ///< x (+ aux) with a leading batch dimension; ctx/skip empty
+  Clock::time_point enqueue_time{};
+  Clock::time_point deadline = Clock::time_point::max();  ///< max() = none
+  TicketPtr ticket;
+};
+
+/// Bounded multi-producer admission queue between clients and the serving
+/// pipeline. try_push never blocks: at capacity the caller gets
+/// Admit::Full back immediately and the server turns that into a
+/// RejectedQueueFull response — backpressure is an explicit error, never
+/// an unbounded client stall. Consumers (the admitting worker) drain it
+/// FIFO; expire_before removes timed-out requests wherever they sit.
+///
+/// All state is GUARDED_BY(m_): the producer/consumer discipline is proven
+/// by a Clang -Wthread-safety build, not just by the TSan CI job.
+class RequestQueue {
+ public:
+  explicit RequestQueue(int capacity);
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  enum class Admit { Ok, Full, Closed };
+
+  /// Enqueues `r` (any thread; never blocks). On Full/Closed the request
+  /// is dropped — the caller still holds the ticket to complete.
+  Admit try_push(Request r);
+
+  /// Pops the oldest request iff `pred(front)` allows it — the batch
+  /// assembler's "take the FIFO prefix of compatible requests" primitive.
+  bool pop_if(const std::function<bool(const Request&)>& pred, Request& out);
+
+  /// Removes every request whose deadline is at or before `now`
+  /// (preserving the order of the rest) and appends them to `expired`.
+  /// Returns the number removed.
+  int expire_before(Clock::time_point now, std::vector<Request>& expired);
+
+  /// Enqueue time of the oldest pending request (false when empty) — the
+  /// batch scheduler's max-wait input.
+  bool oldest_enqueue(Clock::time_point& out) const;
+
+  /// Earliest request deadline in the queue (false when empty or no
+  /// request has one) — bounds how long an idle worker may sleep.
+  bool earliest_deadline(Clock::time_point& out) const;
+
+  std::size_t size() const;
+  int capacity() const { return capacity_; }
+
+  /// Closes admission: subsequent try_push returns Closed. Requests
+  /// already queued stay poppable (the server drains them on stop).
+  void close();
+  bool closed() const;
+
+ private:
+  const int capacity_;
+  mutable util::Mutex m_;
+  std::deque<Request> q_ GUARDED_BY(m_);
+  bool closed_ GUARDED_BY(m_) = false;
+};
+
+}  // namespace pipemare::serve

@@ -1,0 +1,53 @@
+#include "src/serve/serve_cli.h"
+
+#include <span>
+#include <vector>
+
+#include "src/util/cli.h"
+
+namespace pipemare::serve {
+
+namespace {
+
+/// Policy-specific flag routing (see core's backend_flag_rules): the
+/// continuous policy dispatches as soon as a slot frees up, so it has no
+/// wait for --serve-max-wait to bound.
+std::span<const util::FlagRule> serve_flag_rules() {
+  static const std::vector<util::FlagRule> rules = {
+      {"serve-max-wait",
+       {"fixed"},
+       "applies to the fixed batch policy; pass --serve-policy=fixed"},
+  };
+  return rules;
+}
+
+}  // namespace
+
+void parse_serve_cli(const util::Cli& cli, ServeConfig& cfg) {
+  if (cli.has("serve-policy")) {
+    cfg.batch.policy = parse_batch_policy(
+        cli.get("serve-policy", std::string(batch_policy_name(cfg.batch.policy))));
+  }
+  util::reject_mismatched_flags(cli, "parse_serve_cli",
+                                batch_policy_name(cfg.batch.policy),
+                                /*enforce=*/true, serve_flag_rules());
+  cfg.batch.max_batch = cli.get_int("serve-batch", cfg.batch.max_batch);
+  cfg.batch.max_wait_ms = cli.get_double("serve-max-wait", cfg.batch.max_wait_ms);
+  cfg.num_stages = cli.get_int("serve-stages", cfg.num_stages);
+  cfg.workers = cli.get_int("serve-workers", cfg.workers);
+  cfg.queue_capacity = cli.get_int("serve-queue", cfg.queue_capacity);
+  cfg.slots = cli.get_int("serve-slots", cfg.slots);
+  validate_serve_config(cfg, nullptr);
+}
+
+std::string serve_cli_help() {
+  return "  --serve-policy=fixed|continuous\n"
+         "  --serve-batch=<int>      (max requests per microbatch)\n"
+         "  --serve-max-wait=<ms>    (fixed policy: partial-batch flush timeout)\n"
+         "  --serve-stages=<int>     (pipeline stages)\n"
+         "  --serve-workers=<int>    (worker threads; 0 = auto)\n"
+         "  --serve-queue=<int>      (admission queue capacity)\n"
+         "  --serve-slots=<int>      (in-flight microbatch slots; 0 = auto)\n";
+}
+
+}  // namespace pipemare::serve

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "src/serve/pipeline_server.h"
+
+namespace pipemare::util {
+class Cli;
+}
+
+namespace pipemare::serve {
+
+/// Applies the shared serving CLI flags onto `cfg` (the one parser the
+/// serve bench and example use):
+///   --serve-policy=fixed|continuous   batch formation policy
+///   --serve-batch=<int>               max requests per microbatch
+///   --serve-max-wait=<ms>             fixed policy: partial-batch flush
+///                                     timeout (rejected under continuous —
+///                                     it has no wait to bound)
+///   --serve-stages=<int>              pipeline stages
+///   --serve-workers=<int>             worker threads (0 = auto)
+///   --serve-queue=<int>               admission queue capacity
+///   --serve-slots=<int>               in-flight microbatch slots (0 = auto)
+/// Absent flags keep the configuration already in `cfg`. Flag routing uses
+/// the same util::FlagRule table mechanism as core::parse_backend_cli, so
+/// a flag the selected policy cannot honor throws std::invalid_argument
+/// instead of being silently dropped. The resulting config is validated
+/// (model-independent checks) before returning.
+void parse_serve_cli(const util::Cli& cli, ServeConfig& cfg);
+
+/// The serving-flag usage block for --help text.
+std::string serve_cli_help();
+
+}  // namespace pipemare::serve

@@ -42,4 +42,24 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
   return it->second == "1" || it->second == "true" || it->second == "yes";
 }
 
+void reject_mismatched_flags(const Cli& cli, std::string_view context,
+                             std::string_view selected, bool enforce,
+                             std::span<const FlagRule> rules) {
+  if (!enforce) return;
+  for (const FlagRule& rule : rules) {
+    if (!cli.has(rule.flag)) continue;
+    bool accepted = false;
+    for (const std::string& name : rule.accepted_by) {
+      if (name == selected) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      throw std::invalid_argument(std::string(context) + ": --" + rule.flag +
+                                  " " + rule.hint);
+    }
+  }
+}
+
 }  // namespace pipemare::util

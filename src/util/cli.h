@@ -1,7 +1,10 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace pipemare::util {
 
@@ -22,5 +25,24 @@ class Cli {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// One row of a flag-routing table: `flag` is only meaningful under the
+/// listed selections (backend names, batch policies, ...); passing it with
+/// any other selection is an error, with `hint` telling the user where the
+/// flag belongs.
+struct FlagRule {
+  std::string flag;                      ///< CLI key, without the leading --
+  std::vector<std::string> accepted_by;  ///< selections that honor the flag
+  std::string hint;                      ///< appended to the error message
+};
+
+/// Rejects (throws std::invalid_argument) any present flag whose rule does
+/// not list `selected` — a flag the selected mode cannot honor is an error,
+/// never silently dropped. `context` prefixes the message (the parser's
+/// name). With `enforce` false the check is skipped entirely: selections
+/// outside the table (custom registered backends) own their flags.
+void reject_mismatched_flags(const Cli& cli, std::string_view context,
+                             std::string_view selected, bool enforce,
+                             std::span<const FlagRule> rules);
 
 }  // namespace pipemare::util

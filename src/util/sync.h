@@ -27,6 +27,7 @@
 // attribute names are Clang's "capability" vocabulary
 // (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -111,6 +112,20 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.m_, std::adopt_lock);
     cv_.wait(lk);
     lk.release();  // ownership stays with the caller's scope
+  }
+
+  /// Timed wait: atomically releases `mu`, blocks until notified or until
+  /// `timeout` elapses, reacquires `mu`. Returns false iff the wait timed
+  /// out. Spurious wakeups are possible either way, so callers re-check
+  /// their predicate in the usual while-loop regardless of the result; the
+  /// return value only distinguishes "deadline passed" for callers that
+  /// act on the deadline itself (the serving runtime's batch-flush and
+  /// request-deadline timers).
+  bool wait_for(Mutex& mu, std::chrono::nanoseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.m_, std::adopt_lock);
+    auto status = cv_.wait_for(lk, timeout);
+    lk.release();  // ownership stays with the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }
