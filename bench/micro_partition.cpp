@@ -21,6 +21,8 @@
 //          [--json=1]  (also write the BENCH_partition.json snapshot)
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -56,13 +58,15 @@ struct RunResult {
 
 RunResult run_strategy(pipeline::PartitionStrategy strategy, bool measured,
                        const benchutil::MlpWorkload& workload, int stages,
-                       int microbatches, int steps, std::uint64_t seed) {
+                       int microbatches, int steps, std::uint64_t seed,
+                       bool calibrated = false) {
   pipeline::EngineConfig ec;
   ec.method = pipeline::Method::PipeMare;
   ec.num_stages = stages;
   ec.num_microbatches = microbatches;
   ec.partition.strategy = strategy;
   ec.partition.measured = measured;
+  ec.partition.calibrated = calibrated;
   ec.partition.probe = std::make_shared<const nn::Flow>(workload.inputs.at(0));
 
   auto backend = core::BackendRegistry::instance().create(
@@ -138,6 +142,28 @@ benchutil::Json run_to_json(const std::string& label, const RunResult& r) {
   return j;
 }
 
+/// Total-variation distance between the partition's predicted stage-cost
+/// shares and the measured busy-ns shares: 0 = the cost model's split
+/// weights match wall-clock exactly, 1 = completely misallocated. The
+/// kernel-calibration pass (PartitionSpec::calibrated) exists to shrink
+/// this number: raw FLOP counts over-weight GEMM-heavy modules once the
+/// tiled kernels run them ~2-3x faster than the memory-bound ops.
+double predicted_vs_measured_error(const RunResult& r) {
+  double cost_total = 0.0;
+  for (double c : r.partition.stage_cost) cost_total += c;
+  std::uint64_t busy_total = 0;
+  for (const auto& s : r.stats) busy_total += s.busy_ns;
+  if (cost_total <= 0.0 || busy_total == 0) return 0.0;
+  double err = 0.0;
+  for (int s = 0; s < r.partition.num_stages; ++s) {
+    auto idx = static_cast<std::size_t>(s);
+    err += std::abs(r.partition.stage_cost[idx] / cost_total -
+                    static_cast<double>(r.stats[idx].busy_ns) /
+                        static_cast<double>(busy_total));
+  }
+  return err / 2.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,9 +188,15 @@ int main(int argc, char** argv) {
                               stages, microbatches, steps, seed);
   auto balanced = run_strategy(pipeline::PartitionStrategy::Balanced, measured,
                                workload, stages, microbatches, steps, seed);
+  // Same analytic cost model, rescaled to predicted nanoseconds by the
+  // KernelCalibration micro-profile of the active kernel backend.
+  auto calibrated = run_strategy(pipeline::PartitionStrategy::Balanced, false,
+                                 workload, stages, microbatches, steps, seed,
+                                 /*calibrated=*/true);
 
   print_run("uniform (unit-count split)", uniform);
   print_run("balanced (cost-model split)", balanced);
+  print_run("balanced,calibrated (kernel-calibrated cost model)", calibrated);
 
   // Evaluate both splits under the same (balanced-run) cost model: the
   // uniform partition's own stage_cost counts units, which is exactly the
@@ -192,6 +224,12 @@ int main(int argc, char** argv) {
                            std::max(1e-9, uniform.steps_per_sec))
             << ")\n";
 
+  const double err_analytic = predicted_vs_measured_error(balanced);
+  const double err_calibrated = predicted_vs_measured_error(calibrated);
+  std::cout << "predicted-vs-measured stage-share error (TV distance): "
+            << "analytic " << util::fmt(err_analytic, 3) << " -> calibrated "
+            << util::fmt(err_calibrated, 3) << "\n";
+
   if (json) {
     benchutil::Json root = benchutil::Json::object();
     root.set("bench", "micro_partition");
@@ -206,12 +244,15 @@ int main(int argc, char** argv) {
     benchutil::Json runs = benchutil::Json::array();
     runs.push(run_to_json("uniform", uniform));
     runs.push(run_to_json("balanced", balanced));
+    runs.push(run_to_json("balanced,calibrated", calibrated));
     root.set("runs", std::move(runs));
     benchutil::Json summary = benchutil::Json::object();
     summary.set("predicted_ratio_uniform", ratio_under(uniform.partition, costs));
     summary.set("predicted_ratio_balanced", ratio_under(balanced.partition, costs));
     summary.set("busy_spread_uniform", spread_u);
     summary.set("busy_spread_balanced", spread_b);
+    summary.set("predicted_error_analytic", err_analytic);
+    summary.set("predicted_error_calibrated", err_calibrated);
     summary.set("throughput_gain",
                 balanced.steps_per_sec / std::max(1e-9, uniform.steps_per_sec));
     root.set("summary", std::move(summary));

@@ -19,6 +19,11 @@
 #      actually see the annotated subsystems (sched worker pool, serving
 #      runtime). An empty scan would make rules 3/4 pass vacuously, so
 #      known anchor fields are asserted present.
+#   6. Raw GEMM accumulation loops (an indexed element += a product of
+#      indexed loads) live only in src/tensor/kernels/. Everything else
+#      goes through tensor::ops so the KernelRegistry dispatch (naive
+#      oracle vs tiled+SIMD) covers every matmul in the tree. Self-checked
+#      like rule 5: the naive kernels must trip the scan.
 #
 # Exit status: 0 = all invariants hold, 1 = at least one violation
 # (each printed with file:line).
@@ -96,6 +101,25 @@ hits=$(
     done
 )
 violation "thread-safety annotation macros used without src/util/sync.h" "$hits"
+
+# --- Rule 6: hand-rolled GEMM loops confined to src/tensor/kernels/ -------
+# Signature of a GEMM/axpy-style accumulation: an indexed LHS accumulating
+# a product that loads through an index, e.g. `c[j] += av * b[j]`. Exempt:
+#   src/nn/norm.cpp — LayerNorm's dgamma column reduction
+#     (grad[j] += dy[j] * xhat[j]) is a [rows,cols] -> [cols] reduction
+#     whose sequential row order is the spec, not a matmul to dispatch.
+GEMM_RE='\[[^]]*\][[:space:]]*\+=[[:space:]]*[^;]*\*[^;]*\['
+hits=$(grep -nE "$GEMM_RE" $SRC_FILES /dev/null |
+         grep -v '^src/tensor/kernels/' |
+         grep -v '^src/nn/norm\.cpp:')
+violation "raw GEMM accumulation loop outside src/tensor/kernels/ (route it through tensor::ops so the kernel registry covers it)" "$hits"
+
+# Rule 6 self-check: the naive GEMM kernels must trip the scan regex; if
+# they stop matching, the rule above is passing vacuously.
+if ! grep -qE "$GEMM_RE" src/tensor/kernels/gemm_naive.cpp 2>/dev/null; then
+  violation "GEMM-loop scan self-check failed (regex or anchor file rotted)" \
+    "src/tensor/kernels/gemm_naive.cpp:1 (expected the naive GEMM kernels to match the scan)"
+fi
 
 # --- Rule 5: scan self-check ----------------------------------------------
 # Rules 3/4 pass vacuously if the GUARDED_BY extraction regex rots and the

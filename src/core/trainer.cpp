@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/repartition_observer.h"
+#include "src/tensor/kernels/registry.h"
 #include "src/util/cli.h"
 
 namespace pipemare::core {
@@ -58,7 +59,9 @@ std::string backend_cli_help() {
   }
   return "  --backend=<" + names +
          ">\n"
-         "  --partition=uniform|balanced[,measured]\n"
+         "  --partition=uniform|balanced[,measured|,calibrated]\n"
+         "  --kernels=naive|tiled (tensor kernel backend; both bitwise-equal)\n"
+         "  --kernel-lanes=<int>  (intra-op GEMM lanes per worker; 1 = off)\n"
          "  --max-delay=<float>   (hogwild family: delay truncation bound)\n"
          "  --workers=<int>       (threaded_hogwild, threaded_steal)\n"
          "  --steal=off|load|det|forced --steal-log=0|1 (threaded_steal)\n"
@@ -89,20 +92,45 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
   }
   if (cli.has("partition")) {
     const std::string spec = cli.get("partition", "uniform");
-    if (spec == "uniform") {
+    // Token grammar: <strategy>[,measured|,calibrated]. The cost model
+    // itself rejects measured+calibrated; here each token must parse.
+    std::string strategy = spec;
+    std::string modifier;
+    if (auto comma = spec.find(','); comma != std::string::npos) {
+      strategy = spec.substr(0, comma);
+      modifier = spec.substr(comma + 1);
+    }
+    cfg.engine.partition.measured = false;
+    cfg.engine.partition.calibrated = false;
+    if (strategy == "uniform" && modifier.empty()) {
       cfg.engine.partition.strategy = pipeline::PartitionStrategy::Uniform;
-      cfg.engine.partition.measured = false;
-    } else if (spec == "balanced") {
+    } else if (strategy == "balanced" &&
+               (modifier.empty() || modifier == "measured" ||
+                modifier == "calibrated")) {
       cfg.engine.partition.strategy = pipeline::PartitionStrategy::Balanced;
-      cfg.engine.partition.measured = false;
-    } else if (spec == "balanced,measured") {
-      cfg.engine.partition.strategy = pipeline::PartitionStrategy::Balanced;
-      cfg.engine.partition.measured = true;
+      cfg.engine.partition.measured = modifier == "measured";
+      cfg.engine.partition.calibrated = modifier == "calibrated";
     } else {
       throw std::invalid_argument(
           "parse_backend_cli: --partition='" + spec +
-          "' is not recognized; use uniform, balanced, or balanced,measured");
+          "' is not recognized; use uniform, balanced, balanced,measured, or "
+          "balanced,calibrated");
     }
+  }
+  // Kernel selection is process-global (the tensor ops dispatch through
+  // one registry), not per-backend — every backend sees the same kernels
+  // and, because naive and tiled are bitwise-equal, the same curves.
+  if (cli.has("kernels")) {
+    const std::string kspec = cli.get("kernels", "tiled");
+    auto kind = tensor::kernels::KernelRegistry::parse(kspec);
+    if (!kind) {
+      throw std::invalid_argument("parse_backend_cli: --kernels='" + kspec +
+                                  "' is not recognized; use naive or tiled");
+    }
+    tensor::kernels::KernelRegistry::set_kind(*kind);
+  }
+  if (cli.has("kernel-lanes")) {
+    tensor::kernels::KernelRegistry::set_lanes(cli.get_int("kernel-lanes", 1));
   }
   if (name == "hogwild") {
     HogwildOptions opts;

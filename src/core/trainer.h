@@ -346,9 +346,15 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
 /// examples and bench drivers use):
 ///   --backend=<name>     BackendRegistry key; unknown names throw with
 ///                        the available list in the message
-///   --partition=uniform|balanced[,measured]
+///   --partition=uniform|balanced[,measured|,calibrated]
 ///                        stage-partition strategy (any backend); measured
-///                        micro-profiles module costs on a probe batch
+///                        micro-profiles module costs on a probe batch;
+///                        calibrated rescales the analytic estimates by the
+///                        kernel micro-profile (KernelCalibration)
+///   --kernels=naive|tiled
+///                        tensor kernel backend (process-global; both are
+///                        bitwise-equal, see tensor::kernels::KernelRegistry)
+///   --kernel-lanes=<int> intra-op GEMM lanes nested per worker (1 = off)
 ///   --max-delay=<float>  hogwild family: delay truncation bound
 ///   --workers=<int>      threaded_hogwild / threaded_steal: worker threads
 ///   --steal=off|load|det|forced

@@ -18,9 +18,9 @@ Tensor project(const Tensor& rows, std::span<const float> w, int d, int which) {
   auto base = w.subspan(unit * static_cast<std::size_t>(which));
   Tensor weight({d, d}, std::vector<float>(base.begin(),
                                            base.begin() + static_cast<std::ptrdiff_t>(d) * d));
-  Tensor y = tensor::matmul_nt(rows, weight);
-  tensor::add_row_inplace(y, base.subspan(static_cast<std::size_t>(d) * d,
-                                          static_cast<std::size_t>(d)));
+  Tensor y = tensor::matmul_nt_bias(
+      rows, weight,
+      base.subspan(static_cast<std::size_t>(d) * d, static_cast<std::size_t>(d)));
   return y;
 }
 

@@ -101,9 +101,10 @@ Flow Conv2d::forward(const Flow& in, std::span<const float> w, Cache& cache) con
   Tensor cols = tensor::im2col(x, spec_);  // [B*OH*OW, C*K*K]
   Tensor weight({spec_.out_channels, static_cast<int>(wsize) / spec_.out_channels},
                 std::vector<float>(w.begin(), w.begin() + wsize));
-  Tensor rows = tensor::matmul_nt(cols, weight);  // [B*OH*OW, OC]
-  tensor::add_row_inplace(rows, w.subspan(static_cast<std::size_t>(wsize),
-                                          static_cast<std::size_t>(spec_.out_channels)));
+  Tensor rows = tensor::matmul_nt_bias(
+      cols, weight,
+      w.subspan(static_cast<std::size_t>(wsize),
+                static_cast<std::size_t>(spec_.out_channels)));  // [B*OH*OW, OC]
   cache.saved = {cols, Tensor({4}, {static_cast<float>(b), static_cast<float>(h),
                                     static_cast<float>(wd), 0.0F})};
   Flow out = in;

@@ -63,8 +63,8 @@ Flow Linear::forward(const Flow& in, std::span<const float> w, Cache& cache) con
   Tensor x = as_rows(in.x, in_);
   Tensor weight({out_, in_},
                 std::vector<float>(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(in_) * out_));
-  Tensor y = tensor::matmul_nt(x, weight);  // [n, out]
-  tensor::add_row_inplace(y, w.subspan(static_cast<std::size_t>(in_) * out_, out_));
+  Tensor y = tensor::matmul_nt_bias(
+      x, weight, w.subspan(static_cast<std::size_t>(in_) * out_, out_));  // [n, out]
   cache.saved = {x};
   Flow out = in;
   std::vector<int> out_shape = in.x.shape();

@@ -48,6 +48,16 @@ struct PartitionSpec {
   bool measured = false;
   int measure_reps = 3;  ///< timing reps per module in measured mode
 
+  /// Balanced only: convert the analytic FLOP/byte estimates to predicted
+  /// nanoseconds through the one-shot kernel micro-profile
+  /// (tensor::kernels::KernelCalibration) before running the DP split.
+  /// Re-grounds FLOP-proportional splits in wall-clock when the selected
+  /// kernel backend shifts GEMM throughput relative to memory-bound ops
+  /// (naive vs tiled), while staying deterministic *given* one calibration
+  /// — unlike `measured`, no per-module timing runs. Mutually exclusive
+  /// with `measured` (which already produces nanoseconds directly).
+  bool calibrated = false;
+
   /// Sample microbatch for cost profiling: the analytic model reads
   /// per-module activation shapes off one probe forward, the measured mode
   /// times real passes on it. Optional for analytic (falls back to

@@ -10,11 +10,29 @@
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
+#include "src/tensor/kernels/calibration.h"
+
 namespace pipemare::pipeline {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Calibrated mode: map each module's analytic (flops, bytes) estimate to
+/// predicted nanoseconds at the measured throughput of the active kernel
+/// backend. Like measured mode, nanoseconds land in the flops fields (the
+/// partitioner only consumes relative magnitudes via total_flops()).
+void apply_calibration(std::vector<nn::ModuleCost>& costs) {
+  const auto& cal = tensor::kernels::KernelCalibration::active();
+  for (auto& c : costs) {
+    nn::ModuleCost ns;
+    ns.fwd_flops = tensor::kernels::KernelCalibration::predict_ns(
+        cal, c.fwd_flops, c.fwd_bytes);
+    ns.bkwd_flops = tensor::kernels::KernelCalibration::predict_ns(
+        cal, c.bkwd_flops, c.bkwd_bytes);
+    c = ns;
+  }
+}
 
 /// A gradient flow matching `out`: ones in every tensor channel the
 /// module's backward consumes (x always; ctx/skip when the forward
@@ -45,11 +63,18 @@ std::vector<nn::ModuleCost> profile_module_costs(const nn::Model& model,
         "profile_module_costs: measured partitioning needs a probe microbatch "
         "(PartitionSpec::probe); core::train supplies one automatically");
   }
+  if (spec.measured && spec.calibrated) {
+    throw std::invalid_argument(
+        "profile_module_costs: measured and calibrated are mutually exclusive "
+        "(measured already times real passes; calibration rescales the "
+        "analytic estimates)");
+  }
 
   if (!spec.probe) {
     // No probe: batch-free intrinsic estimates.
     nn::CostShapes empty;
     for (int i = 0; i < m; ++i) costs[static_cast<std::size_t>(i)] = model.module(i).cost(empty);
+    if (spec.calibrated) apply_calibration(costs);
     return costs;
   }
 
@@ -85,6 +110,7 @@ std::vector<nn::ModuleCost> profile_module_costs(const nn::Model& model,
       if (!outputs[idx].x.empty()) shapes.out_shape = outputs[idx].x.shape();
       costs[idx] = model.module(i).cost(shapes);
     }
+    if (spec.calibrated) apply_calibration(costs);
     return costs;
   }
 

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "src/tensor/kernels/registry.h"
+
+namespace pipemare::tensor::kernels {
+
+/// Measured kernel throughput from a one-shot micro-profile.
+struct CalibrationResult {
+  KernelKind kind = KernelKind::naive;
+  /// Sustained GEMM rate (FLOPs per nanosecond, i.e. GFLOP/s).
+  double gemm_flops_per_ns = 0.0;
+  /// Sustained streaming-memory rate from an axpy sweep (bytes per ns).
+  double mem_bytes_per_ns = 0.0;
+};
+
+/// One-shot micro-profile mapping nn::Module::cost() FLOP/byte estimates
+/// to wall-clock on THIS machine with the CURRENTLY SELECTED kernels.
+///
+/// The analytic cost model counts FLOPs, which is a fine *relative* layer
+/// weighting under one kernel backend — but switching naive→tiled shifts
+/// GEMM throughput ~2x while leaving memory-bound ops untouched, so
+/// FLOP-proportional stage splits drift from wall-clock balance. The
+/// partitioner's `calibrated` mode (PartitionSpec::calibrated) converts
+/// each module's (flops, bytes) estimate to predicted nanoseconds via the
+/// measured rates below, re-grounding the DP split without the full
+/// per-module timed profile of `measured` mode.
+class KernelCalibration {
+ public:
+  /// Micro-benchmarks the given backend (a ~160^3 GEMM for the compute
+  /// rate, a multi-megabyte axpy sweep for the memory rate; min over a
+  /// few reps). Takes a few milliseconds; result is NOT cached.
+  static CalibrationResult measure(KernelKind kind);
+
+  /// Cached measurement for the active kernel kind — measured once per
+  /// kind per process, then served from the cache. Thread-safe.
+  static const CalibrationResult& active();
+
+  /// Roofline-style time prediction: flops at the measured GEMM rate plus
+  /// bytes at the measured memory rate.
+  static double predict_ns(const CalibrationResult& cal, double flops,
+                           double bytes);
+  /// predict_ns against active().
+  static double predict_ns(double flops, double bytes);
+};
+
+}  // namespace pipemare::tensor::kernels

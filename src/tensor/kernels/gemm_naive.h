@@ -1,0 +1,16 @@
+#pragma once
+
+#include "src/tensor/kernels/registry.h"
+
+namespace pipemare::tensor::kernels {
+
+/// The original scalar kernels from pre-registry tensor/ops.cpp, kept
+/// verbatim as the bitwise oracle every other backend is tested against.
+/// One deliberate change: the old `if (av == 0.0F) continue;` fast path in
+/// gemm_nn/gemm_tn is gone — skipping the multiply dropped NaN/Inf
+/// propagation from B wherever A held an exact zero (0 * Inf must be NaN),
+/// so a diverged run could masquerade as healthy. The branch also cost
+/// more than it saved in the hot loop.
+const KernelTable& naive_table();
+
+}  // namespace pipemare::tensor::kernels

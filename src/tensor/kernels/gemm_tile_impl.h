@@ -1,0 +1,121 @@
+// Register-blocked GEMM micro-kernels, included by BOTH gemm_tiled.cpp
+// (baseline ISA) and gemm_tiled_avx2.cpp (-mavx2). Everything lives in an
+// anonymous namespace ON PURPOSE: each including TU gets its own
+// internal-linkage copy compiled for its own ISA. With ordinary `inline`
+// linkage the linker would keep one arbitrary copy (ODR merge) and the
+// baseline build could silently run AVX2 code — or vice versa.
+//
+// Bitwise contract (the repo's core invariant): every C element is
+// produced by ONE accumulator that receives its k addends in ascending-p
+// order, exactly like the naive kernels. m/n tiling, row-range splits and
+// the MR×NR register block only change WHICH independent accumulators a
+// vector lane owns, never the order within one — so results are
+// bit-identical to naive on any ISA (no FMA; see gemm_tiled.h).
+//
+// Tile shape: MR=4 rows × NR=16 columns (two AVX2 vectors) measured best
+// on this generation of x86 cores — the 4×16 accumulator block fits the
+// 16 ymm registers with room for the A broadcast, and the k×NR panel of B
+// walked by the inner loop stays L1-resident.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/tensor/kernels/simd.h"
+
+namespace {
+
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+
+// Full MR×NR tile: constant trip counts let the compiler keep acc[][] in
+// registers. `a` is pre-offset to the tile's first row; `b`/`c` to the
+// tile's first column.
+void micro_full(const float* a, std::size_t a_row_stride,
+                std::size_t a_p_stride, const float* b, std::size_t ldb,
+                float* c, std::size_t ldc, int k) {
+  float acc[kMr][kNr] = {};
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * ldb;
+    for (int r = 0; r < kMr; ++r) {
+      float av = a[static_cast<std::size_t>(r) * a_row_stride +
+                   static_cast<std::size_t>(p) * a_p_stride];
+      PIPEMARE_SIMD
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j) c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+// Partial tile at the m/n edges: same accumulation, variable bounds.
+void micro_edge(const float* a, std::size_t a_row_stride,
+                std::size_t a_p_stride, const float* b, std::size_t ldb,
+                float* c, std::size_t ldc, int k, int mr, int nr) {
+  float acc[kMr][kNr] = {};
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * ldb;
+    for (int r = 0; r < mr; ++r) {
+      float av = a[static_cast<std::size_t>(r) * a_row_stride +
+                   static_cast<std::size_t>(p) * a_p_stride];
+      PIPEMARE_SIMD
+      for (int j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < mr; ++r)
+    for (int j = 0; j < nr; ++j) c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+void tiled_gemm_rows(const float* a, std::size_t a_row_stride,
+                     std::size_t a_p_stride, const float* b, float* c, int i0,
+                     int i1, int k, int n) {
+  // NR-column panels outermost: the k×NR slab of B a panel reads stays
+  // L1-hot across every MR-row block underneath it.
+  for (int j0 = 0; j0 < n; j0 += kNr) {
+    int nr = std::min(kNr, n - j0);
+    for (int r0 = i0; r0 < i1; r0 += kMr) {
+      int mr = std::min(kMr, i1 - r0);
+      const float* at = a + static_cast<std::size_t>(r0) * a_row_stride;
+      const float* bt = b + j0;
+      float* ct = c + static_cast<std::size_t>(r0) * n + j0;
+      if (mr == kMr && nr == kNr) {
+        micro_full(at, a_row_stride, a_p_stride, bt, n, ct, n, k);
+      } else {
+        micro_edge(at, a_row_stride, a_p_stride, bt, n, ct, n, k, mr, nr);
+      }
+    }
+  }
+}
+
+void tiled_gemm_nt_rows(const float* a, const float* b, float* c, int i0,
+                        int i1, int k, int n) {
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float s = 0.0F;
+      // Sequential dot — a SIMD reduction would reassociate and break
+      // bitwise parity with naive.
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+}
+
+constexpr int kTransposeBlock = 32;
+
+void tiled_transpose2d(const float* a, float* t, int m, int n) {
+  for (int i0 = 0; i0 < m; i0 += kTransposeBlock) {
+    int i1 = std::min(i0 + kTransposeBlock, m);
+    for (int j0 = 0; j0 < n; j0 += kTransposeBlock) {
+      int j1 = std::min(j0 + kTransposeBlock, n);
+      for (int i = i0; i < i1; ++i) {
+        const float* ar = a + static_cast<std::size_t>(i) * n;
+        for (int j = j0; j < j1; ++j)
+          t[static_cast<std::size_t>(j) * m + i] = ar[j];
+      }
+    }
+  }
+}
+
+}  // namespace

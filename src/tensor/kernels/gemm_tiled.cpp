@@ -1,0 +1,37 @@
+// Baseline-ISA instantiation of the tiled GEMM micro-kernels, plus the
+// runtime ISA dispatch. See gemm_tile_impl.h for the tiling scheme and
+// gemm_tiled.h for why AVX2 is compiled without FMA.
+#include "src/tensor/kernels/gemm_tiled.h"
+
+#include "src/tensor/kernels/gemm_tile_impl.h"
+
+namespace pipemare::tensor::kernels {
+
+const TiledFns* tiled_fns_base() {
+  static const TiledFns fns{tiled_gemm_rows, tiled_gemm_nt_rows,
+                            tiled_transpose2d};
+  return &fns;
+}
+
+namespace {
+
+const TiledFns* select_fns() {
+#if defined(__x86_64__) || defined(__i386__)
+  const TiledFns* avx2 = tiled_fns_avx2();
+  if (avx2 != nullptr && __builtin_cpu_supports("avx2")) return avx2;
+#endif
+  return tiled_fns_base();
+}
+
+}  // namespace
+
+const TiledFns* tiled_fns() {
+  static const TiledFns* best = select_fns();
+  return best;
+}
+
+const char* tiled_fns_isa() {
+  return tiled_fns() == tiled_fns_avx2() ? "avx2" : "base";
+}
+
+}  // namespace pipemare::tensor::kernels

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+namespace pipemare::tensor::kernels {
+
+/// Row-range GEMM primitives the tiled backend is built from. Two TUs
+/// compile the same implementation (gemm_tile_impl.h): gemm_tiled.cpp at
+/// the project's baseline ISA and gemm_tiled_avx2.cpp with -mavx2 (when
+/// the compiler supports it). AVX2 is deliberately used WITHOUT -mfma:
+/// 8-wide separate multiply+add rounds each operation exactly like the
+/// scalar code, so the wide path stays bitwise-equal to naive; a fused
+/// multiply-add would round once instead of twice and break parity.
+struct TiledFns {
+  /// Rows [i0,i1) of C[m,n] = A * B[k,n], with A read through accessor
+  /// strides so one kernel serves both layouts:
+  ///   nn: A[m,k] row-major  -> a_row_stride = k, a_p_stride = 1
+  ///   tn: A[k,m] (transposed use) -> a_row_stride = 1, a_p_stride = m
+  /// Each C element is written exactly once from a single accumulator
+  /// that saw its k addends in ascending order — the bitwise contract.
+  void (*gemm_rows)(const float* a, std::size_t a_row_stride,
+                    std::size_t a_p_stride, const float* b, float* c, int i0,
+                    int i1, int k, int n);
+
+  /// Rows [i0,i1) of C[m,n] = A[m,k] * B[n,k]^T via direct scalar dots —
+  /// the small-m fallback where packing B^T costs more than it saves.
+  void (*gemm_nt_rows)(const float* a, const float* b, float* c, int i0,
+                       int i1, int k, int n);
+
+  /// T[n,m] = A[m,n]^T, blocked for cache (pure data movement).
+  void (*transpose2d)(const float* a, float* t, int m, int n);
+};
+
+/// Baseline-ISA instantiation (always available).
+const TiledFns* tiled_fns_base();
+/// AVX2 instantiation, or nullptr when the build lacks AVX2 support.
+const TiledFns* tiled_fns_avx2();
+/// Runtime-dispatched best instantiation for this machine (cached).
+const TiledFns* tiled_fns();
+/// "avx2" or "base" — which instantiation tiled_fns() returns.
+const char* tiled_fns_isa();
+
+}  // namespace pipemare::tensor::kernels

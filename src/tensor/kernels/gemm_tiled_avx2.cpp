@@ -1,0 +1,31 @@
+// AVX2 instantiation of the tiled GEMM micro-kernels. CMake compiles this
+// one TU with `-mavx2` (no `-mfma` — separate mul+add rounds like scalar,
+// keeping results bitwise-equal to naive) and defines PIPEMARE_KERNEL_AVX2
+// when the compiler supports the flag; gemm_tiled.cpp selects this
+// instantiation at runtime only on CPUs that report AVX2, so the binary
+// still runs on baseline x86-64.
+#include "src/tensor/kernels/gemm_tiled.h"
+
+#if defined(PIPEMARE_KERNEL_AVX2)
+
+#include "src/tensor/kernels/gemm_tile_impl.h"
+
+namespace pipemare::tensor::kernels {
+
+const TiledFns* tiled_fns_avx2() {
+  static const TiledFns fns{tiled_gemm_rows, tiled_gemm_nt_rows,
+                            tiled_transpose2d};
+  return &fns;
+}
+
+}  // namespace pipemare::tensor::kernels
+
+#else  // !PIPEMARE_KERNEL_AVX2
+
+namespace pipemare::tensor::kernels {
+
+const TiledFns* tiled_fns_avx2() { return nullptr; }
+
+}  // namespace pipemare::tensor::kernels
+
+#endif

@@ -1,0 +1,18 @@
+#pragma once
+
+// Portable inner-loop vectorization hint. `#pragma omp simd` needs only
+// -fopenmp-simd (no OpenMP runtime); CMake probes for the flag and defines
+// PIPEMARE_OPENMP_SIMD when it is active, so the pragma never fires as an
+// unknown-pragma warning under -Werror on compilers without it.
+//
+// The pragma is applied ONLY to loops whose reordering is bitwise-exact:
+// independent per-element stores, or per-lane accumulator updates where
+// each accumulator still sees its addends in the original (ascending-k)
+// order. Sum-style reductions are never annotated — vectorizing a single
+// accumulator reassociates the chain and breaks the repo's bitwise-parity
+// invariant.
+#if defined(PIPEMARE_OPENMP_SIMD)
+#define PIPEMARE_SIMD _Pragma("omp simd")
+#else
+#define PIPEMARE_SIMD
+#endif

@@ -1,15 +1,37 @@
+// Thin dispatch wrappers: shape validation and Tensor allocation live
+// here; the arithmetic lives in src/tensor/kernels/ behind the
+// KernelRegistry (naive oracle vs tiled+SIMD, selected via --kernels= or
+// PIPEMARE_KERNELS). Scalar double-precision reductions (sum, mse,
+// col_sum_accumulate) stay here: their accumulation order is the spec.
 #include "src/tensor/ops.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+
+#include "src/tensor/kernels/registry.h"
 
 namespace pipemare::tensor {
 
 namespace {
+
+using kernels::KernelRegistry;
+
 void require(bool ok, const char* msg) {
   if (!ok) throw std::invalid_argument(msg);
 }
+
+Tensor gemm_nt_bias_dispatch(const Tensor& a, const Tensor& b,
+                             std::span<const float> bias, bool relu) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_nt_bias: rank-2 tensors required");
+  int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt_bias: inner dimension mismatch");
+  require(static_cast<int>(bias.size()) == n,
+          "matmul_nt_bias: bias size mismatch");
+  Tensor c({m, n});
+  KernelRegistry::table().gemm_nt_bias(a.data(), b.data(), bias.data(),
+                                       c.data(), m, k, n, relu);
+  return c;
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -17,19 +39,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul: inner dimension mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: streams over B and C rows, friendly to the prefetcher.
-  for (int i = 0; i < m; ++i) {
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      float av = pa[static_cast<std::size_t>(i) * k + p];
-      if (av == 0.0F) continue;
-      const float* brow = pb + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  KernelRegistry::table().gemm_nn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -38,19 +48,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul_tn: inner dimension mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = pa + static_cast<std::size_t>(p) * m;
-    const float* brow = pb + static_cast<std::size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0F) continue;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  KernelRegistry::table().gemm_tn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -59,28 +57,25 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   require(b.dim(1) == k, "matmul_nt: inner dimension mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
-      float s = 0.0F;
-      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
-    }
-  }
+  KernelRegistry::table().gemm_nt(a.data(), b.data(), c.data(), m, k, n);
   return c;
+}
+
+Tensor matmul_nt_bias(const Tensor& a, const Tensor& b,
+                      std::span<const float> bias) {
+  return gemm_nt_bias_dispatch(a, b, bias, false);
+}
+
+Tensor matmul_nt_bias_relu(const Tensor& a, const Tensor& b,
+                           std::span<const float> bias) {
+  return gemm_nt_bias_dispatch(a, b, bias, true);
 }
 
 Tensor transpose2d(const Tensor& a) {
   require(a.rank() == 2, "transpose2d: rank-2 tensor required");
   int m = a.dim(0), n = a.dim(1);
   Tensor t({n, m});
-  for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  KernelRegistry::table().transpose2d(a.data(), t.data(), m, n);
   return t;
 }
 
@@ -101,46 +96,39 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   require(a.shape() == b.shape(), "mul: shape mismatch");
   Tensor c = a;
-  for (std::int64_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  KernelRegistry::table().mul_inplace(c.data(), b.data(), c.size());
   return c;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor c = a;
-  for (std::int64_t i = 0; i < c.size(); ++i) c[i] *= s;
+  KernelRegistry::table().scale_inplace(c.data(), s, c.size());
   return c;
 }
 
 void add_inplace(Tensor& a, const Tensor& b, float s) {
   require(a.size() == b.size(), "add_inplace: size mismatch");
-  float* pa = a.data();
-  const float* pb = b.data();
-  for (std::int64_t i = 0; i < a.size(); ++i) pa[i] += s * pb[i];
+  KernelRegistry::table().axpy(a.data(), b.data(), s, a.size());
 }
 
 void add_row_inplace(Tensor& a, std::span<const float> b) {
   require(a.rank() >= 1, "add_row_inplace: tensor required");
   int n = a.dim(a.rank() - 1);
   require(static_cast<int>(b.size()) == n, "add_row_inplace: row size mismatch");
-  std::int64_t rows = a.size() / n;
-  float* pa = a.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (int j = 0; j < n; ++j) pa[r * n + j] += b[static_cast<std::size_t>(j)];
-  }
+  std::int64_t rows = n == 0 ? 0 : a.size() / n;
+  KernelRegistry::table().add_row_inplace(a.data(), b.data(), rows, n);
 }
 
 Tensor relu(const Tensor& a) {
   Tensor c = a;
-  for (std::int64_t i = 0; i < c.size(); ++i) c[i] = std::max(0.0F, c[i]);
+  KernelRegistry::table().relu_inplace(c.data(), c.size());
   return c;
 }
 
 Tensor relu_backward(const Tensor& dy, const Tensor& a) {
   require(dy.size() == a.size(), "relu_backward: size mismatch");
   Tensor dx = dy;
-  for (std::int64_t i = 0; i < dx.size(); ++i) {
-    if (a[i] <= 0.0F) dx[i] = 0.0F;
-  }
+  KernelRegistry::table().relu_backward(dx.data(), a.data(), dx.size());
   return dx;
 }
 
@@ -148,18 +136,7 @@ Tensor softmax_rows(const Tensor& a) {
   require(a.rank() == 2, "softmax_rows: rank-2 tensor required");
   int m = a.dim(0), n = a.dim(1);
   Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    float mx = a.at(i, 0);
-    for (int j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
-    float z = 0.0F;
-    for (int j = 0; j < n; ++j) {
-      float e = std::exp(a.at(i, j) - mx);
-      out.at(i, j) = e;
-      z += e;
-    }
-    float inv = 1.0F / z;
-    for (int j = 0; j < n; ++j) out.at(i, j) *= inv;
-  }
+  if (n > 0) KernelRegistry::table().softmax_rows(a.data(), out.data(), m, n);
   return out;
 }
 
@@ -167,14 +144,8 @@ Tensor log_softmax_rows(const Tensor& a) {
   require(a.rank() == 2, "log_softmax_rows: rank-2 tensor required");
   int m = a.dim(0), n = a.dim(1);
   Tensor out({m, n});
-  for (int i = 0; i < m; ++i) {
-    float mx = a.at(i, 0);
-    for (int j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
-    float z = 0.0F;
-    for (int j = 0; j < n; ++j) z += std::exp(a.at(i, j) - mx);
-    float lz = std::log(z) + mx;
-    for (int j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) - lz;
-  }
+  if (n > 0)
+    KernelRegistry::table().log_softmax_rows(a.data(), out.data(), m, n);
   return out;
 }
 

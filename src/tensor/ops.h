@@ -4,6 +4,10 @@
 
 namespace pipemare::tensor {
 
+// All ops below dispatch through kernels::KernelRegistry (naive oracle vs
+// tiled+SIMD; see src/tensor/kernels/) — every backend produces bitwise-
+// identical results, so callers never observe the selection.
+
 // ---- BLAS-like kernels (row-major) -----------------------------------------
 
 /// C[m,n] = A[m,k] * B[k,n].
@@ -14,6 +18,18 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
 /// C[m,n] = A[m,k] * B[n,k]^T (transpose-second matmul, used in backward).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[m,k] * B[n,k]^T + bias[n] broadcast over rows — the fused
+/// Linear/Conv/attention-projection forward (one pass over C instead of a
+/// GEMM pass plus an add_row_inplace pass). Bitwise-equal to the unfused
+/// sequence.
+Tensor matmul_nt_bias(const Tensor& a, const Tensor& b,
+                      std::span<const float> bias);
+
+/// matmul_nt_bias followed by ReLU in the same pass — the epilogue hook
+/// for fusing a Linear+ReLU pair. Bitwise-equal to matmul_nt_bias + relu.
+Tensor matmul_nt_bias_relu(const Tensor& a, const Tensor& b,
+                           std::span<const float> bias);
 
 /// B[n,m] = A[m,n]^T.
 Tensor transpose2d(const Tensor& a);

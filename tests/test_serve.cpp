@@ -648,7 +648,10 @@ TEST(PipelineServer, FixedFormsFullBatchesContinuousStartsPartials) {
     server.start();
     nn::Flow f;
     f.x = input_rows(1, 8, 9);
-    const Response& r = server.submit(std::move(f))->wait();
+    // Hold the TicketPtr: the Response reference lives inside the ticket,
+    // and the server drops its own reference after completion.
+    TicketPtr ticket = server.submit(std::move(f));
+    const Response& r = ticket->wait();
     ASSERT_EQ(r.status, Status::Ok) << r.error;
     EXPECT_EQ(r.batch_requests, 1);
     server.stop();
@@ -753,7 +756,11 @@ TEST(PipelineServer, WorkerExceptionFailsTheBatchAndKeepsServing) {
   nn::Flow poison;
   poison.x = Tensor({1, 4});
   poison.x[0] = PoisonModule::kPoison;
-  const Response& bad = server.submit(std::move(poison))->wait();
+  // Hold each TicketPtr past the read: the Response reference lives inside
+  // the ticket, and the server drops its own reference after completion —
+  // a `submit(...)->wait()` temporary leaves the reference dangling.
+  TicketPtr bad_ticket = server.submit(std::move(poison));
+  const Response& bad = bad_ticket->wait();
   EXPECT_EQ(bad.status, Status::Error);
   EXPECT_NE(bad.error.find("poisoned"), std::string::npos);
   EXPECT_TRUE(bad.output.empty());
@@ -762,7 +769,8 @@ TEST(PipelineServer, WorkerExceptionFailsTheBatchAndKeepsServing) {
   nn::Flow healthy;
   healthy.x = input_rows(1, 4, 21);
   Tensor expected = healthy.x;
-  const Response& good = server.submit(std::move(healthy))->wait();
+  TicketPtr good_ticket = server.submit(std::move(healthy));
+  const Response& good = good_ticket->wait();
   ASSERT_EQ(good.status, Status::Ok) << good.error;
   expect_bitwise_equal(good.output, expected, "post-error request");
   server.stop();
