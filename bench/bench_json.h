@@ -1,153 +1,23 @@
 #pragma once
 
-// Minimal JSON emitter for the BENCH_*.json snapshots the micro benches
-// write next to their table output (the ROADMAP's BENCH convention: a
-// machine-readable record of throughput / balance numbers that can be
-// diffed across commits). Hand-rolled on purpose — the repo takes no
-// external dependencies, and the benches only need ordered objects,
-// arrays, numbers, strings and bools.
+// Bench-side helpers around the shared JSON emitter (src/util/json_writer.h)
+// for the BENCH_*.json snapshots the micro benches write next to their
+// table output (the ROADMAP's BENCH convention: a machine-readable record
+// of throughput / balance numbers that can be diffed across commits). The
+// emitter itself lives in util so the obs trace/metrics exporters share
+// one escaping/ordering implementation with the benches.
 
-#include <cmath>
-#include <cstdint>
 #include <fstream>
-#include <memory>
-#include <sstream>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
-#include <utility>
-#include <vector>
+
+#include "src/util/json_writer.h"
 
 namespace pipemare::benchutil {
 
-/// An ordered JSON value: build with Json::object() / Json::array() and
-/// the value constructors, nest with set() / push(), serialize with
-/// dump(). Keys keep insertion order so snapshots diff cleanly.
-class Json {
- public:
-  Json() : kind_(Kind::Null) {}
-  Json(bool v) : kind_(Kind::Bool), bool_(v) {}                      // NOLINT
-  Json(double v) : kind_(Kind::Number), num_(v) {}                   // NOLINT
-  Json(int v) : kind_(Kind::Number), num_(v) {}                      // NOLINT
-  Json(std::int64_t v)                                               // NOLINT
-      : kind_(Kind::Number), num_(static_cast<double>(v)) {}
-  Json(std::uint64_t v)                                              // NOLINT
-      : kind_(Kind::Number), num_(static_cast<double>(v)) {}
-  Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}   // NOLINT
-  Json(const char* v) : kind_(Kind::String), str_(v) {}              // NOLINT
-
-  static Json object() {
-    Json j;
-    j.kind_ = Kind::Object;
-    return j;
-  }
-  static Json array() {
-    Json j;
-    j.kind_ = Kind::Array;
-    return j;
-  }
-
-  /// Appends a key to an object (insertion order preserved).
-  Json& set(std::string key, Json value) {
-    if (kind_ != Kind::Object) {
-      throw std::logic_error("Json::set: not an object");
-    }
-    members_.emplace_back(std::move(key), std::move(value));
-    return *this;
-  }
-
-  /// Appends an element to an array.
-  Json& push(Json value) {
-    if (kind_ != Kind::Array) {
-      throw std::logic_error("Json::push: not an array");
-    }
-    elements_.push_back(std::move(value));
-    return *this;
-  }
-
-  std::string dump(int indent = 2) const {
-    std::ostringstream out;
-    write(out, indent, 0);
-    out << '\n';
-    return out.str();
-  }
-
- private:
-  enum class Kind { Null, Bool, Number, String, Object, Array };
-
-  static void escape(std::ostream& out, const std::string& s) {
-    out << '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out << "\\\""; break;
-        case '\\': out << "\\\\"; break;
-        case '\n': out << "\\n"; break;
-        case '\t': out << "\\t"; break;
-        default: out << c;
-      }
-    }
-    out << '"';
-  }
-
-  void write(std::ostream& out, int indent, int depth) const {
-    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
-    const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
-    switch (kind_) {
-      case Kind::Null: out << "null"; break;
-      case Kind::Bool: out << (bool_ ? "true" : "false"); break;
-      case Kind::Number: {
-        // NaN / inf are not representable in JSON; null keeps the file valid.
-        if (!std::isfinite(num_)) {
-          out << "null";
-          break;
-        }
-        std::ostringstream num;
-        num.precision(12);
-        num << num_;
-        out << num.str();
-        break;
-      }
-      case Kind::String: escape(out, str_); break;
-      case Kind::Object: {
-        if (members_.empty()) {
-          out << "{}";
-          break;
-        }
-        out << "{\n";
-        for (std::size_t i = 0; i < members_.size(); ++i) {
-          out << pad;
-          escape(out, members_[i].first);
-          out << ": ";
-          members_[i].second.write(out, indent, depth + 1);
-          out << (i + 1 < members_.size() ? ",\n" : "\n");
-        }
-        out << close_pad << '}';
-        break;
-      }
-      case Kind::Array: {
-        if (elements_.empty()) {
-          out << "[]";
-          break;
-        }
-        out << "[\n";
-        for (std::size_t i = 0; i < elements_.size(); ++i) {
-          out << pad;
-          elements_[i].write(out, indent, depth + 1);
-          out << (i + 1 < elements_.size() ? ",\n" : "\n");
-        }
-        out << close_pad << ']';
-        break;
-      }
-    }
-  }
-
-  Kind kind_;
-  bool bool_ = false;
-  double num_ = 0.0;
-  std::string str_;
-  std::vector<std::pair<std::string, Json>> members_;
-  std::vector<Json> elements_;
-};
+using Json = util::Json;
 
 /// The shared "machine" block of every BENCH snapshot: enough to judge
 /// whether two snapshots are comparable (thread counts drive every

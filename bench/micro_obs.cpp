@@ -1,0 +1,190 @@
+// Observability overhead bench: what does the always-compiled-in tracing
+// and metrics layer cost on the hottest instrumented workload?
+//
+// Three measurements, written to BENCH_obs.json:
+//   1. steal workload, tracing OFF — the skewed-MLP threaded_steal run
+//      from bench/micro_steal with the recorder disabled. Every Span /
+//      instant site still executes its relaxed-load-and-branch guard, so
+//      this row IS the disabled-path cost the design budget bounds (<1%
+//      vs an uninstrumented build; cross-checked below by the primitive
+//      cost times the measured event rate).
+//   2. steal workload, tracing ON — same run with the recorder enabled
+//      and a buffer large enough to never drop, giving the enabled-path
+//      overhead and the per-step event volume.
+//   3. recorder primitives — tight-loop cost of a disabled Span, an
+//      enabled instant and an enabled Span (events/sec throughput).
+//
+// The summary derives `disabled_overhead_pct_estimate`: events-per-step
+// (from run 2) x disabled-guard cost (from 3) / step time (from 1). This
+// estimates the instrumentation's share of a step without needing a
+// second binary compiled without instrumentation, and must stay < 1%.
+//
+// Usage: bench_micro_obs [--quick=1] [--steps=40] [--stages=4]
+//          [--microbatches=4] [--workers=0 (= stages)] [--seed=3]
+//          [--json=1]  (write the BENCH_obs.json snapshot)
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/core/engine_backend.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/pipeline/partition.h"
+#include "src/sched/stealing_engine.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace pipemare;
+
+constexpr int kWide = 256;
+constexpr int kClasses = 10;
+
+double run_steal_workload(const benchutil::MlpWorkload& workload, int stages,
+                          int microbatches, int workers, int steps,
+                          std::uint64_t seed) {
+  pipeline::EngineConfig ec;
+  ec.method = pipeline::Method::PipeMare;
+  ec.num_stages = stages;
+  ec.num_microbatches = microbatches;
+  ec.partition.strategy = pipeline::PartitionStrategy::Uniform;
+  ec.partition.probe = std::make_shared<const nn::Flow>(workload.inputs.at(0));
+
+  core::StealOptions opts;
+  opts.workers = workers;
+  opts.mode = sched::StealMode::LoadAware;
+  auto built = core::BackendRegistry::instance().create(
+      benchutil::make_skewed_mlp(kWide), core::BackendConfig("threaded_steal", opts),
+      ec, seed);
+
+  for (int s = 0; s < 2; ++s) benchutil::backend_step(*built, workload);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) benchutil::backend_step(*built, workload);
+  auto t1 = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs > 0.0 ? steps / secs : 0.0;
+}
+
+/// ns/op over `iters` calls of `body` (one warmup pass of 1k included).
+template <class F>
+double time_ns_per_op(int iters, F&& body) {
+  for (int i = 0; i < 1000; ++i) body(i);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) body(i);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int steps = cli.get_int("steps", quick ? 6 : 40);
+  const int stages = cli.get_int("stages", 4);
+  const int microbatches = cli.get_int("microbatches", 4);
+  int workers = cli.get_int("workers", 0);
+  if (workers <= 0) workers = stages;
+  const bool json = cli.get_bool("json", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const int prim_iters = quick ? 100000 : 1000000;
+
+  benchutil::MlpWorkload workload(microbatches, /*micro_size=*/32, kWide, kClasses,
+                                  seed);
+  auto& rec = obs::TraceRecorder::instance();
+
+  std::cout << "micro_obs: tracing overhead on the micro_steal workload, P="
+            << stages << ", N=" << microbatches << ", W=" << workers << ", "
+            << steps << " steps\n\n";
+
+  rec.reset();
+  const double off_sps =
+      run_steal_workload(workload, stages, microbatches, workers, steps, seed);
+
+  // Large enough that nothing drops: the on-row measures recording, not
+  // the (cheaper) drop-counting saturation path.
+  rec.enable(std::size_t{1} << 19);
+  const double on_sps =
+      run_steal_workload(workload, stages, microbatches, workers, steps, seed);
+  rec.disable();
+  const double recorded = static_cast<double>(rec.recorded());
+  const double dropped = static_cast<double>(rec.dropped());
+  // warmup steps record too; per-step volume uses the full run length.
+  const double events_per_step = recorded / (steps + 2);
+  rec.reset();
+
+  // Primitive costs. Disabled guard first (recorder just reset).
+  const double span_off_ns =
+      time_ns_per_op(prim_iters, [](int) { obs::Span s("prim", "bench"); });
+  const std::size_t prim_capacity = static_cast<std::size_t>(prim_iters) + 2000;
+  rec.enable(prim_capacity);
+  const double instant_on_ns = time_ns_per_op(
+      prim_iters, [](int i) { obs::instant("prim", "bench", -1, -1, i); });
+  rec.enable(prim_capacity);  // fresh buffers for the span row
+  const double span_on_ns =
+      time_ns_per_op(prim_iters, [](int) { obs::Span s("prim", "bench"); });
+  rec.reset();
+
+  const double on_overhead_pct =
+      off_sps > 0.0 ? 100.0 * (off_sps - on_sps) / off_sps : 0.0;
+  const double step_ns = off_sps > 0.0 ? 1e9 / off_sps : 0.0;
+  const double disabled_overhead_pct =
+      step_ns > 0.0 ? 100.0 * events_per_step * span_off_ns / step_ns : 0.0;
+  const double events_per_sec = instant_on_ns > 0.0 ? 1e9 / instant_on_ns : 0.0;
+
+  util::Table t({"measurement", "value"});
+  t.add_row({"steal workload, tracing off", util::fmt(off_sps, 1) + " steps/s"});
+  t.add_row({"steal workload, tracing on", util::fmt(on_sps, 1) + " steps/s"});
+  t.add_row({"tracing-on overhead", util::fmt(on_overhead_pct, 2) + "%"});
+  t.add_row({"events per step (traced)", util::fmt(events_per_step, 1)});
+  t.add_row({"disabled Span guard", util::fmt(span_off_ns, 1) + " ns"});
+  t.add_row({"enabled instant", util::fmt(instant_on_ns, 1) + " ns"});
+  t.add_row({"enabled Span", util::fmt(span_on_ns, 1) + " ns"});
+  t.add_row({"recorder throughput", util::fmt(events_per_sec / 1e6, 1) + " M events/s"});
+  t.add_row({"disabled overhead (est.)", util::fmt(disabled_overhead_pct, 4) + "%"});
+  std::cout << t.to_string() << '\n';
+
+  std::cout << "disabled-path budget: " << util::fmt(events_per_step, 0)
+            << " guard sites/step x " << util::fmt(span_off_ns, 1) << " ns = "
+            << util::fmt(disabled_overhead_pct, 4)
+            << "% of a step (budget: < 1%); enabled tracing costs "
+            << util::fmt(on_overhead_pct, 2) << "% on the same workload ("
+            << util::fmt(dropped, 0) << " events dropped).\n";
+
+  if (json) {
+    benchutil::Json root = benchutil::Json::object();
+    root.set("bench", "micro_obs");
+    root.set("machine", benchutil::machine_info());
+    benchutil::Json params = benchutil::Json::object();
+    params.set("stages", stages);
+    params.set("microbatches", microbatches);
+    params.set("workers", workers);
+    params.set("steps", steps);
+    params.set("seed", static_cast<std::int64_t>(seed));
+    params.set("primitive_iters", prim_iters);
+    root.set("params", std::move(params));
+    benchutil::Json runs = benchutil::Json::object();
+    runs.set("steal_tracing_off_steps_per_sec", off_sps);
+    runs.set("steal_tracing_on_steps_per_sec", on_sps);
+    runs.set("events_per_step", events_per_step);
+    runs.set("events_dropped", dropped);
+    runs.set("disabled_span_ns", span_off_ns);
+    runs.set("enabled_instant_ns", instant_on_ns);
+    runs.set("enabled_span_ns", span_on_ns);
+    root.set("runs", std::move(runs));
+    benchutil::Json summary = benchutil::Json::object();
+    summary.set("tracing_on_overhead_pct", on_overhead_pct);
+    summary.set("disabled_overhead_pct_estimate", disabled_overhead_pct);
+    summary.set("disabled_overhead_budget_pct", 1.0);
+    summary.set("recorder_events_per_sec", events_per_sec);
+    root.set("summary", std::move(summary));
+    benchutil::write_bench_json("BENCH_obs.json", root);
+  }
+  return 0;
+}

@@ -30,6 +30,8 @@
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/checkpoint.h"
 #include "src/serve/pipeline_server.h"
@@ -164,6 +166,11 @@ int main(int argc, char** argv) {
   const double max_wait_ms = cli.get_double("max-wait", 5.0);
   const bool json = cli.get_bool("json", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  // Bench-level tracing (one session over every server run; the
+  // ServeConfig paths stay unset so the servers don't restart it).
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!trace_path.empty()) obs::TraceRecorder::instance().enable();
 
   std::vector<int> worker_counts;
   const int workers_flag = cli.get_int("workers", 0);
@@ -290,6 +297,15 @@ int main(int argc, char** argv) {
       root.set("summary", std::move(summary));
     }
     benchutil::write_bench_json("BENCH_serve.json", root);
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().disable();
+    obs::write_chrome_trace(trace_path);
+    std::cout << "wrote " << trace_path << '\n';
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::instance().write_json(metrics_path);
+    std::cout << "wrote " << metrics_path << '\n';
   }
   return 0;
 }

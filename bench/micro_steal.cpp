@@ -26,6 +26,8 @@
 // Usage: bench_micro_steal [--quick=1] [--steps=40] [--stages=4]
 //          [--microbatches=4] [--workers=0 (= stages)] [--seed=3]
 //          [--json=1]  (also write the BENCH_steal.json snapshot)
+//          [--trace=<file>]    (Chrome trace of the whole bench run)
+//          [--metrics=<file>]  (metrics registry snapshot at exit)
 
 #include <chrono>
 #include <iostream>
@@ -37,6 +39,8 @@
 #include "bench/bench_util.h"
 #include "src/core/engine_backend.h"
 #include "src/core/stage_load.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/partition.h"
 #include "src/sched/stealing_engine.h"
 #include "src/util/cli.h"
@@ -118,6 +122,9 @@ int main(int argc, char** argv) {
   if (workers <= 0) workers = stages;
   const bool json = cli.get_bool("json", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!trace_path.empty()) obs::TraceRecorder::instance().enable();
 
   benchutil::MlpWorkload workload(microbatches, /*micro_size=*/32, kWide, kClasses,
                                   seed);
@@ -202,6 +209,17 @@ int main(int argc, char** argv) {
                 stealing.steps_per_sec / std::max(1e-9, uniform.steps_per_sec));
     root.set("summary", std::move(summary));
     benchutil::write_bench_json("BENCH_steal.json", root);
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().disable();
+    obs::write_chrome_trace(trace_path);
+    std::cout << "wrote " << trace_path << " ("
+              << obs::TraceRecorder::instance().recorded() << " events, "
+              << obs::TraceRecorder::instance().dropped() << " dropped)\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::instance().write_json(metrics_path);
+    std::cout << "wrote " << metrics_path << '\n';
   }
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace pipemare::core {
 
 RepartitionObserver::RepartitionObserver(ExecutionBackend& backend,
@@ -88,6 +91,10 @@ void RepartitionObserver::on_epoch(EpochRecord& record) {
   // Migrate at the quiescent point (we are between minibatches here),
   // reset the load counters so the next epoch measures the new split from
   // zero, and tell the peers their per-stage baselines are stale.
+  static obs::Counter& migrations =
+      obs::MetricsRegistry::instance().counter("train.repartitions");
+  migrations.add();
+  obs::instant("repartition", "train", -1, -1, epoch_);
   pipeline::Partition from = *backend_->partition();
   backend_->repartition(*planned);
   backend_->reset_stage_stats();

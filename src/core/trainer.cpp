@@ -3,7 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/metrics_observer.h"
 #include "src/core/repartition_observer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/kernels/registry.h"
 #include "src/util/cli.h"
 
@@ -66,7 +69,9 @@ std::string backend_cli_help() {
          "  --workers=<int>       (threaded_hogwild, threaded_steal)\n"
          "  --steal=off|load|det|forced --steal-log=0|1 (threaded_steal)\n"
          "  --repartition=off|auto[,<threshold>]  (threaded, threaded_steal: "
-         "epoch-boundary dynamic repartitioning)\n";
+         "epoch-boundary dynamic repartitioning)\n"
+         "  --trace=<file>        (Chrome trace-event JSON; open in Perfetto)\n"
+         "  --metrics=<file>      (per-epoch metrics snapshot JSON)\n";
 }
 
 void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
@@ -132,6 +137,10 @@ void parse_backend_cli(const util::Cli& cli, TrainerConfig& cfg) {
   if (cli.has("kernel-lanes")) {
     tensor::kernels::KernelRegistry::set_lanes(cli.get_int("kernel-lanes", 1));
   }
+  // Observability flags are universal (every backend is instrumented), so
+  // they stay outside the flag-routing table.
+  cfg.trace_path = cli.get("trace", cfg.trace_path);
+  cfg.metrics_path = cli.get("metrics", cfg.metrics_path);
   if (name == "hogwild") {
     HogwildOptions opts;
     if (const auto* prev = std::get_if<HogwildOptions>(&cfg.backend.options)) {
@@ -220,22 +229,43 @@ TrainResult train(const Task& task, TrainerConfig cfg,
   BackendRegistry::instance().validate(backend, cfg.engine);
   auto engine = BackendRegistry::instance().create(task.build_model(), backend,
                                                   cfg.engine, cfg.seed);
-  if (!cfg.repartition.enabled) {
-    return train_loop(task, *engine, cfg, observers);
-  }
-  // Dynamic repartitioning: the observer runs *after* the user observers
-  // (they sample the epoch's stage stats before it resets the counters)
-  // and notifies them through on_repartition when it migrates.
-  if (!engine->supports_repartition() || engine->stage_stats().empty()) {
-    throw std::invalid_argument(
-        "train: repartition=auto needs a repartition-capable, "
-        "stage-instrumented backend ('threaded', 'threaded_steal'); backend '" +
-        std::string(engine->name()) + "' is not");
-  }
-  RepartitionObserver repartitioner(*engine, cfg.repartition, observers);
+  // Observability wiring: tracing covers the whole run (enable here, one
+  // export at the end); the metrics observer rides the observer list like
+  // any other, after the user's (so their on_epoch sampling is reflected)
+  // and before the repartitioner (whose counter resets it must not miss).
+  MetricsObserver metrics_observer(*engine, cfg.metrics_path);
   std::vector<StepObserver*> obs(observers.begin(), observers.end());
-  obs.push_back(&repartitioner);
-  return train_loop(task, *engine, cfg, obs);
+  if (!cfg.metrics_path.empty()) obs.push_back(&metrics_observer);
+  const bool tracing = !cfg.trace_path.empty();
+  if (tracing) obs::TraceRecorder::instance().enable();
+
+  TrainResult result;
+  if (!cfg.repartition.enabled) {
+    result = train_loop(task, *engine, cfg, obs);
+  } else {
+    // Dynamic repartitioning: the observer runs *after* the user observers
+    // (they sample the epoch's stage stats before it resets the counters)
+    // and notifies them through on_repartition when it migrates.
+    if (!engine->supports_repartition() || engine->stage_stats().empty()) {
+      throw std::invalid_argument(
+          "train: repartition=auto needs a repartition-capable, "
+          "stage-instrumented backend ('threaded', 'threaded_steal'); backend '" +
+          std::string(engine->name()) + "' is not");
+    }
+    RepartitionObserver repartitioner(*engine, cfg.repartition, obs);
+    std::vector<StepObserver*> obs_with_rep = obs;
+    obs_with_rep.push_back(&repartitioner);
+    result = train_loop(task, *engine, cfg, obs_with_rep);
+  }
+
+  if (tracing) {
+    obs::TraceRecorder::instance().disable();
+    obs::write_chrome_trace(cfg.trace_path);
+  }
+  if (!cfg.metrics_path.empty()) {
+    obs::MetricsRegistry::instance().write_json(cfg.metrics_path);
+  }
+  return result;
 }
 
 }  // namespace pipemare::core

@@ -78,6 +78,16 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   double divergence_loss = 1e3;  ///< train loss above this declares divergence
 
+  /// Observability (`--trace=<file>` / `--metrics=<file>`): when
+  /// trace_path is set, core::train enables the process-global
+  /// obs::TraceRecorder for the run and writes Chrome trace-event JSON
+  /// (open in Perfetto / chrome://tracing) at the end; when metrics_path
+  /// is set it installs a MetricsObserver that rewrites a registry
+  /// snapshot after every epoch. Recording never perturbs numerics —
+  /// curves are bitwise-equal with tracing on or off.
+  std::string trace_path;
+  std::string metrics_path;
+
   int num_microbatches() const { return minibatch_size / microbatch_size; }
 };
 
@@ -363,6 +373,8 @@ TrainResult train_loop(const Task& task, Engine& engine, const TrainerConfig& cf
 ///   --repartition=off|auto[,<threshold>]
 ///                        epoch-boundary dynamic repartitioning (threaded /
 ///                        threaded_steal; see pipeline::RepartitionConfig)
+///   --trace=<file>       Chrome trace-event JSON of the run (any backend)
+///   --metrics=<file>     per-epoch metrics registry snapshot (any backend)
 /// Absent flags keep the configuration already in `cfg.backend`; switching
 /// between the two hogwild backends carries max_delay / mean_delay over
 /// (and worker counts carry between the worker-pool backends), while a

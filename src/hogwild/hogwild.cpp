@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/pipeline/weight_versions.h"
+
 namespace pipemare::hogwild {
 
 void validate_config(const HogwildConfig& cfg) {
@@ -71,6 +73,7 @@ HogwildEngine::HogwildEngine(const nn::Model& model, HogwildConfig cfg, std::uin
   history_depth_ = static_cast<int>(std::ceil(cfg_.max_delay)) + 2;
   history_.assign(static_cast<std::size_t>(history_depth_), {});
   history_[0] = live_;
+  staleness_ = pipeline::staleness_histograms(cfg_.num_stages);
 }
 
 HogwildEngine::StepResult HogwildEngine::forward_backward(
@@ -96,6 +99,10 @@ HogwildEngine::StepResult HogwildEngine::forward_backward(
       auto delay = static_cast<std::int64_t>(
           std::llround(delay_rng_.truncated_exponential(mean, cfg_.max_delay)));
       std::int64_t v = std::max<std::int64_t>(0, step_ - delay);
+      // Observed tau: the delay as actually experienced (clamped while
+      // step_ < delay), per unit — matching WeightVersions' recording.
+      staleness_[static_cast<std::size_t>(stage)]->observe(
+          static_cast<double>(step_ - v));
       const auto& src = history_[static_cast<std::size_t>(v % history_depth_)];
       std::copy(src.begin() + unit.offset, src.begin() + unit.offset + unit.size,
                 w.begin() + unit.offset);

@@ -5,6 +5,7 @@
 
 #include "src/nn/heads.h"
 #include "src/nn/model.h"
+#include "src/obs/metrics.h"
 #include "src/optim/optimizer.h"
 #include "src/pipeline/engine.h"
 #include "src/pipeline/partition.h"
@@ -95,6 +96,10 @@ class HogwildEngine {
   std::vector<float> live_;
   std::vector<float> grads_;
   util::Rng delay_rng_;
+  /// "train.staleness.stage<k>": observed sampled delay per stage — the
+  /// same metric family every other backend records through
+  /// pipeline::staleness_histograms (registry-owned pointers).
+  std::vector<obs::Histogram*> staleness_;
 };
 
 }  // namespace pipemare::hogwild

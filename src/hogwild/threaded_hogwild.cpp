@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/trace.h"
+#include "src/pipeline/weight_versions.h"
 #include "src/util/stats.h"
 
 namespace pipemare::hogwild {
@@ -60,6 +62,7 @@ ThreadedHogwildEngine::ThreadedHogwildEngine(const nn::Model& model, HogwildConf
   history_.assign(static_cast<std::size_t>(history_depth_), {});
   history_[0] = live_;
   unit_version_.assign(static_cast<std::size_t>(partition_.num_units()), 0);
+  staleness_ = pipeline::staleness_histograms(cfg_.num_stages);
 
   int w = resolve_worker_count(cfg_);
   stats_.assign(static_cast<std::size_t>(w), pipeline::StageStats{});
@@ -167,16 +170,27 @@ void ThreadedHogwildEngine::worker_loop(int worker) {
       if (shutdown_) return;
       seen = generation_;
     }
+    if (obs::TraceRecorder::instance().enabled()) {
+      obs::TraceRecorder::instance().set_thread_name("hogwild-worker-" +
+                                                     std::to_string(worker));
+    }
     bool w_ready = false;
     for (;;) {
       // Pop wait measures in-minibatch starvation only (the wait for the
       // next generation is between-minibatch idle, not queue contention).
       auto t_pop = Clock::now();
-      pipeline::StageItem item = work_.pop();
+      pipeline::StageItem item;
+      {
+        obs::Span bubble("pop_wait", "hogwild", -1, -1, step_);
+        item = work_.pop();
+      }
       stats.pop_wait_ns += ns_between(t_pop, Clock::now());
       if (item.micro < 0) break;  // one sentinel per worker per minibatch
       auto t0 = Clock::now();
-      process_micro(item.micro, w, w_ready);
+      {
+        obs::Span span("micro", "hogwild", -1, item.micro, step_);
+        process_micro(item.micro, w, w_ready);
+      }
       stats.busy_ns += ns_between(t0, Clock::now());
       ++stats.items;
     }
@@ -214,7 +228,12 @@ ThreadedHogwildEngine::StepResult ThreadedHogwildEngine::forward_backward(
       double mean = mean_delay_[static_cast<std::size_t>(stage)];
       auto delay = static_cast<std::int64_t>(
           std::llround(delay_rng_.truncated_exponential(mean, cfg_.max_delay)));
-      unit_version_[static_cast<std::size_t>(u)] = std::max<std::int64_t>(0, step_ - delay);
+      std::int64_t v = std::max<std::int64_t>(0, step_ - delay);
+      unit_version_[static_cast<std::size_t>(u)] = v;
+      // Observed tau, clamped while step_ < delay — same recording point
+      // as HogwildEngine so the two backends' histograms are comparable.
+      staleness_[static_cast<std::size_t>(stage)]->observe(
+          static_cast<double>(step_ - v));
     }
   }
 

@@ -149,6 +149,10 @@ class ThreadedHogwildEngine {
   /// thread in forward_backward (same draws as HogwildEngine).
   std::vector<std::int64_t> unit_version_;
 
+  /// "train.staleness.stage<k>": observed sampled delay per stage, the
+  /// shared cross-backend metric family (pipeline::staleness_histograms).
+  std::vector<obs::Histogram*> staleness_;
+
   // Per-minibatch context; workers read between the go and done barriers.
   // Barrier-published like ThreadedEngine's minibatch block (not
   // GUARDED_BY: the lock-free worker reads are the point; the generation

@@ -1,0 +1,204 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pipemare::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+  }
+}
+
+void Histogram::observe(double v) {
+  // Upper-bound binary search: first bucket with bound >= v; everything
+  // past the last bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + v, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  bool has = has_max_.load(std::memory_order_relaxed);
+  while ((!has || v > mx) &&
+         !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+    has = has_max_.load(std::memory_order_relaxed);
+  }
+  has_max_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double step, int n) {
+  std::vector<double> b(static_cast<std::size_t>(std::max(n, 1)));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = lo + step * static_cast<double>(i);
+  }
+  return b;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int n) {
+  std::vector<double> b(static_cast<std::size_t>(std::max(n, 1)));
+  double v = start;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = v;
+    v *= factor;
+  }
+  return b;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n)
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max_observed() const {
+  return has_max_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      return i < bounds_.size() ? bounds_[i]
+                                : (bounds_.empty() ? 0.0 : bounds_.back());
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_max_.store(false, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  util::MutexLock lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  util::MutexLock lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  util::MutexLock lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  util::MutexLock lock(m_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+util::Json MetricsRegistry::snapshot_json() const {
+  util::MutexLock lock(m_);
+  util::Json root = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, c->value());
+  }
+  root.set("counters", std::move(counters));
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, g->value());
+  }
+  root.set("gauges", std::move(gauges));
+  util::Json histos = util::Json::object();
+  for (const auto& [name, h] : histograms_) {
+    util::Json j = util::Json::object();
+    j.set("count", h->count());
+    j.set("sum", h->sum());
+    j.set("mean", h->mean());
+    j.set("max", h->max_observed());
+    j.set("p50", h->quantile(0.5));
+    j.set("p99", h->quantile(0.99));
+    util::Json buckets = util::Json::array();
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      util::Json b = util::Json::object();
+      if (i < h->bounds().size()) {
+        b.set("le", h->bounds()[i]);
+      } else {
+        b.set("le", "inf");
+      }
+      b.set("count", h->bucket_count(i));
+      buckets.push(std::move(b));
+    }
+    j.set("buckets", std::move(buckets));
+    histos.set(name, std::move(j));
+  }
+  root.set("histograms", std::move(histos));
+  return root;
+}
+
+std::string MetricsRegistry::snapshot_text() const {
+  util::MutexLock lock(m_);
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& [name, c] : counters_) {
+    out << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " count=" << h->count() << " mean=" << h->mean()
+        << " max=" << h->max_observed() << " p50=" << h->quantile(0.5)
+        << " p99=" << h->quantile(0.99) << '\n';
+  }
+  return out.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  util::Json root = snapshot_json();
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::write_json: cannot open " + path);
+  }
+  out << root.dump();
+}
+
+void MetricsRegistry::reset() {
+  util::MutexLock lock(m_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace pipemare::obs

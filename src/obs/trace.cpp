@@ -1,0 +1,206 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/json_writer.h"
+
+namespace pipemare::obs {
+
+namespace {
+
+/// Cached per-thread buffer pointer, tagged with the session it belongs
+/// to: enable()/reset() bump the session, so a stale cache re-registers
+/// instead of writing into a dropped buffer.
+struct ThreadCache {
+  void* buffer = nullptr;
+  std::uint64_t session = 0;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : base_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base_)
+          .count());
+}
+
+void TraceRecorder::enable(std::size_t capacity_per_thread) {
+  reset();
+  {
+    util::MutexLock lock(m_);
+    ring_capacity_ = capacity_per_thread > 0 ? capacity_per_thread : 1;
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::reset() {
+  enabled_.store(false, std::memory_order_release);
+  // Invalidate every thread's cached buffer pointer *before* dropping the
+  // buffers: a thread observing the old session re-registers; one that
+  // somehow raced past the disabled check writes into a still-live buffer
+  // of the old vector only if it read the old session, which the contract
+  // (quiescence during reset) forbids.
+  session_.fetch_add(1, std::memory_order_acq_rel);
+  util::MutexLock lock(m_);
+  buffers_.clear();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::this_thread_buffer() {
+  const std::uint64_t session = session_.load(std::memory_order_acquire);
+  if (t_cache.buffer != nullptr && t_cache.session == session) {
+    return static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  // Slow path: first event of this thread this session.
+  auto buf = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* raw = buf.get();
+  {
+    util::MutexLock lock(m_);
+    raw->events.resize(ring_capacity_);
+    raw->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::move(buf));
+  }
+  t_cache.buffer = raw;
+  t_cache.session = session;
+  return raw;
+}
+
+void TraceRecorder::record_complete(const char* name, const char* cat,
+                                    std::uint64_t ts_ns, std::uint64_t dur_ns,
+                                    int stage, int micro, std::int64_t step) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  const std::size_t i = buf->count.load(std::memory_order_relaxed);
+  if (i >= buf->events.size()) {
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& ev = buf->events[i];
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.phase = TraceEvent::Phase::Complete;
+  ev.stage = stage;
+  ev.micro = micro;
+  ev.step = step;
+  buf->count.store(i + 1, std::memory_order_release);
+}
+
+void TraceRecorder::record_instant(const char* name, const char* cat, int stage,
+                                   int micro, std::int64_t step) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  const std::size_t i = buf->count.load(std::memory_order_relaxed);
+  if (i >= buf->events.size()) {
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& ev = buf->events[i];
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = now_ns();
+  ev.dur_ns = 0;
+  ev.phase = TraceEvent::Phase::Instant;
+  ev.stage = stage;
+  ev.micro = micro;
+  ev.step = step;
+  buf->count.store(i + 1, std::memory_order_release);
+}
+
+void TraceRecorder::set_thread_name(const std::string& name) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  util::MutexLock lock(m_);  // exporters read names under m_
+  buf->name = name;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::uint64_t total = 0;
+  util::MutexLock lock(m_);
+  for (const auto& buf : buffers_) {
+    total += buf->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  util::MutexLock lock(m_);
+  for (const auto& buf : buffers_) {
+    total += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  util::Json events = util::Json::array();
+  {
+    util::MutexLock lock(m_);
+    for (const auto& buf : buffers_) {
+      // thread_name metadata labels the tid row in Perfetto.
+      if (!buf->name.empty()) {
+        util::Json meta = util::Json::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", buf->tid);
+        util::Json margs = util::Json::object();
+        margs.set("name", buf->name);
+        meta.set("args", std::move(margs));
+        events.push(std::move(meta));
+      }
+      const std::size_t n = buf->count.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent& ev = buf->events[i];
+        util::Json j = util::Json::object();
+        j.set("name", ev.name);
+        j.set("cat", ev.cat);
+        j.set("ph", ev.phase == TraceEvent::Phase::Complete ? "X" : "i");
+        // Chrome trace timestamps are microseconds; fractional keeps ns.
+        j.set("ts", static_cast<double>(ev.ts_ns) / 1000.0);
+        if (ev.phase == TraceEvent::Phase::Complete) {
+          j.set("dur", static_cast<double>(ev.dur_ns) / 1000.0);
+        } else {
+          j.set("s", "t");  // instant scope: thread
+        }
+        j.set("pid", 1);
+        j.set("tid", buf->tid);
+        util::Json args = util::Json::object();
+        if (ev.stage >= 0) args.set("stage", static_cast<std::int64_t>(ev.stage));
+        if (ev.micro >= 0) args.set("micro", static_cast<std::int64_t>(ev.micro));
+        if (ev.step >= 0) args.set("step", ev.step);
+        j.set("args", std::move(args));
+        events.push(std::move(j));
+      }
+    }
+  }
+  util::Json root = util::Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << root.dump();
+}
+
+void write_chrome_trace(const std::string& path) {
+  TraceRecorder::instance().write_chrome_trace(path);
+}
+
+}  // namespace pipemare::obs

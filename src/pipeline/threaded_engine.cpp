@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
 
@@ -118,6 +120,10 @@ void ThreadedEngine::worker_loop(int stage) {
       if (shutdown_) return;
       seen = generation_;
     }
+    if (obs::TraceRecorder::instance().enabled()) {
+      obs::TraceRecorder::instance().set_thread_name("pipeline-stage-" +
+                                                     std::to_string(stage));
+    }
     run_minibatch(stage, w_fwd, w_bkwd);
     {
       util::MutexLock lock(ctrl_m_);
@@ -134,6 +140,7 @@ void ThreadedEngine::backward_step(int stage, int micro, nn::Flow dflow,
   nn::Flow din;
   if (!mb_failed_.load(std::memory_order_relaxed)) {
     try {
+      obs::Span span("bwd", "pipeline", stage, micro, store_.step());
       auto t0 = Clock::now();
       store_.assemble_backward_units(r.unit_first, r.unit_last, micro, w_bkwd);
       din = model_.backward_range(r.module_first, r.module_last, std::move(dflow),
@@ -164,7 +171,13 @@ void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
   // worker still reaches its 2N-item quota.
   while (fwd_left > 0 || bwd_left > 0) {
     auto t_pop = Clock::now();
-    StageItem item = mailboxes_[static_cast<std::size_t>(stage)]->pop();
+    StageItem item;
+    {
+      // The pop wait *is* the pipeline bubble at this stage: idle time
+      // between the previous item finishing and the next one arriving.
+      obs::Span bubble("pop_wait", "pipeline", stage, -1, store_.step());
+      item = mailboxes_[static_cast<std::size_t>(stage)]->pop();
+    }
     stats.pop_wait_ns += ns_between(t_pop, Clock::now());
     ++stats.items;
     if (item.kind == StageItem::Kind::Forward) {
@@ -172,6 +185,7 @@ void ThreadedEngine::run_minibatch(int stage, std::vector<float>& w_fwd,
       nn::Flow out;
       if (!mb_failed_.load(std::memory_order_relaxed)) {
         try {
+          obs::Span span("fwd", "pipeline", stage, item.micro, store_.step());
           auto t0 = Clock::now();
           store_.assemble_forward_units(r.unit_first, r.unit_last, item.micro, w_fwd);
           out = model_.forward_range(r.module_first, r.module_last,

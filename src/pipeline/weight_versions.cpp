@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "src/theory/stability.h"
 
 namespace pipemare::pipeline {
+
+// 64 unit-width buckets cover any realistic P/N or max_delay; see the
+// header comment for the cross-backend sharing contract.
+std::vector<obs::Histogram*> staleness_histograms(int stages) {
+  std::vector<obs::Histogram*> h;
+  h.reserve(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    h.push_back(&obs::MetricsRegistry::instance().histogram(
+        "train.staleness.stage" + std::to_string(s),
+        obs::Histogram::linear_bounds(0.0, 1.0, 64)));
+  }
+  return h;
+}
 
 WeightVersions::WeightVersions(const nn::Model& model, const EngineConfig& cfg,
                                const Partition& partition, const Schedule& schedule,
@@ -20,6 +34,7 @@ WeightVersions::WeightVersions(const nn::Model& model, const EngineConfig& cfg,
   history_depth_ = schedule_.max_staleness() + 2;
   history_.assign(static_cast<std::size_t>(history_depth_), {});
   history_[0] = live_;  // version 0 = initial weights
+  staleness_ = staleness_histograms(partition_.num_stages);
 }
 
 const std::vector<float>& WeightVersions::version(std::int64_t v) const {
@@ -42,7 +57,10 @@ void WeightVersions::assemble_forward_units(int ufirst, int ulast, int micro,
     } else {
       int stage = partition_.unit_stage[static_cast<std::size_t>(u)];
       std::int64_t v = step_ - schedule_.fwd_staleness(stage, micro);
-      src = version(std::max<std::int64_t>(v, 0)).data();
+      v = std::max<std::int64_t>(v, 0);
+      staleness_[static_cast<std::size_t>(stage)]->observe(
+          static_cast<double>(step_ - v));
+      src = version(v).data();
     }
     std::copy(src + unit.offset, src + unit.offset + unit.size,
               out.begin() + unit.offset);

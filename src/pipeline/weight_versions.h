@@ -5,11 +5,20 @@
 #include <vector>
 
 #include "src/nn/model.h"
+#include "src/obs/metrics.h"
 #include "src/pipeline/config.h"
 #include "src/pipeline/partition.h"
 #include "src/pipeline/schedule.h"
 
 namespace pipemare::pipeline {
+
+/// Registry-owned per-stage weight-staleness histograms
+/// ("train.staleness.stage<k>", 64 unit-width buckets): every engine that
+/// measures observed weight delay registers through this one helper, so a
+/// single metric family covers all five backends with identical bounds.
+/// Histogram::observe is a wait-free relaxed-atomic write and
+/// Histogram::max_observed() is exact regardless of the bucket bounds.
+std::vector<obs::Histogram*> staleness_histograms(int stages);
 
 /// The versioned-weight state every pipeline execution backend shares: the
 /// live weights, the bounded ring of committed weight versions (which
@@ -93,6 +102,14 @@ class WeightVersions {
   std::vector<float> live_;
   std::vector<float> prev_live_;
   std::vector<float> delta_;  ///< T2 EMA of weight deltas
+
+  // Per-stage weight-staleness histograms ("train.staleness.stage<k>"):
+  // each forward assembly records the *observed* read-version delay
+  // step - version, i.e. the paper's tau as actually experienced (clamped
+  // at startup while step < staleness). Registry-owned pointers cached at
+  // construction; Histogram::observe is a relaxed-atomic wait-free write,
+  // so the lock-free contract above is untouched.
+  std::vector<obs::Histogram*> staleness_;
 };
 
 }  // namespace pipemare::pipeline

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/cost_model.h"
 #include "src/pipeline/repartition.h"
 #include "src/util/stats.h"
@@ -186,6 +188,10 @@ bool StealingEngine::acquire_steal(int worker, Task& out, bool& stolen) {
       stage_counters_[static_cast<std::size_t>(s)].stolen_items.fetch_add(
           1, std::memory_order_relaxed);
       worker_stats_[static_cast<std::size_t>(worker)].stolen_items += 1;
+      static obs::Counter& steals =
+          obs::MetricsRegistry::instance().counter("sched.steals");
+      steals.add();
+      obs::instant("steal", "sched", out.stage, out.micro, store_.step());
       if (policy_.deterministic() || cfg_.record_log) {
         util::MutexLock lock(sched_m_);
         if (steal_log_.size() < kMaxStealLog) {
@@ -193,6 +199,12 @@ bool StealingEngine::acquire_steal(int worker, Task& out, bool& stolen) {
               {store_.step(), worker, out.stage, out.micro, out.kind});
         } else {
           ++dropped_log_entries_;
+          // Mirrored in the registry: the in-object counter needs a lock
+          // and an engine pointer to read, the metric shows up in every
+          // snapshot (satellite: surface steal-log drops).
+          static obs::Counter& dropped =
+              obs::MetricsRegistry::instance().counter("sched.steal_log_dropped");
+          dropped.add();
         }
       }
     }
@@ -233,6 +245,7 @@ void StealingEngine::drain(int worker) {
     // already true and we never sleep through work.
     auto t0 = Clock::now();
     {
+      obs::Span bubble("pop_wait", "sched", -1, -1, store_.step());
       util::MutexLock lock(sched_m_);
       while (remaining_ != 0 && push_version_ == version) sched_cv_.wait(sched_m_);
     }
@@ -242,6 +255,8 @@ void StealingEngine::drain(int worker) {
 
 void StealingEngine::execute(int worker, const Task& task, bool stolen,
                              std::vector<float>& w) {
+  obs::Span span(task.kind == Task::Kind::Forward ? "fwd" : "bwd", "sched",
+                 task.stage, task.micro, store_.step());
   std::uint64_t busy = task.kind == Task::Kind::Forward
                            ? run_forward(worker, task, w)
                            : run_backward(worker, task, w);

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "src/obs/metrics.h"
 #include "src/util/sync.h"
 
 namespace pipemare::sched {
@@ -60,6 +61,7 @@ class TaskQueue {
 
   /// Enqueues a ready task (any worker; multi-producer).
   void push(Task t) {
+    pushed_counter().add();
     util::MutexLock lock(m_);
     if (t.kind == Task::Kind::Backward) {
       bwd_.push_back(t);
@@ -74,11 +76,13 @@ class TaskQueue {
     if (!bwd_.empty()) {
       out = bwd_.front();
       bwd_.pop_front();
+      popped_counter().add();
       return true;
     }
     if (!fwd_.empty()) {
       out = fwd_.front();
       fwd_.pop_front();
+      popped_counter().add();
       return true;
     }
     return false;
@@ -90,11 +94,13 @@ class TaskQueue {
     if (!fwd_.empty()) {
       out = fwd_.front();
       fwd_.pop_front();
+      popped_counter().add();
       return true;
     }
     if (!bwd_.empty()) {
       out = bwd_.front();
       bwd_.pop_front();
+      popped_counter().add();
       return true;
     }
     return false;
@@ -108,6 +114,20 @@ class TaskQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  // Process-global queue-traffic counters (one lookup per process, then a
+  // relaxed fetch_add per op — a task is a full layer-range pass, so queue
+  // traffic is far off the critical path).
+  static obs::Counter& pushed_counter() {
+    static obs::Counter& c =
+        obs::MetricsRegistry::instance().counter("sched.tasks_pushed");
+    return c;
+  }
+  static obs::Counter& popped_counter() {
+    static obs::Counter& c =
+        obs::MetricsRegistry::instance().counter("sched.tasks_popped");
+    return c;
+  }
+
   mutable util::Mutex m_;
   std::deque<Task> fwd_ GUARDED_BY(m_);
   std::deque<Task> bwd_ GUARDED_BY(m_);

@@ -1,6 +1,10 @@
 #include "src/sched/worker_pool.h"
 
+#include <string>
 #include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pipemare::sched {
 
@@ -39,6 +43,10 @@ void WorkerPool::thread_loop(int worker) {
       if (shutdown_) return;
       seen = generation_;
     }
+    if (obs::TraceRecorder::instance().enabled()) {
+      obs::TraceRecorder::instance().set_thread_name("pool-worker-" +
+                                                     std::to_string(worker));
+    }
     body_(worker);
     {
       util::MutexLock lock(m_);
@@ -54,6 +62,12 @@ void WorkerPool::run_generation() {
 }
 
 void WorkerPool::begin_generation() {
+  // Cached once: generation turnover is the pool's coarsest event (one per
+  // minibatch / serving session), but the registry lookup is still string
+  // keyed and not worth repeating.
+  static obs::Counter& generations =
+      obs::MetricsRegistry::instance().counter("sched.generations");
+  generations.add();
   {
     util::MutexLock lock(m_);
     done_count_ = 0;

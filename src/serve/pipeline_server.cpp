@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/stats.h"
 
 namespace pipemare::serve {
@@ -14,6 +16,39 @@ namespace pipemare::serve {
 namespace {
 
 using util::ns_between;
+
+// Registry-owned serve metrics, resolved once per process (the registry
+// lookup is string-keyed; the hot path then pays one relaxed atomic op).
+// Latency bucket bounds: 24 exponential buckets from 10us to ~2s cover
+// the smoke models through deliberately-stalled deadline tests.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& completed;
+  obs::Counter& rejected;
+  obs::Counter& expired;
+  obs::Counter& errors;
+  obs::Counter& batches;
+  obs::Histogram& queue_ms;
+  obs::Histogram& total_ms;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m{
+      obs::MetricsRegistry::instance().counter("serve.submitted"),
+      obs::MetricsRegistry::instance().counter("serve.admitted"),
+      obs::MetricsRegistry::instance().counter("serve.completed"),
+      obs::MetricsRegistry::instance().counter("serve.rejected"),
+      obs::MetricsRegistry::instance().counter("serve.expired"),
+      obs::MetricsRegistry::instance().counter("serve.errors"),
+      obs::MetricsRegistry::instance().counter("serve.batches"),
+      obs::MetricsRegistry::instance().histogram(
+          "serve.queue_ms", obs::Histogram::exponential_bounds(0.01, 2.0, 24)),
+      obs::MetricsRegistry::instance().histogram(
+          "serve.total_ms", obs::Histogram::exponential_bounds(0.01, 2.0, 24)),
+  };
+  return m;
+}
 
 int resolve_worker_count(const ServeConfig& cfg) {
   if (cfg.workers > 0) return cfg.workers;
@@ -104,6 +139,10 @@ void PipelineServer::start() {
     if (started_) throw std::logic_error("PipelineServer::start: already started");
     started_ = true;
   }
+  // Tracing brackets the serving session: enabled here (the workers are
+  // still parked, satisfying the recorder's quiescence contract) and
+  // exported in stop() after the pool parks again.
+  if (!cfg_.trace_path.empty()) obs::TraceRecorder::instance().enable();
   pool_->begin_generation();
 }
 
@@ -120,6 +159,13 @@ void PipelineServer::stop() {
   }
   cv_.notify_all();
   if (wait) pool_->wait_generation();
+  if (!cfg_.trace_path.empty()) {
+    obs::TraceRecorder::instance().disable();
+    obs::write_chrome_trace(cfg_.trace_path);
+  }
+  if (!cfg_.metrics_path.empty()) {
+    obs::MetricsRegistry::instance().write_json(cfg_.metrics_path);
+  }
 }
 
 TicketPtr PipelineServer::submit(nn::Flow input) {
@@ -152,10 +198,12 @@ TicketPtr PipelineServer::submit_with_deadline(nn::Flow input,
   req.ticket = ticket;
 
   Status reject = Status::Ok;
+  std::uint64_t id = 0;
+  serve_metrics().submitted.add();
   {
     util::MutexLock lock(m_);
     ++counters_.submitted;
-    req.id = next_id_++;
+    id = req.id = next_id_++;
     if (!started_ || stopping_) {
       ++counters_.rejected_stopped;
       reject = Status::RejectedStopped;
@@ -176,8 +224,10 @@ TicketPtr PipelineServer::submit_with_deadline(nn::Flow input,
     }
   }
   if (reject == Status::Ok) {
+    obs::instant("enqueue", "serve", -1, -1, static_cast<std::int64_t>(id));
     cv_.notify_all();
   } else {
+    serve_metrics().rejected.add();
     Response r;
     r.status = reject;
     ticket->complete(std::move(r));
@@ -255,6 +305,7 @@ void PipelineServer::execute(int worker, const sched::Task& task, bool stolen) {
   const pipeline::StageModuleRange& range = ranges_[static_cast<std::size_t>(stage)];
 
   const auto t0 = Clock::now();
+  obs::Span span("stage", "serve", stage, slot);
   bool ok = true;
   std::string error;
   try {
@@ -323,8 +374,19 @@ void PipelineServer::complete_slot(int slot, const Response& base,
     r.queue_ms = ms_between(req.enqueue_time, s.formed);
     r.total_ms = ms_between(req.enqueue_time, now);
     r.batch_requests = nreq;
+    // The exported p50/p99 are computed from exactly the latencies the
+    // client sees in the Response.
+    serve_metrics().queue_ms.observe(r.queue_ms);
+    serve_metrics().total_ms.observe(r.total_ms);
+    obs::instant("complete", "serve", -1, slot,
+                 static_cast<std::int64_t>(req.id));
     if (status == Status::Ok) r.output = std::move(parts[static_cast<std::size_t>(i)]);
     req.ticket->complete(std::move(r));
+  }
+  if (status == Status::Ok) {
+    serve_metrics().completed.add(static_cast<std::uint64_t>(nreq));
+  } else {
+    serve_metrics().errors.add(static_cast<std::uint64_t>(nreq));
   }
 
   s.requests.clear();
@@ -355,6 +417,7 @@ bool PipelineServer::try_admit(Clock::duration& recheck) {
   const int nexpired = queue_.expire_before(now, expired);
   if (nexpired > 0) {
     counters_.deadline_expired += static_cast<std::uint64_t>(nexpired);
+    serve_metrics().expired.add(static_cast<std::uint64_t>(nexpired));
     for (Request& req : expired) {
       Response r;
       r.status = Status::DeadlineExceeded;
@@ -421,6 +484,10 @@ bool PipelineServer::try_admit(Clock::duration& recheck) {
   ++active_slots_;
   counters_.admitted += static_cast<std::uint64_t>(s.requests.size());
   ++counters_.batches;
+  serve_metrics().admitted.add(s.requests.size());
+  serve_metrics().batches.add();
+  obs::instant("admit", "serve", -1, slot,
+               static_cast<std::int64_t>(s.requests.front().id));
   queues_[0]->push({sched::Task::Kind::Forward, 0, slot});
   ++push_version_;
   cv_.notify_all();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/nn/model.h"
@@ -26,6 +27,8 @@ struct ServeConfig {
   int slots = 0;            ///< in-flight microbatch slots; 0 = num_stages + 1
   BatchConfig batch;
   pipeline::PartitionSpec partition;
+  std::string trace_path;    ///< --trace: Chrome trace JSON path ("" = off)
+  std::string metrics_path;  ///< --metrics: metrics snapshot JSON ("" = off)
 };
 
 /// Throws std::invalid_argument on an unusable configuration. `model` may

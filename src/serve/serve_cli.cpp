@@ -37,6 +37,9 @@ void parse_serve_cli(const util::Cli& cli, ServeConfig& cfg) {
   cfg.workers = cli.get_int("serve-workers", cfg.workers);
   cfg.queue_capacity = cli.get_int("serve-queue", cfg.queue_capacity);
   cfg.slots = cli.get_int("serve-slots", cfg.slots);
+  // Shared observability flags (same names as the training CLI).
+  cfg.trace_path = cli.get("trace", cfg.trace_path);
+  cfg.metrics_path = cli.get("metrics", cfg.metrics_path);
   validate_serve_config(cfg, nullptr);
 }
 
@@ -47,7 +50,9 @@ std::string serve_cli_help() {
          "  --serve-stages=<int>     (pipeline stages)\n"
          "  --serve-workers=<int>    (worker threads; 0 = auto)\n"
          "  --serve-queue=<int>      (admission queue capacity)\n"
-         "  --serve-slots=<int>      (in-flight microbatch slots; 0 = auto)\n";
+         "  --serve-slots=<int>      (in-flight microbatch slots; 0 = auto)\n"
+         "  --trace=<file>           (Chrome trace-event JSON of the session)\n"
+         "  --metrics=<file>         (metrics snapshot JSON at shutdown)\n";
 }
 
 }  // namespace pipemare::serve

@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
 #include "src/tensor/kernels/registry.h"
 
 namespace pipemare::tensor {
@@ -19,6 +20,17 @@ void require(bool ok, const char* msg) {
   if (!ok) throw std::invalid_argument(msg);
 }
 
+/// GEMM-family dispatch counter ("kernels.gemm_dispatch"): counts every
+/// matmul* call routed through the KernelRegistry, whichever backend
+/// table is selected. GEMMs are the O(mkn) calls — elementwise ops are
+/// deliberately not counted to keep dispatch overhead a single relaxed
+/// fetch_add on only the heavy path.
+void count_gemm() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("kernels.gemm_dispatch");
+  c.add();
+}
+
 Tensor gemm_nt_bias_dispatch(const Tensor& a, const Tensor& b,
                              std::span<const float> bias, bool relu) {
   require(a.rank() == 2 && b.rank() == 2, "matmul_nt_bias: rank-2 tensors required");
@@ -27,6 +39,7 @@ Tensor gemm_nt_bias_dispatch(const Tensor& a, const Tensor& b,
   require(static_cast<int>(bias.size()) == n,
           "matmul_nt_bias: bias size mismatch");
   Tensor c({m, n});
+  count_gemm();
   KernelRegistry::table().gemm_nt_bias(a.data(), b.data(), bias.data(),
                                        c.data(), m, k, n, relu);
   return c;
@@ -39,6 +52,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul: inner dimension mismatch");
   Tensor c({m, n});
+  count_gemm();
   KernelRegistry::table().gemm_nn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
@@ -48,6 +62,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul_tn: inner dimension mismatch");
   Tensor c({m, n});
+  count_gemm();
   KernelRegistry::table().gemm_tn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
@@ -57,6 +72,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   require(b.dim(1) == k, "matmul_nt: inner dimension mismatch");
   Tensor c({m, n});
+  count_gemm();
   KernelRegistry::table().gemm_nt(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
